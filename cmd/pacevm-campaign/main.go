@@ -1,0 +1,82 @@
+// Command pacevm-campaign runs the benchmarking campaign of Sect. III.B
+// against the simulated testbed and writes the model database (Sect.
+// III.C) as CSV:
+//
+//	pacevm-campaign -out ./modeldir            # paper-reduced grid
+//	pacevm-campaign -out ./modeldir -full 16   # full pricing grid
+//	pacevm-campaign -noise 7                   # noisy power meter, seed 7
+//
+// It produces model.csv (the Table II records) and aux.csv (the Table I
+// base-test parameters).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pacevm/internal/campaign"
+	"pacevm/internal/rng"
+	"pacevm/internal/workload"
+)
+
+func main() {
+	out := flag.String("out", ".", "output directory for model.csv and aux.csv")
+	full := flag.Int("full", 0, "build the full pricing grid up to this total VM count (0 = paper-reduced grid)")
+	maxBase := flag.Int("maxbase", 16, "largest same-type VM count in base tests")
+	noise := flag.Uint64("noise", 0, "seed for power-meter noise (0 = ideal meter)")
+	flag.Parse()
+
+	cfg := campaign.DefaultConfig()
+	cfg.MaxBase = *maxBase
+	cfg.FullGridTotal = *full
+	if *noise != 0 {
+		cfg.MeterNoise = rng.New(*noise)
+	}
+
+	if err := run(cfg, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "pacevm-campaign:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg campaign.Config, out string) error {
+	db, sum, err := campaign.Run(cfg)
+	if err != nil {
+		return err
+	}
+	for _, class := range workload.Classes {
+		b := sum.Base[class]
+		fmt.Printf("base %-4v (%s): OSP=%d OSE=%d OS=%d T=%.1fs\n",
+			class, b.Bench, b.OSP, b.OSE, b.OS(), float64(b.RefTime))
+	}
+	fmt.Printf("combined experiments: %d (paper formula for this grid: %d)\n",
+		sum.CombinedRuns,
+		campaign.PaperCombinedCount(sum.Base[0].OS(), sum.Base[1].OS(), sum.Base[2].OS()))
+	fmt.Printf("total records: %d\n", db.Len())
+
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	mainPath := filepath.Join(out, "model.csv")
+	auxPath := filepath.Join(out, "aux.csv")
+	mf, err := os.Create(mainPath)
+	if err != nil {
+		return err
+	}
+	defer mf.Close()
+	if err := db.WriteCSV(mf); err != nil {
+		return err
+	}
+	af, err := os.Create(auxPath)
+	if err != nil {
+		return err
+	}
+	defer af.Close()
+	if err := db.WriteAuxCSV(af); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s and %s\n", mainPath, auxPath)
+	return nil
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pacevm/internal/campaign"
+	"pacevm/internal/model"
+)
+
+func TestCampaignWritesLoadableModel(t *testing.T) {
+	dir := t.TempDir()
+	cfg := campaign.DefaultConfig()
+	cfg.MaxBase = 6
+	cfg.FullGridTotal = 6
+	if err := run(cfg, dir); err != nil {
+		t.Fatal(err)
+	}
+	mf, err := os.Open(filepath.Join(dir, "model.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	af, err := os.Open(filepath.Join(dir, "aux.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer af.Close()
+	db, err := model.ReadCSV(mf, af)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() < 80 {
+		t.Errorf("model has %d records, want the 6-total grid (83)", db.Len())
+	}
+}
+
+func TestCampaignRejectsUnwritableDir(t *testing.T) {
+	cfg := campaign.DefaultConfig()
+	cfg.MaxBase = 2
+	if err := run(cfg, "/proc/definitely/not/writable"); err == nil {
+		t.Error("unwritable output directory should fail")
+	}
+}

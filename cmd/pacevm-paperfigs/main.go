@@ -1,0 +1,313 @@
+// Command pacevm-paperfigs regenerates every table and figure of the
+// paper's evaluation (see DESIGN.md §3 for the experiment index):
+//
+//	pacevm-paperfigs                  # everything, paper scale
+//	pacevm-paperfigs -quick           # reduced scale (~1,000 VMs)
+//	pacevm-paperfigs -only fig2,fig5  # a subset
+//	pacevm-paperfigs -seed 7          # different random seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"path/filepath"
+
+	"pacevm/internal/experiments"
+	"pacevm/internal/report"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run the reduced-scale configuration")
+	only := flag.String("only", "", "comma-separated subset: fig1,fig2,table1,table2,fig4,fig5,fig6,fig7,headlines,alphasweep")
+	extended := flag.Bool("extended", false, "add the beyond-paper baselines (FF+MIG, BF-2) to the evaluation figures")
+	csvDir := flag.String("csv", "", "also export each artifact's data as CSV into this directory")
+	seed := flag.Uint64("seed", 42, "master random seed")
+	servers := flag.Int("servers", 0, "override SMALLER cloud size (LARGER scales by +15%)")
+	flag.Parse()
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	cfg.Seed = *seed
+	if *servers > 0 {
+		cfg.SmallServers = *servers
+		cfg.LargeServers = *servers * 115 / 100
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(k))] = true
+		}
+	}
+	sel := func(k string) bool { return len(want) == 0 || want[k] }
+
+	if err := run(cfg, sel, *extended, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "pacevm-paperfigs:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg experiments.Config, sel func(string) bool, extended bool, csvDir string) error {
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("== PACE-VM paper reproduction (seed %d, clouds %d/%d, %d VMs) ==\n\n",
+		cfg.Seed, cfg.SmallServers, cfg.LargeServers, cfg.TargetVMs)
+	ctx, err := experiments.NewContext(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model database: %d records (full grid), aux OS=(%d,%d,%d)\n\n",
+		ctx.DB.Len(), ctx.Sum.Base[0].OS(), ctx.Sum.Base[1].OS(), ctx.Sum.Base[2].OS())
+
+	if sel("fig1") {
+		if err := fig1(ctx); err != nil {
+			return err
+		}
+	}
+	if sel("fig2") {
+		if err := fig2(ctx, csvDir); err != nil {
+			return err
+		}
+	}
+	if sel("table1") {
+		table1(ctx)
+	}
+	if sel("table2") {
+		table2(ctx)
+	}
+	if sel("fig4") {
+		if err := fig4(ctx); err != nil {
+			return err
+		}
+	}
+	if sel("alphasweep") {
+		if err := alphaSweep(ctx, csvDir); err != nil {
+			return err
+		}
+	}
+	needEval := sel("fig5") || sel("fig6") || sel("fig7") || sel("headlines")
+	if !needEval {
+		return nil
+	}
+	results, err := ctx.Evaluation()
+	if err != nil {
+		return err
+	}
+	extraNames := []string{}
+	if extended {
+		extra, err := ctx.Extended()
+		if err != nil {
+			return err
+		}
+		results = append(results, extra...)
+		extraNames = experiments.ExtendedNames
+	}
+	if sel("fig5") {
+		evalChart(results, extraNames, "Fig. 5: Makespan (s)", "s",
+			func(r experiments.EvalResult) float64 { return float64(r.Metrics.Makespan) })
+	}
+	if sel("fig6") {
+		evalChart(results, extraNames, "Fig. 6: Energy consumption (J)", "J",
+			func(r experiments.EvalResult) float64 { return float64(r.Metrics.Energy) })
+	}
+	if sel("fig7") {
+		evalChart(results, extraNames, "Fig. 7: SLA violations (%)", "%",
+			func(r experiments.EvalResult) float64 { return r.Metrics.SLAViolationPct() })
+	}
+	if sel("headlines") {
+		if err := headlines(results); err != nil {
+			return err
+		}
+	}
+	if csvDir != "" {
+		if err := exportEvalCSV(results, csvDir); err != nil {
+			return err
+		}
+		fmt.Printf("CSV artifacts written to %s\n", csvDir)
+	}
+	return nil
+}
+
+// alphaSweep prints (and optionally exports) the PA-α sweep the paper
+// mentions for α = 0.75.
+func alphaSweep(ctx *experiments.Context, csvDir string) error {
+	points, err := ctx.AlphaSweep([]float64{0, 0.25, 0.5, 0.75, 1})
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("PA-α sweep (SMALLER cloud)", "alpha", "makespan(s)", "energy(J)", "sla(%)")
+	for _, p := range points {
+		t.AddRowf("%g\t%.0f\t%.4g\t%.2f", p.Alpha, float64(p.Metrics.Makespan),
+			float64(p.Metrics.Energy), p.Metrics.SLAViolationPct())
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	if csvDir != "" {
+		return writeCSV(t, filepath.Join(csvDir, "alphasweep.csv"))
+	}
+	return nil
+}
+
+// exportEvalCSV writes the evaluation dataset behind Figs. 5-7.
+func exportEvalCSV(results []experiments.EvalResult, dir string) error {
+	t := report.NewTable("", "strategy", "cloud", "servers", "makespan_s", "energy_j", "sla_pct", "avg_wait_s", "migrations")
+	for _, r := range results {
+		t.AddRowf("%s\t%s\t%d\t%.3f\t%.3f\t%.4f\t%.3f\t%d",
+			r.Strategy, string(r.Cloud), r.Servers,
+			float64(r.Metrics.Makespan), float64(r.Metrics.Energy),
+			r.Metrics.SLAViolationPct(), float64(r.Metrics.AvgWait), r.Metrics.Migrations)
+	}
+	return writeCSV(t, filepath.Join(dir, "evaluation.csv"))
+}
+
+func writeCSV(t *report.Table, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.CSV(f)
+}
+
+func fig1(ctx *experiments.Context) error {
+	res, err := ctx.Fig1()
+	if err != nil {
+		return err
+	}
+	left, right := res.CPUOnly, res.CPUNet
+	fmt.Printf("Fig. 1 (left): %s — %s\n", left.Benchmark, strings.Join(left.Labels(), ", "))
+	fmt.Printf("Fig. 1 (right): %s — %s\n", right.Benchmark, strings.Join(right.Labels(), ", "))
+	s := report.NewSeries("Fig. 1 (left): subsystem intensity over time — "+left.Benchmark,
+		"t(s)", "cpu", "mem", "disk", "net")
+	for i, pt := range left.Series {
+		if i%6 != 0 { // thin the series for the console
+			continue
+		}
+		if err := s.Add(float64(pt.At), pt.Intensity[0], pt.Intensity[1], pt.Intensity[2], pt.Intensity[3]); err != nil {
+			return err
+		}
+	}
+	if err := s.Render(os.Stdout); err != nil {
+		return err
+	}
+	s = report.NewSeries("Fig. 1 (right): subsystem intensity over time — "+right.Benchmark,
+		"t(s)", "cpu", "mem", "disk", "net")
+	for i, pt := range right.Series {
+		if i%4 != 0 {
+			continue
+		}
+		if err := s.Add(float64(pt.At), pt.Intensity[0], pt.Intensity[1], pt.Intensity[2], pt.Intensity[3]); err != nil {
+			return err
+		}
+	}
+	if err := s.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+func fig2(ctx *experiments.Context, csvDir string) error {
+	res, err := ctx.Fig2()
+	if err != nil {
+		return err
+	}
+	s := report.NewSeries("Fig. 2: FFTW average execution time per VM vs co-located VMs",
+		"#VMs", "avgTime(s)", "perVMEnergy(J)")
+	for _, pt := range res.Points {
+		if err := s.Add(float64(pt.N), float64(pt.AvgTimeVM), float64(pt.PerVMEnergy)); err != nil {
+			return err
+		}
+	}
+	if err := s.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("optimum (OSP) = %d VMs (paper: 9); energy optimum (OSE) = %d VMs\n\n", res.OSP, res.OSE)
+	if csvDir != "" {
+		f, err := os.Create(filepath.Join(csvDir, "fig2.csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return s.CSV(f)
+	}
+	return nil
+}
+
+func table1(ctx *experiments.Context) {
+	t := report.NewTable("Table I: base-test parameters", "class", "benchmark", "OSP", "OSE", "OS", "T(s)")
+	for _, row := range ctx.TableI() {
+		t.AddRowf("%v\t%s\t%d\t%d\t%d\t%.1f", row.Class, row.Bench, row.OSP, row.OSE,
+			max(row.OSP, row.OSE), float64(row.RefTime))
+	}
+	t.Render(os.Stdout)
+	fmt.Println()
+}
+
+func table2(ctx *experiments.Context) {
+	db := ctx.TableII()
+	t := report.NewTable(fmt.Sprintf("Table II: model database (%d records; first 12 shown)", db.Len()),
+		"Ncpu", "Nmem", "Nio", "Time(s)", "avgTimeVM(s)", "Energy(J)", "MaxPower(W)", "EDP(J·s)")
+	for i, r := range db.Records() {
+		if i >= 12 {
+			break
+		}
+		t.AddRowf("%d\t%d\t%d\t%.1f\t%.1f\t%.0f\t%.1f\t%.3g",
+			r.NCPU, r.NMEM, r.NIO, float64(r.Time), float64(r.AvgTimeVM),
+			float64(r.Energy), float64(r.MaxPower), float64(r.EDP))
+	}
+	t.Render(os.Stdout)
+	fmt.Println()
+}
+
+func fig4(ctx *experiments.Context) error {
+	res, err := ctx.Fig4()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig. 4 worked example (interval-weighted accounting):")
+	fmt.Printf("  ExecTime_VM1 = 0.7*1200s + 0.3*1800s = %v (paper: 1380 s)\n", res.ExecTimeVM1)
+	fmt.Printf("  Energy = 0.35*15kJ + 0.15*20kJ + 0.5*12kJ = %v (paper: 14.25 kJ)\n\n", res.Energy)
+	return nil
+}
+
+func evalChart(results []experiments.EvalResult, extraNames []string, title, unit string, metric func(experiments.EvalResult) float64) {
+	c := report.NewBarChart(title, unit)
+	names := append(append([]string{}, experiments.StrategyNames...), extraNames...)
+	for _, cloud := range []experiments.CloudName{experiments.Smaller, experiments.Larger} {
+		for _, name := range names {
+			r, err := experiments.Find(results, name, cloud)
+			if err != nil {
+				continue
+			}
+			c.Add(fmt.Sprintf("%-7s %s", name, cloud), metric(r))
+		}
+	}
+	c.Render(os.Stdout)
+	fmt.Println()
+}
+
+func headlines(results []experiments.EvalResult) error {
+	t := report.NewTable("Headline comparisons (paper: ~12% energy vs first-fit, up to 18% shorter makespan)",
+		"cloud", "makespan vs FF", "energy vs FF", "energy vs FF family", "PA-0 vs PA-1 time", "PA-1 vs PA-0 energy", "SLA reduction (pts)")
+	for _, cloud := range []experiments.CloudName{experiments.Smaller, experiments.Larger} {
+		h, err := experiments.ComputeHeadlines(results, cloud)
+		if err != nil {
+			return err
+		}
+		t.AddRowf("%s\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f",
+			string(cloud), h.MakespanSavingVsFFPct, h.EnergySavingVsFFPct, h.EnergySavingVsFamilyPct,
+			h.PA0VsPA1MakespanPct, h.PA1VsPA0EnergyPct, h.SLAReductionPct)
+	}
+	return t.Render(os.Stdout)
+}

@@ -1,0 +1,75 @@
+// Command pacevm-profile profiles one HPC benchmark on the simulated
+// testbed (Sect. III.A): it runs the workload solo, samples subsystem
+// utilization in discrete windows, and prints the Fig.-1-style time
+// series plus the derived intensity labels and model class.
+//
+//	pacevm-profile -bench fftw
+//	pacevm-profile -bench mpinet -window 10
+//	pacevm-profile -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pacevm/internal/profiler"
+	"pacevm/internal/report"
+	"pacevm/internal/units"
+	"pacevm/internal/vmm"
+	"pacevm/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "hpl", "benchmark to profile")
+	window := flag.Float64("window", 5, "sampling window in seconds")
+	list := flag.Bool("list", false, "list available benchmarks and exit")
+	every := flag.Int("every", 4, "print every n-th sample")
+	flag.Parse()
+
+	if *list {
+		for _, b := range workload.All() {
+			fmt.Printf("%-10s class=%-4v solo=%v footprint=%v\n", b.Name, b.Class, b.SoloTime(), b.Footprint)
+		}
+		return
+	}
+	if err := run(*bench, *window, *every); err != nil {
+		fmt.Fprintln(os.Stderr, "pacevm-profile:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, window float64, every int) error {
+	b, err := workload.ByName(name)
+	if err != nil {
+		return err
+	}
+	cfg := profiler.DefaultConfig()
+	cfg.SampleEvery = units.Seconds(window)
+	prof, err := profiler.Run(cfg, vmm.DefaultConfig(), b)
+	if err != nil {
+		return err
+	}
+	if every < 1 {
+		every = 1
+	}
+	s := report.NewSeries(
+		fmt.Sprintf("subsystem intensity over time — %s", b.Name),
+		"t(s)", "cpu", "mem", "disk", "net")
+	for i, pt := range prof.Series {
+		if i%every != 0 {
+			continue
+		}
+		if err := s.Add(float64(pt.At), pt.Intensity[0], pt.Intensity[1], pt.Intensity[2], pt.Intensity[3]); err != nil {
+			return err
+		}
+	}
+	if err := s.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\naverage intensity: %v\n", prof.Avg)
+	fmt.Printf("labels: %s\n", strings.Join(prof.Labels(), ", "))
+	fmt.Printf("model class: %v\n", prof.Class)
+	return nil
+}

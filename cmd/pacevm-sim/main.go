@@ -1,0 +1,152 @@
+// Command pacevm-sim runs one datacenter simulation (Sect. IV): a
+// placement strategy over a workload trace on a cloud of simulated
+// servers, reporting makespan, energy and SLA violations.
+//
+//	pacevm-sim -strategy PA-0.5 -servers 66
+//	pacevm-sim -strategy FF-2 -trace trace.swf
+//	pacevm-sim -strategy PA-1 -model ./modeldir   # reuse a stored model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pacevm/internal/campaign"
+	"pacevm/internal/cloudsim"
+	"pacevm/internal/core"
+	"pacevm/internal/migrate"
+	"pacevm/internal/model"
+	"pacevm/internal/strategy"
+	"pacevm/internal/swf"
+	"pacevm/internal/trace"
+)
+
+func main() {
+	stratName := flag.String("strategy", "PA-0.5", "FF, FF-2, FF-3, BF-n, PA-1, PA-0, PA-0.5 or PA-<alpha>")
+	servers := flag.Int("servers", 66, "cloud size")
+	seed := flag.Uint64("seed", 42, "random seed for trace generation")
+	vms := flag.Int("vms", 10000, "target VM count for a generated trace")
+	tracePath := flag.String("trace", "", "SWF trace to replay (default: generate synthetically)")
+	modelDir := flag.String("model", "", "directory with model.csv/aux.csv (default: run the campaign in-process)")
+	alwaysOn := flag.Bool("always-on", false, "bill 125 W for empty servers instead of powering them off")
+	consolidate := flag.Bool("consolidate", false, "enable reactive migration-based consolidation (30 s per move)")
+	flag.Parse()
+
+	if err := run(*stratName, *servers, *seed, *vms, *tracePath, *modelDir, *alwaysOn, *consolidate); err != nil {
+		fmt.Fprintln(os.Stderr, "pacevm-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(stratName string, servers int, seed uint64, vms int, tracePath, modelDir string, alwaysOn, consolidate bool) error {
+	db, err := loadModel(modelDir)
+	if err != nil {
+		return err
+	}
+
+	var tr *swf.Trace
+	if tracePath != "" {
+		f, err := os.Open(tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if tr, err = swf.Parse(f); err != nil {
+			return err
+		}
+	} else {
+		gcfg := trace.DefaultGenConfig(seed)
+		gcfg.Jobs = vms/2 + 200
+		if tr, err = trace.Generate(gcfg); err != nil {
+			return err
+		}
+	}
+	pcfg := trace.DefaultPrepConfig(seed)
+	pcfg.TargetVMs = vms
+	reqs, rep, err := trace.Prepare(tr, pcfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace: %d requests, %d VMs\n", rep.Requests, rep.TotalVMs)
+
+	st, err := parseStrategy(db, stratName)
+	if err != nil {
+		return err
+	}
+	cfg := cloudsim.Config{DB: db, Servers: servers, Strategy: st, IdleServerPower: -1}
+	if alwaysOn {
+		cfg.IdleServerPower = 125
+	}
+	if consolidate {
+		cfg.Consolidator = &migrate.Planner{DB: db, MigrationCost: 30}
+		cfg.MigrationCost = 30
+	}
+	res, err := cloudsim.Run(cfg, reqs)
+	if err != nil {
+		return err
+	}
+	m := res.Metrics
+	fmt.Printf("strategy:     %s on %d servers\n", st.Name(), servers)
+	fmt.Printf("makespan:     %v\n", m.Makespan)
+	fmt.Printf("energy:       %v\n", m.Energy)
+	fmt.Printf("SLA violated: %d/%d VMs (%.1f%%)\n", m.Violations, m.TotalVMs, m.SLAViolationPct())
+	fmt.Printf("avg response: %v   avg wait: %v\n", m.AvgResponse, m.AvgWait)
+	fmt.Printf("peak active servers: %d\n", m.PeakActiveServers)
+	if consolidate {
+		fmt.Printf("migrations:   %d (%d servers drained)\n", m.Migrations, m.ServersDrained)
+	}
+	return nil
+}
+
+func loadModel(dir string) (*model.DB, error) {
+	if dir == "" {
+		cfg := campaign.DefaultConfig()
+		cfg.FullGridTotal = 16
+		db, _, err := campaign.Run(cfg)
+		return db, err
+	}
+	mf, err := os.Open(filepath.Join(dir, "model.csv"))
+	if err != nil {
+		return nil, err
+	}
+	defer mf.Close()
+	af, err := os.Open(filepath.Join(dir, "aux.csv"))
+	if err != nil {
+		return nil, err
+	}
+	defer af.Close()
+	return model.ReadCSV(mf, af)
+}
+
+func parseStrategy(db *model.DB, name string) (strategy.Strategy, error) {
+	switch strings.ToUpper(name) {
+	case "FF":
+		return strategy.NewFirstFit(1)
+	case "FF-2":
+		return strategy.NewFirstFit(2)
+	case "FF-3":
+		return strategy.NewFirstFit(3)
+	}
+	upper := strings.ToUpper(name)
+	if alphaStr, ok := strings.CutPrefix(upper, "PA-"); ok {
+		var alpha float64
+		if _, err := fmt.Sscanf(alphaStr, "%g", &alpha); err != nil {
+			return nil, fmt.Errorf("bad PA alpha %q: %w", alphaStr, err)
+		}
+		if alpha < 0 || alpha > 1 {
+			return nil, fmt.Errorf("PA alpha %g out of [0,1]", alpha)
+		}
+		return strategy.NewProactive(db, core.Goal{Alpha: alpha}, 0)
+	}
+	if nStr, ok := strings.CutPrefix(upper, "BF-"); ok {
+		var n int
+		if _, err := fmt.Sscanf(nStr, "%d", &n); err != nil {
+			return nil, fmt.Errorf("bad BF multiplex %q: %w", nStr, err)
+		}
+		return &strategy.BestFit{Multiplex: n}, nil
+	}
+	return nil, fmt.Errorf("unknown strategy %q", name)
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"pacevm/internal/campaign"
+	"pacevm/internal/model"
+)
+
+var (
+	dbOnce sync.Once
+	testDB *model.DB
+	dbErr  error
+)
+
+func sharedDB(t *testing.T) *model.DB {
+	t.Helper()
+	dbOnce.Do(func() {
+		cfg := campaign.DefaultConfig()
+		cfg.FullGridTotal = 8
+		testDB, _, dbErr = campaign.Run(cfg)
+	})
+	if dbErr != nil {
+		t.Fatal(dbErr)
+	}
+	return testDB
+}
+
+func TestParseStrategy(t *testing.T) {
+	db := sharedDB(t)
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"FF", "FF"},
+		{"ff-2", "FF-2"},
+		{"FF-3", "FF-3"},
+		{"PA-1", "PA-1"},
+		{"pa-0", "PA-0"},
+		{"PA-0.5", "PA-0.5"},
+		{"PA-0.75", "PA-0.75"},
+		{"BF-2", "BF-2"},
+	}
+	for _, c := range cases {
+		st, err := parseStrategy(db, c.in)
+		if err != nil {
+			t.Errorf("parseStrategy(%q): %v", c.in, err)
+			continue
+		}
+		if st.Name() != c.want {
+			t.Errorf("parseStrategy(%q).Name() = %q, want %q", c.in, st.Name(), c.want)
+		}
+	}
+}
+
+func TestParseStrategyErrors(t *testing.T) {
+	db := sharedDB(t)
+	for _, in := range []string{"", "XX", "PA-", "PA-x", "BF-", "BF-x", "PA-2"} {
+		if _, err := parseStrategy(db, in); err == nil {
+			t.Errorf("parseStrategy(%q) accepted bad input", in)
+		}
+	}
+}
+
+func TestLoadModelFromDir(t *testing.T) {
+	db := sharedDB(t)
+	dir := t.TempDir()
+	mf, err := os.Create(filepath.Join(dir, "model.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.WriteCSV(mf); err != nil {
+		t.Fatal(err)
+	}
+	mf.Close()
+	af, err := os.Create(filepath.Join(dir, "aux.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.WriteAuxCSV(af); err != nil {
+		t.Fatal(err)
+	}
+	af.Close()
+
+	got, err := loadModel(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != db.Len() {
+		t.Errorf("loaded %d records, want %d", got.Len(), db.Len())
+	}
+}
+
+func TestLoadModelMissingDir(t *testing.T) {
+	if _, err := loadModel(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("missing model directory should fail")
+	}
+}

@@ -1,0 +1,90 @@
+// Command pacevm-tracegen generates a synthetic EGEE-like workload trace
+// in Standard Workload Format and optionally previews the paper's
+// preprocessing (Sect. IV.B):
+//
+//	pacevm-tracegen -out trace.swf
+//	pacevm-tracegen -out trace.swf -jobs 8000 -seed 7
+//	pacevm-tracegen -out trace.swf -prepare        # also print prep report
+//	pacevm-tracegen -clean in.swf -out clean.swf   # clean an existing SWF
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pacevm/internal/swf"
+	"pacevm/internal/trace"
+	"pacevm/internal/units"
+	"pacevm/internal/workload"
+)
+
+func main() {
+	out := flag.String("out", "trace.swf", "output SWF path")
+	jobs := flag.Int("jobs", 5200, "raw job count to generate")
+	seed := flag.Uint64("seed", 42, "random seed")
+	horizon := flag.Float64("horizon", 8*3600, "arrival horizon in seconds")
+	prepare := flag.Bool("prepare", false, "print the preprocessing report for the generated trace")
+	clean := flag.String("clean", "", "instead of generating, clean this existing SWF file")
+	flag.Parse()
+
+	if err := run(*out, *jobs, *seed, *horizon, *prepare, *clean); err != nil {
+		fmt.Fprintln(os.Stderr, "pacevm-tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, jobs int, seed uint64, horizon float64, prepare bool, clean string) error {
+	var tr *swf.Trace
+	if clean != "" {
+		f, err := os.Open(clean)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		raw, err := swf.Parse(f)
+		if err != nil {
+			return err
+		}
+		var rep swf.CleanReport
+		tr, rep = swf.Clean(raw)
+		fmt.Printf("cleaned %s: %d in, %d failed, %d cancelled, %d anomalous, %d kept\n",
+			clean, rep.Input, rep.Failed, rep.Cancelled, rep.Anomalous, rep.Kept)
+	} else {
+		cfg := trace.DefaultGenConfig(seed)
+		cfg.Jobs = jobs
+		cfg.Horizon = units.Seconds(horizon)
+		var err error
+		tr, err = trace.Generate(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("generated %d jobs over %.0fs\n", len(tr.Jobs), horizon)
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := swf.Write(f, tr); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+
+	if prepare {
+		reqs, rep, err := trace.Prepare(tr, trace.DefaultPrepConfig(seed))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("preprocessing: %d requests, %d VMs (clean: %d/%d kept)\n",
+			rep.Requests, rep.TotalVMs, rep.Clean.Kept, rep.Clean.Input)
+		for _, c := range workload.Classes {
+			fmt.Printf("  class %-4v: %5d jobs, %5d VMs\n", c, rep.JobsByClass[c], rep.VMsByClass[c])
+		}
+		if len(reqs) > 0 {
+			fmt.Printf("  first request: %+v\n", reqs[0])
+		}
+	}
+	return nil
+}

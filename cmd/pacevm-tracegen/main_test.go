@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pacevm/internal/swf"
+)
+
+func TestGenerateWritesParseableSWF(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.swf")
+	if err := run(out, 300, 7, 3600, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := swf.Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 300 {
+		t.Errorf("jobs = %d, want 300", len(tr.Jobs))
+	}
+	if tr.Header["Version"] == "" {
+		t.Error("missing SWF version header")
+	}
+}
+
+func TestPrepareFlag(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.swf")
+	if err := run(out, 200, 7, 3600, true, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCleanMode(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.swf")
+	out := filepath.Join(dir, "out.swf")
+	// Write a raw trace with one failed job to clean.
+	raw := &swf.Trace{Jobs: []swf.Job{
+		{JobNumber: 1, SubmitTime: 0, RunTime: 100, ReqProc: 1, Status: swf.StatusCompleted},
+		{JobNumber: 2, SubmitTime: 5, RunTime: 100, ReqProc: 1, Status: swf.StatusFailed},
+	}}
+	f, err := os.Create(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := swf.Write(f, raw); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if err := run(out, 0, 7, 3600, false, in); err != nil {
+		t.Fatal(err)
+	}
+	g, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	cleaned, err := swf.Parse(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cleaned.Jobs) != 1 || cleaned.Jobs[0].Status != swf.StatusCompleted {
+		t.Errorf("cleaned trace = %+v", cleaned.Jobs)
+	}
+}
+
+func TestCleanModeMissingInput(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "o.swf"), 0, 7, 3600, false, "/nonexistent.swf"); err == nil {
+		t.Error("missing input should fail")
+	}
+}

@@ -1,0 +1,18 @@
+// Package pacevm is a pure-Go reproduction of "Energy-Aware
+// Application-Centric VM Allocation for HPC Workloads" (Viswanathan,
+// Lee, Rodero, Pompili, Parashar, Gamell — IPPS 2011).
+//
+// PACE-VM implements the paper's proactive, application-centric,
+// energy-aware VM allocation algorithm together with every substrate it
+// depends on: a simulated testbed (server hardware, Xen-like hypervisor,
+// wall-power meter), the HPC benchmark suite and profiling toolchain,
+// the empirical benchmarking campaign and its model database, the
+// Orlov-style set-partition search, the SWF workload-trace pipeline, and
+// the datacenter discrete-event simulator behind the paper's evaluation.
+//
+// Start with DESIGN.md for the architecture and the per-experiment
+// index, EXPERIMENTS.md for measured-vs-paper results, and
+// examples/quickstart for a minimal end-to-end use of the allocator.
+// The benchmarks in this directory regenerate every table and figure of
+// the paper; cmd/pacevm-paperfigs renders them.
+package pacevm

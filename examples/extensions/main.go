@@ -1,0 +1,115 @@
+// Extensions example: the paper's two future-work directions, working
+// together — heterogeneous server classes with per-class model databases
+// (Sect. V, future work ii) wrapped in a thermal-aware placement layer
+// (future work i).
+//
+//	go run ./examples/extensions
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pacevm/internal/core"
+	"pacevm/internal/hetero"
+	"pacevm/internal/hw"
+	"pacevm/internal/model"
+	"pacevm/internal/strategy"
+	"pacevm/internal/thermal"
+	"pacevm/internal/units"
+	"pacevm/internal/vmm"
+	"pacevm/internal/workload"
+)
+
+func main() {
+	// Benchmark two hardware classes: the paper's X3220 testbed and a
+	// dual-socket box. Each gets its own campaign and model database.
+	smallCfg := vmm.DefaultConfig()
+	smallClass, err := hetero.BuildClass("x3220", smallCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bigCfg := vmm.DefaultConfig()
+	bigCfg.Spec = hw.DualX5470()
+	bigClass, err := hetero.BuildClass("2x-x5470", bigCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("class %-9s: OS(cpu)=%d, full-load %.0fW\n",
+		smallClass.Name, smallClass.DB.Aux().OS(workload.ClassCPU), float64(smallCfg.Spec.MaxPower()))
+	fmt.Printf("class %-9s: OS(cpu)=%d, full-load %.0fW\n",
+		bigClass.Name, bigClass.DB.Aux().OS(workload.ClassCPU), float64(bigCfg.Spec.MaxPower()))
+
+	// A four-server machine room: servers 0-2 are small, server 3 is the
+	// big box.
+	fleet, err := hetero.NewFleet([]hetero.Class{smallClass, bigClass}, []int{0, 0, 0, 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	het, err := hetero.NewAllocator(fleet, core.GoalBalanced)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Thermal layer: server 2 sits in a hot spot (poor airflow), so its
+	// self-heating coefficient is three times its peers'.
+	room, err := thermal.Uniform(4, 18, 21.5, 0.004, 0.0008)
+	if err != nil {
+		log.Fatal(err)
+	}
+	room.Recirculation[2][2] = 0.012
+	therm := &thermal.Strategy{
+		Base:  het,
+		Model: room,
+		DB:    smallClass.DB, // thermal pricing uses the common class DB
+	}
+	fmt.Printf("\nplacement strategy: %s (redline %v)\n\n", therm.Name(), room.Redline)
+
+	// Place a stream of jobs and watch where they land.
+	servers := []strategy.Server{{ID: 0}, {ID: 1}, {ID: 2}, {ID: 3}}
+	allocs := make([]model.Key, 4)
+	ref := smallClass.DB.Aux().RefTime[workload.ClassCPU]
+	for job := 0; job < 5; job++ {
+		vms := make([]core.VMRequest, 2)
+		for i := range vms {
+			vms[i] = core.VMRequest{
+				ID:          fmt.Sprintf("j%d-%d", job, i),
+				Class:       workload.Classes[job%3],
+				NominalTime: ref,
+				MaxTime:     ref * units.Seconds(2.5),
+			}
+		}
+		assign, ok := therm.Place(servers, vms)
+		if !ok {
+			fmt.Printf("job %d: queued (no thermally safe placement)\n", job)
+			continue
+		}
+		for i, a := range assign {
+			allocs[a] = allocs[a].Add(model.KeyFor(vms[i].Class, 1))
+			servers[a].Alloc = allocs[a]
+		}
+		fmt.Printf("job %d (%v): servers %v\n", job, vms[0].Class, assign)
+	}
+
+	// Report the predicted thermal state.
+	powers := make([]units.Watts, 4)
+	for i, a := range allocs {
+		p, err := thermal.PowerOf(smallClass.DB, a, 125)
+		if err != nil {
+			log.Fatal(err)
+		}
+		powers[i] = p
+	}
+	inlets, err := room.Inlets(powers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	for i := range inlets {
+		hot := ""
+		if i == 2 {
+			hot = "  <- hot spot"
+		}
+		fmt.Printf("server %d: alloc %v, %v, inlet %v%s\n", i, allocs[i], powers[i], inlets[i], hot)
+	}
+}

@@ -1,0 +1,64 @@
+// Profiling example: run the paper's application-profiling methodology
+// (Sect. III.A) over the whole benchmark catalog — execute each workload
+// solo on the simulated testbed, sample its subsystem usage, and derive
+// the intensity labels and the model class the allocator consumes.
+//
+//	go run ./examples/profiling
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"pacevm/internal/profiler"
+	"pacevm/internal/report"
+	"pacevm/internal/subsys"
+	"pacevm/internal/vmm"
+	"pacevm/internal/workload"
+)
+
+func main() {
+	pcfg := profiler.DefaultConfig()
+	vcfg := vmm.DefaultConfig()
+
+	t := report.NewTable("application profiles (thresholds: cpu 0.35, mem 0.50, disk 0.30, net 0.30)",
+		"benchmark", "avg cpu", "avg mem", "avg disk", "avg net", "labels", "class")
+	for _, b := range workload.All() {
+		prof, err := profiler.Run(pcfg, vcfg, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRowf("%s\t%.2f\t%.2f\t%.2f\t%.2f\t%s\t%v",
+			b.Name,
+			prof.Avg[subsys.CPU], prof.Avg[subsys.MEM],
+			prof.Avg[subsys.DISK], prof.Avg[subsys.NET],
+			strings.Join(prof.Labels(), "+"), prof.Class)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Show the discrete demand windows of the paper's Fig. 1 for the
+	// CPU- cum network-intensive workload.
+	prof, err := profiler.Run(pcfg, vcfg, workload.MPINet())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nmpinet intensity over its first 120 s (5 s windows):")
+	for _, pt := range prof.Series {
+		if pt.At > 120 {
+			break
+		}
+		bars := func(x float64) string {
+			n := int(x * 20)
+			if n > 30 {
+				n = 30
+			}
+			return strings.Repeat("#", n)
+		}
+		fmt.Printf("  t=%4.0fs cpu %-14s net %s\n",
+			float64(pt.At), bars(pt.Intensity[subsys.CPU]), bars(pt.Intensity[subsys.NET]))
+	}
+}

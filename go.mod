@@ -1,0 +1,3 @@
+module pacevm
+
+go 1.22

@@ -1,0 +1,671 @@
+// Package cloudsim is the datacenter-level discrete-event simulator of
+// Sect. IV: it replays preprocessed workload traces against a cloud of
+// identical servers, places job requests through a pluggable strategy
+// (first-fit variants or the paper's PROACTIVE algorithm), and accounts
+// execution time and energy with the model database exactly as the
+// paper's Fig. 4 prescribes — whenever a server's resident set changes an
+// interval closes, a VM's progress is the duration-weighted composition
+// of the per-interval model rates, and a server's energy is the
+// duration-weighted sum of per-interval model power, with the paper's
+// fixed 125 W floor while a server is powered on and nothing while it is
+// off.
+//
+// Metrics follow Sect. IV.C: makespan (difference between the earliest
+// submission and the latest completion), energy consumption in Joules,
+// and the percentage of SLA violations (missed maximum-response-time
+// deadlines summed over all applications). Scheduling and provisioning
+// overheads are not modelled, as in the paper.
+package cloudsim
+
+import (
+	"errors"
+	"fmt"
+
+	"pacevm/internal/core"
+	"pacevm/internal/eventq"
+	"pacevm/internal/migrate"
+	"pacevm/internal/model"
+	"pacevm/internal/strategy"
+	"pacevm/internal/trace"
+	"pacevm/internal/units"
+	"pacevm/internal/workload"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// DB is the model database used to price allocations.
+	DB *model.DB
+	// ServerDBs optionally assigns a different model database to
+	// individual servers — the heterogeneous-hardware extension, where
+	// each hardware class carries its own benchmarking campaign. When
+	// provided it must have one entry per server; nil entries fall back
+	// to DB.
+	ServerDBs []*model.DB
+	// Servers is the cloud size (the paper's SMALLER and LARGER clouds
+	// differ only here, by ~15 %).
+	Servers int
+	// Strategy decides placements.
+	Strategy strategy.Strategy
+	// MaxVMsPerServer is the physical admission limit (defaults to 16,
+	// the testbed's base-test ceiling).
+	MaxVMsPerServer int
+	// IdleServerPower is drawn by every provisioned server while it
+	// hosts nothing — the paper "assume[s] a fixed power dissipation of
+	// 125 W when a server" is on, and sizes its clouds so that "in the
+	// SMALLER system there are fewer servers consuming energy". Defaults
+	// to 125 W; set negative to model power-gated (0 W) idle servers
+	// instead.
+	IdleServerPower units.Watts
+	// Consolidator, when non-nil, is invoked after completion events
+	// with a snapshot of the live cloud and may return migration moves
+	// (the dynamic-placement baseline of the paper's related work; see
+	// internal/migrate). Each migrated VM pays MigrationCost as
+	// additional nominal work — the live-migration downtime and
+	// dirty-page slowdown.
+	Consolidator  Consolidator
+	MigrationCost units.Seconds
+	// BackfillDepth loosens the FCFS queue: when the head job cannot be
+	// placed, up to this many jobs behind it are tried (aggressive
+	// backfilling — small jobs may jump ahead and delay the head, the
+	// classic fairness/utilization trade). Zero keeps the paper's strict
+	// FCFS-without-backfilling behaviour.
+	BackfillDepth int
+	// RecordVMs retains the per-VM audit trail in the result.
+	RecordVMs bool
+}
+
+// Consolidator proposes VM migrations for a live cloud snapshot.
+type Consolidator interface {
+	Propose(allocs []model.Key, vms []migrate.VM) (migrate.Plan, error)
+}
+
+// VMRecord is the audit trail of one VM.
+type VMRecord struct {
+	JobID      int
+	Class      workload.Class
+	Server     int
+	Submit     units.Seconds
+	Placed     units.Seconds
+	Completion units.Seconds
+	Deadline   units.Seconds
+	Violated   bool
+}
+
+// Metrics are the evaluation's aggregate outcomes.
+type Metrics struct {
+	// Makespan is the workload execution time: latest completion minus
+	// earliest submission.
+	Makespan units.Seconds
+	// Energy is the total energy consumed by all servers.
+	Energy units.Joules
+	// Violations counts VMs that missed their response-time deadline;
+	// TotalVMs and TotalJobs size the workload.
+	Violations int
+	TotalVMs   int
+	TotalJobs  int
+	// AvgResponse and AvgWait are per-VM means.
+	AvgResponse units.Seconds
+	AvgWait     units.Seconds
+	// PeakActiveServers is the high-water mark of simultaneously
+	// powered-on servers; ActiveServerSeconds integrates powered-on time.
+	PeakActiveServers   int
+	ActiveServerSeconds float64
+	// Migrations counts VM moves made by the Consolidator;
+	// ServersDrained counts servers its plans emptied.
+	Migrations     int
+	ServersDrained int
+}
+
+// SLAViolationPct is the paper's Fig.-7 metric.
+func (m Metrics) SLAViolationPct() float64 {
+	if m.TotalVMs == 0 {
+		return 0
+	}
+	return 100 * float64(m.Violations) / float64(m.TotalVMs)
+}
+
+// Result is the simulation outcome.
+type Result struct {
+	Metrics
+	// VMs is the per-VM audit trail (only when Config.RecordVMs).
+	VMs []VMRecord
+}
+
+// simVM is one running VM.
+type simVM struct {
+	uid       string
+	jobID     int
+	class     workload.Class
+	remaining float64 // nominal-seconds of work left
+	submit    units.Seconds
+	placed    units.Seconds
+	deadline  units.Seconds // absolute; 0 = unconstrained
+	nominal   units.Seconds
+}
+
+// simServer is one physical server's live state.
+type simServer struct {
+	id         int
+	vms        []*simVM
+	alloc      model.Key
+	lastUpdate units.Seconds
+	energy     units.Joules
+	next       eventq.Handle
+	activeFrom units.Seconds // when the server began hosting; -1 if empty
+	// hostedSeconds accumulates the time spent hosting at least one VM;
+	// the remainder of the workload span is billed at idle power.
+	hostedSeconds float64
+}
+
+// allocInfo caches model-database pricing per allocation key.
+type allocInfo struct {
+	rate  [workload.NumClasses]float64 // nominal-seconds per wall-second
+	power units.Watts
+}
+
+type sim struct {
+	cfg    Config
+	reqs   []trace.Request
+	events eventq.Queue
+	now    units.Seconds
+	srv    []*simServer
+	queue  []int // indices into reqs, FIFO
+	// dbs lists the distinct databases in use; caches and reference
+	// times are kept per database.
+	dbs   []*model.DB
+	cache []map[model.Key]allocInfo
+	refT  [][workload.NumClasses]units.Seconds
+	// dbOf maps a server index to its database index.
+	dbOf []int
+
+	uidSeq      int
+	records     []VMRecord
+	metrics     Metrics
+	responseSum float64
+	waitSum     float64
+	firstSubmit units.Seconds
+	lastFinish  units.Seconds
+}
+
+type evArrival struct{ req int }
+type evCompletion struct{ server int }
+
+// Run simulates the request stream under the configured strategy.
+func Run(cfg Config, reqs []trace.Request) (Result, error) {
+	if cfg.DB == nil {
+		return Result{}, errors.New("cloudsim: nil model database")
+	}
+	if cfg.Servers < 1 {
+		return Result{}, errors.New("cloudsim: need at least one server")
+	}
+	if cfg.Strategy == nil {
+		return Result{}, errors.New("cloudsim: nil strategy")
+	}
+	if cfg.MaxVMsPerServer == 0 {
+		cfg.MaxVMsPerServer = 16
+	}
+	if cfg.MaxVMsPerServer < 1 {
+		return Result{}, errors.New("cloudsim: non-positive MaxVMsPerServer")
+	}
+	switch {
+	case cfg.IdleServerPower == 0:
+		cfg.IdleServerPower = 125
+	case cfg.IdleServerPower < 0:
+		cfg.IdleServerPower = 0
+	}
+	if len(reqs) == 0 {
+		return Result{}, errors.New("cloudsim: empty request stream")
+	}
+	if cfg.ServerDBs != nil && len(cfg.ServerDBs) != cfg.Servers {
+		return Result{}, fmt.Errorf("cloudsim: %d ServerDBs for %d servers", len(cfg.ServerDBs), cfg.Servers)
+	}
+	s := &sim{
+		cfg:         cfg,
+		reqs:        reqs,
+		firstSubmit: reqs[0].Submit,
+	}
+	// Register the distinct databases and map servers onto them.
+	dbIndex := map[*model.DB]int{}
+	register := func(db *model.DB) (int, error) {
+		if idx, ok := dbIndex[db]; ok {
+			return idx, nil
+		}
+		var ref [workload.NumClasses]units.Seconds
+		for _, c := range workload.Classes {
+			ref[c] = db.Aux().RefTime[c]
+			if ref[c] <= 0 {
+				return 0, fmt.Errorf("cloudsim: database has no reference time for %v", c)
+			}
+		}
+		dbIndex[db] = len(s.dbs)
+		s.dbs = append(s.dbs, db)
+		s.cache = append(s.cache, map[model.Key]allocInfo{})
+		s.refT = append(s.refT, ref)
+		return dbIndex[db], nil
+	}
+	s.dbOf = make([]int, cfg.Servers)
+	for i := range s.dbOf {
+		db := cfg.DB
+		if cfg.ServerDBs != nil && cfg.ServerDBs[i] != nil {
+			db = cfg.ServerDBs[i]
+		}
+		idx, err := register(db)
+		if err != nil {
+			return Result{}, err
+		}
+		s.dbOf[i] = idx
+	}
+	s.srv = make([]*simServer, cfg.Servers)
+	for i := range s.srv {
+		s.srv[i] = &simServer{id: i, activeFrom: -1}
+	}
+	for i, r := range reqs {
+		if err := r.Validate(); err != nil {
+			return Result{}, err
+		}
+		if r.Submit < s.firstSubmit {
+			s.firstSubmit = r.Submit
+		}
+		s.events.Schedule(r.Submit, evArrival{req: i})
+		s.metrics.TotalJobs++
+		s.metrics.TotalVMs += r.VMs
+	}
+
+	for {
+		at, ev, ok := s.events.Pop()
+		if !ok {
+			break
+		}
+		s.now = at
+		switch e := ev.(type) {
+		case evArrival:
+			s.queue = append(s.queue, e.req)
+			s.drainQueue()
+		case evCompletion:
+			if err := s.complete(e.server); err != nil {
+				return Result{}, err
+			}
+			if err := s.consolidate(); err != nil {
+				return Result{}, err
+			}
+			s.drainQueue()
+		default:
+			return Result{}, fmt.Errorf("cloudsim: unknown event %T", ev)
+		}
+	}
+	if len(s.queue) > 0 {
+		return Result{}, fmt.Errorf("cloudsim: %d jobs still queued at end of simulation (strategy starved them)", len(s.queue))
+	}
+
+	// Fold per-server energy and active time. Each provisioned server
+	// draws the fixed idle power for every second of the workload span
+	// it spends hosting nothing (while hosting, the model record's
+	// average power — which includes the idle floor — was integrated).
+	span := s.lastFinish - s.firstSubmit
+	for _, sv := range s.srv {
+		if len(sv.vms) != 0 {
+			return Result{}, fmt.Errorf("cloudsim: server %d still hosts %d VMs at end", sv.id, len(sv.vms))
+		}
+		idle := float64(span) - sv.hostedSeconds
+		if idle > 0 {
+			sv.energy += cfg.IdleServerPower.Times(units.Seconds(idle))
+		}
+		s.metrics.Energy += sv.energy
+	}
+	if s.metrics.TotalVMs > 0 {
+		s.metrics.AvgResponse = units.Seconds(s.responseSum / float64(s.metrics.TotalVMs))
+		s.metrics.AvgWait = units.Seconds(s.waitSum / float64(s.metrics.TotalVMs))
+	}
+	s.metrics.Makespan = s.lastFinish - s.firstSubmit
+	return Result{Metrics: s.metrics, VMs: s.records}, nil
+}
+
+// info prices an allocation on a given server, caching database
+// estimates per hardware class.
+func (s *sim) info(server int, k model.Key) (allocInfo, error) {
+	if k.IsZero() {
+		return allocInfo{}, nil
+	}
+	di := s.dbOf[server]
+	if ai, ok := s.cache[di][k]; ok {
+		return ai, nil
+	}
+	rec, err := s.dbs[di].Estimate(k)
+	if err != nil {
+		return allocInfo{}, fmt.Errorf("cloudsim: pricing %v: %w", k, err)
+	}
+	var ai allocInfo
+	ai.power = rec.AvgPower()
+	for _, c := range workload.Classes {
+		ct := rec.ClassTime(c)
+		if ct <= 0 {
+			return allocInfo{}, fmt.Errorf("cloudsim: record %v has no usable time for %v", k, c)
+		}
+		ai.rate[c] = float64(s.refT[di][c]) / float64(ct)
+	}
+	s.cache[di][k] = ai
+	return ai, nil
+}
+
+// advance integrates a server's VM progress and energy up to now.
+func (s *sim) advance(sv *simServer) error {
+	dt := s.now - sv.lastUpdate
+	if dt < 0 {
+		return fmt.Errorf("cloudsim: time ran backwards on server %d", sv.id)
+	}
+	if dt > 0 && len(sv.vms) > 0 {
+		ai, err := s.info(sv.id, sv.alloc)
+		if err != nil {
+			return err
+		}
+		for _, vm := range sv.vms {
+			vm.remaining -= ai.rate[vm.class] * float64(dt)
+		}
+		sv.energy += ai.power.Times(dt)
+	}
+	sv.lastUpdate = s.now
+	return nil
+}
+
+// reschedule recomputes the server's next completion event.
+func (s *sim) reschedule(sv *simServer) error {
+	s.events.Cancel(sv.next)
+	sv.next = eventq.Handle{}
+	if len(sv.vms) == 0 {
+		return nil
+	}
+	ai, err := s.info(sv.id, sv.alloc)
+	if err != nil {
+		return err
+	}
+	best := -1.0
+	for _, vm := range sv.vms {
+		rate := ai.rate[vm.class]
+		if rate <= 0 {
+			return fmt.Errorf("cloudsim: zero progress rate on server %d alloc %v", sv.id, sv.alloc)
+		}
+		rem := vm.remaining
+		if rem < 0 {
+			rem = 0
+		}
+		fin := rem / rate
+		if best < 0 || fin < best {
+			best = fin
+		}
+	}
+	sv.next = s.events.Schedule(s.now+units.Seconds(best), evCompletion{server: sv.id})
+	return nil
+}
+
+// complete handles a server's completion event: it retires every VM whose
+// work has run out.
+func (s *sim) complete(serverIdx int) error {
+	sv := s.srv[serverIdx]
+	if err := s.advance(sv); err != nil {
+		return err
+	}
+	const eps = 1e-6
+	kept := sv.vms[:0]
+	for _, vm := range sv.vms {
+		if vm.remaining > eps {
+			kept = append(kept, vm)
+			continue
+		}
+		sv.alloc = sv.alloc.Add(model.KeyFor(vm.class, -1))
+		s.retire(sv, vm)
+	}
+	sv.vms = kept
+	if len(sv.vms) == 0 && sv.activeFrom >= 0 {
+		hosted := float64(s.now - sv.activeFrom)
+		s.metrics.ActiveServerSeconds += hosted
+		sv.hostedSeconds += hosted
+		sv.activeFrom = -1
+	}
+	return s.reschedule(sv)
+}
+
+// retire records a finished VM's metrics.
+func (s *sim) retire(sv *simServer, vm *simVM) {
+	if s.now > s.lastFinish {
+		s.lastFinish = s.now
+	}
+	response := s.now - vm.submit
+	s.responseSum += float64(response)
+	s.waitSum += float64(vm.placed - vm.submit)
+	violated := vm.deadline > 0 && s.now > vm.deadline
+	if violated {
+		s.metrics.Violations++
+	}
+	if s.cfg.RecordVMs {
+		s.records = append(s.records, VMRecord{
+			JobID:      vm.jobID,
+			Class:      vm.class,
+			Server:     sv.id,
+			Submit:     vm.submit,
+			Placed:     vm.placed,
+			Completion: s.now,
+			Deadline:   vm.deadline,
+			Violated:   violated,
+		})
+	}
+}
+
+// consolidate snapshots the live cloud for the Consolidator and applies
+// the returned migration plan: each moved VM is advanced to now, moved,
+// and charged the migration cost as additional nominal work.
+func (s *sim) consolidate() error {
+	if s.cfg.Consolidator == nil {
+		return nil
+	}
+	allocs := make([]model.Key, len(s.srv))
+	var snapshot []migrate.VM
+	byUID := map[string]*simVM{}
+	for i, sv := range s.srv {
+		// Bring accounting up to now so Remaining values are current.
+		if err := s.advance(sv); err != nil {
+			return err
+		}
+		allocs[i] = sv.alloc
+		for _, vm := range sv.vms {
+			budget := units.Seconds(0)
+			if vm.deadline > 0 {
+				budget = vm.deadline - s.now
+				if budget < 0 {
+					budget = 0 // already violated; free to move
+				}
+			}
+			rem := vm.remaining
+			if rem < 0 {
+				rem = 0
+			}
+			snapshot = append(snapshot, migrate.VM{
+				ID:        vm.uid,
+				Class:     vm.class,
+				Server:    i,
+				Remaining: units.Seconds(rem),
+				Budget:    budget,
+			})
+			byUID[vm.uid] = vm
+		}
+	}
+	if len(snapshot) == 0 {
+		return nil
+	}
+	plan, err := s.cfg.Consolidator.Propose(allocs, snapshot)
+	if err != nil {
+		return fmt.Errorf("cloudsim: consolidator: %w", err)
+	}
+	if len(plan.Moves) == 0 {
+		return nil
+	}
+	touched := map[int]bool{}
+	for _, mv := range plan.Moves {
+		vm := byUID[mv.VMID]
+		if vm == nil || mv.From < 0 || mv.From >= len(s.srv) || mv.To < 0 || mv.To >= len(s.srv) || mv.From == mv.To {
+			return fmt.Errorf("cloudsim: consolidator returned invalid move %+v", mv)
+		}
+		from, to := s.srv[mv.From], s.srv[mv.To]
+		idx := -1
+		for i, resident := range from.vms {
+			if resident == vm {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return fmt.Errorf("cloudsim: move %+v: VM not on source server", mv)
+		}
+		from.vms = append(from.vms[:idx], from.vms[idx+1:]...)
+		from.alloc = from.alloc.Add(model.KeyFor(vm.class, -1))
+		if len(to.vms) == 0 && to.activeFrom < 0 {
+			to.activeFrom = s.now
+		}
+		vm.remaining += float64(s.cfg.MigrationCost)
+		to.vms = append(to.vms, vm)
+		to.alloc = to.alloc.Add(model.KeyFor(vm.class, 1))
+		touched[mv.From] = true
+		touched[mv.To] = true
+		s.metrics.Migrations++
+	}
+	s.metrics.ServersDrained += plan.ServersDrained
+	// Server-order iteration keeps event tie-breaking deterministic (see
+	// tryPlace).
+	for i := 0; i < len(s.srv); i++ {
+		if !touched[i] {
+			continue
+		}
+		sv := s.srv[i]
+		if len(sv.vms) == 0 && sv.activeFrom >= 0 {
+			hosted := float64(s.now - sv.activeFrom)
+			s.metrics.ActiveServerSeconds += hosted
+			sv.hostedSeconds += hosted
+			sv.activeFrom = -1
+		}
+		if err := s.reschedule(sv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drainQueue attempts FIFO placement of waiting jobs, stopping at the
+// first job the strategy cannot place (FCFS without backfilling, so a
+// blocked head preserves submission order). With Config.BackfillDepth
+// set, up to that many jobs behind a blocked head are offered too.
+func (s *sim) drainQueue() {
+	for len(s.queue) > 0 {
+		idx := s.queue[0]
+		if s.tryPlace(idx) {
+			s.queue = s.queue[1:]
+			continue
+		}
+		// Head blocked: backfill behind it if allowed.
+		placedAny := false
+		depth := s.cfg.BackfillDepth
+		for i := 1; i < len(s.queue) && i <= depth; i++ {
+			if s.tryPlace(s.queue[i]) {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				placedAny = true
+				break
+			}
+		}
+		if !placedAny {
+			return
+		}
+	}
+}
+
+// tryPlace asks the strategy to place one request and commits the
+// placement if accepted.
+func (s *sim) tryPlace(idx int) bool {
+	req := s.reqs[idx]
+	views := make([]strategy.Server, len(s.srv))
+	for i, sv := range s.srv {
+		views[i] = strategy.Server{ID: sv.id, Alloc: sv.alloc}
+	}
+	vms := make([]core.VMRequest, req.VMs)
+	for i := range vms {
+		// The allocator's QoS input is the request's maximum execution
+		// time — a static property of the request (Sect. III.D), which is
+		// what bounds how deeply the proactive strategies consolidate.
+		// Whether the response-time deadline (submission + MaxResponse)
+		// was ultimately met is judged at completion.
+		vms[i] = core.VMRequest{
+			ID:          fmt.Sprintf("j%d-%d", req.ID, i),
+			Class:       req.Class,
+			NominalTime: req.NominalTime,
+			MaxTime:     req.MaxResponse,
+		}
+	}
+	assign, ok := s.cfg.Strategy.Place(views, vms)
+	if !ok {
+		return false
+	}
+	if len(assign) != len(vms) {
+		// A strategy bug; refuse the placement rather than corrupt state.
+		return false
+	}
+	// Validate before mutating.
+	added := map[int]int{}
+	for _, a := range assign {
+		if a < 0 || a >= len(s.srv) {
+			return false
+		}
+		added[a]++
+	}
+	for a, n := range added {
+		if s.srv[a].alloc.Total()+n > s.cfg.MaxVMsPerServer {
+			return false
+		}
+	}
+	// Bring every target server's accounting up to now before mutating
+	// its allocation (the closing of a Fig.-4 interval). Iterate in
+	// server order, not map order: rescheduling enqueues events whose
+	// FIFO tie-break among equal timestamps must not depend on map
+	// iteration, or the simulation loses determinism.
+	targets := make([]int, 0, len(added))
+	for a := 0; a < len(s.srv); a++ {
+		if _, ok := added[a]; ok {
+			targets = append(targets, a)
+		}
+	}
+	for _, a := range targets {
+		if err := s.advance(s.srv[a]); err != nil {
+			return false
+		}
+	}
+	deadline := req.Submit + req.MaxResponse
+	for _, a := range assign {
+		sv := s.srv[a]
+		if len(sv.vms) == 0 && sv.activeFrom < 0 {
+			sv.activeFrom = s.now
+		}
+		s.uidSeq++
+		sv.vms = append(sv.vms, &simVM{
+			uid:       fmt.Sprintf("vm%d", s.uidSeq),
+			jobID:     req.ID,
+			class:     req.Class,
+			remaining: float64(req.NominalTime),
+			submit:    req.Submit,
+			placed:    s.now,
+			deadline:  deadline,
+			nominal:   req.NominalTime,
+		})
+		sv.alloc = sv.alloc.Add(model.KeyFor(req.Class, 1))
+	}
+	for _, a := range targets {
+		if err := s.reschedule(s.srv[a]); err != nil {
+			return false
+		}
+	}
+	active := 0
+	for _, sv := range s.srv {
+		if len(sv.vms) > 0 {
+			active++
+		}
+	}
+	if active > s.metrics.PeakActiveServers {
+		s.metrics.PeakActiveServers = active
+	}
+	return true
+}

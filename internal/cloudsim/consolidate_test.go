@@ -1,0 +1,131 @@
+package cloudsim
+
+import (
+	"testing"
+
+	"pacevm/internal/migrate"
+	"pacevm/internal/model"
+	"pacevm/internal/trace"
+	"pacevm/internal/units"
+	"pacevm/internal/workload"
+)
+
+// fragmentingReqs builds a workload that leaves stragglers: pairs of
+// jobs arrive together, one short and one long, so after the short ones
+// finish the cloud is fragmented — consolidation territory.
+func fragmentingReqs(t *testing.T, pairs int) []trace.Request {
+	t.Helper()
+	db := sharedDB(t)
+	ref := db.Aux().RefTime[workload.ClassIO]
+	var reqs []trace.Request
+	for i := 0; i < pairs; i++ {
+		at := units.Seconds(i * 40)
+		reqs = append(reqs,
+			trace.Request{ID: 2*i + 1, Submit: at, Class: workload.ClassIO, VMs: 1,
+				NominalTime: ref / 4, MaxResponse: ref * 5},
+			trace.Request{ID: 2*i + 2, Submit: at, Class: workload.ClassIO, VMs: 1,
+				NominalTime: ref * 2, MaxResponse: ref * 20},
+		)
+	}
+	return reqs
+}
+
+func TestConsolidatorMigratesAndSaves(t *testing.T) {
+	db := sharedDB(t)
+	reqs := fragmentingReqs(t, 6)
+
+	base := Config{DB: db, Servers: 12, Strategy: ff(t, 1), IdleServerPower: -1}
+	plain, err := Run(base, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	withCons := base
+	withCons.Consolidator = &migrate.Planner{DB: db, MigrationCost: 10}
+	withCons.MigrationCost = 10
+	cons, err := Run(withCons, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if cons.Migrations == 0 {
+		t.Fatal("consolidator never migrated on a fragmenting workload")
+	}
+	if cons.ServersDrained == 0 {
+		t.Error("no servers drained")
+	}
+	if plain.Migrations != 0 {
+		t.Error("plain run reported migrations")
+	}
+	// Consolidation powers stragglers' servers down: energy must drop.
+	if cons.Energy >= plain.Energy {
+		t.Errorf("consolidated energy %v not below plain %v", cons.Energy, plain.Energy)
+	}
+	// Everyone still finishes.
+	if cons.TotalVMs != plain.TotalVMs {
+		t.Errorf("consolidated run lost VMs: %d vs %d", cons.TotalVMs, plain.TotalVMs)
+	}
+}
+
+func TestConsolidatorRespectsQoSBudgets(t *testing.T) {
+	db := sharedDB(t)
+	reqs := fragmentingReqs(t, 6)
+	cfg := Config{
+		DB: db, Servers: 12, Strategy: ff(t, 1), IdleServerPower: -1,
+		Consolidator:  &migrate.Planner{DB: db, MigrationCost: 10},
+		MigrationCost: 10,
+		RecordVMs:     true,
+	}
+	res, err := Run(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The workload's deadlines are generous; consolidation must not
+	// create violations.
+	if res.Violations != 0 {
+		t.Errorf("consolidation caused %d violations", res.Violations)
+	}
+}
+
+// badConsolidator returns moves referencing VMs that do not exist.
+type badConsolidator struct{}
+
+func (badConsolidator) Propose(allocs []model.Key, vms []migrate.VM) (migrate.Plan, error) {
+	return migrate.Plan{Moves: []migrate.Move{{VMID: "nope", From: 0, To: 1}}}, nil
+}
+
+func TestBadConsolidatorIsAnError(t *testing.T) {
+	db := sharedDB(t)
+	reqs := fragmentingReqs(t, 2)
+	cfg := Config{DB: db, Servers: 4, Strategy: ff(t, 1), Consolidator: badConsolidator{}}
+	if _, err := Run(cfg, reqs); err == nil {
+		t.Error("invalid consolidator moves should abort the simulation")
+	}
+}
+
+func TestMigrationCostSlowsMovedVMs(t *testing.T) {
+	db := sharedDB(t)
+	reqs := fragmentingReqs(t, 4)
+	run := func(cost units.Seconds) Result {
+		cfg := Config{
+			DB: db, Servers: 8, Strategy: ff(t, 1), IdleServerPower: -1,
+			Consolidator:  &migrate.Planner{DB: db, MigrationCost: cost},
+			MigrationCost: cost,
+		}
+		res, err := Run(cfg, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	cheap := run(1)
+	costly := run(300)
+	if cheap.Migrations == 0 {
+		t.Skip("no migrations triggered; workload too small")
+	}
+	// With a large migration cost the moved VMs take longer overall.
+	if costly.Migrations > 0 && costly.AvgResponse < cheap.AvgResponse {
+		t.Errorf("expensive migrations should not speed responses: %v vs %v",
+			costly.AvgResponse, cheap.AvgResponse)
+	}
+}

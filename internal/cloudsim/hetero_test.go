@@ -1,0 +1,150 @@
+package cloudsim
+
+import (
+	"sync"
+	"testing"
+
+	"pacevm/internal/core"
+	"pacevm/internal/hetero"
+	"pacevm/internal/hw"
+	"pacevm/internal/model"
+	"pacevm/internal/trace"
+	"pacevm/internal/units"
+	"pacevm/internal/vmm"
+	"pacevm/internal/workload"
+)
+
+var (
+	bigOnce sync.Once
+	bigDB   *model.DB
+	bigErr  error
+)
+
+func bigClassDB(t *testing.T) *model.DB {
+	t.Helper()
+	bigOnce.Do(func() {
+		cfg := vmm.DefaultConfig()
+		cfg.Spec = hw.DualX5470()
+		cls, err := hetero.BuildClass("big", cfg)
+		if err != nil {
+			bigErr = err
+			return
+		}
+		bigDB = cls.DB
+	})
+	if bigErr != nil {
+		t.Fatal(bigErr)
+	}
+	return bigDB
+}
+
+// TestHeterogeneousFleetSimulation runs a mixed small/big fleet end to
+// end: per-server databases price progress and power, and the class-aware
+// allocator drives placement.
+func TestHeterogeneousFleetSimulation(t *testing.T) {
+	smallDB := sharedDB(t)
+	big := bigClassDB(t)
+
+	smallClass := hetero.Class{Name: "small", DB: smallDB}
+	bigClass := hetero.Class{Name: "big", DB: big}
+	assign := []int{0, 0, 1} // two small servers, one big
+	fleet, err := hetero.NewFleet([]hetero.Class{smallClass, bigClass}, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	het, err := hetero.NewAllocator(fleet, core.GoalBalanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serverDBs := make([]*model.DB, len(assign))
+	for i, a := range assign {
+		serverDBs[i] = fleet.Classes[a].DB
+	}
+
+	reqs := make([]trace.Request, 12)
+	for i := range reqs {
+		class := workload.Classes[i%3]
+		reqs[i] = trace.Request{
+			ID: i + 1, Submit: units.Seconds(i * 50), Class: class, VMs: 1 + i%3,
+			NominalTime: smallDB.Aux().RefTime[class],
+			MaxResponse: smallDB.Aux().RefTime[class] * 4,
+		}
+	}
+
+	res, err := Run(Config{
+		DB:        smallDB,
+		ServerDBs: serverDBs,
+		Servers:   len(assign),
+		Strategy:  het,
+		RecordVMs: true,
+	}, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, r := range reqs {
+		total += r.VMs
+	}
+	if res.TotalVMs != total {
+		t.Fatalf("completed %d VMs, want %d", res.TotalVMs, total)
+	}
+	// Both hardware classes must have been used.
+	used := map[int]bool{}
+	for _, vm := range res.VMs {
+		used[vm.Server] = true
+	}
+	if !used[2] {
+		t.Error("the big-class server was never used")
+	}
+	if !used[0] && !used[1] {
+		t.Error("no small-class server was used")
+	}
+}
+
+// TestServerDBsValidation checks the fleet wiring is validated.
+func TestServerDBsValidation(t *testing.T) {
+	db := sharedDB(t)
+	reqs := mkReqs(t, 1, workload.ClassCPU, 0)
+	_, err := Run(Config{
+		DB: db, Servers: 2, Strategy: ff(t, 1),
+		ServerDBs: []*model.DB{db}, // wrong length
+	}, reqs)
+	if err == nil {
+		t.Error("mismatched ServerDBs length should fail")
+	}
+}
+
+// TestBigServerRunsFasterUnderLoad verifies the per-server pricing takes
+// effect: the same deep CPU allocation progresses faster on the big
+// class than on the small one.
+func TestBigServerRunsFasterUnderLoad(t *testing.T) {
+	smallDB := sharedDB(t)
+	big := bigClassDB(t)
+	ref := smallDB.Aux().RefTime[workload.ClassCPU]
+
+	run := func(db *model.DB) units.Seconds {
+		reqs := []trace.Request{{
+			ID: 1, Submit: 0, Class: workload.ClassCPU, VMs: 4,
+			NominalTime: ref, MaxResponse: ref * 10,
+		}, {
+			ID: 2, Submit: 0, Class: workload.ClassCPU, VMs: 4,
+			NominalTime: ref, MaxResponse: ref * 10,
+		}}
+		res, err := Run(Config{
+			DB:        smallDB,
+			ServerDBs: []*model.DB{db},
+			Servers:   1,
+			Strategy:  ff(t, 2), // cram all 8 on the one server
+		}, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	onSmall := run(smallDB)
+	onBig := run(big)
+	if onBig >= onSmall {
+		t.Errorf("8 CPU VMs on the big class (%v) should finish before the small class (%v)", onBig, onSmall)
+	}
+}

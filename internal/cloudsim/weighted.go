@@ -1,0 +1,71 @@
+package cloudsim
+
+import (
+	"fmt"
+
+	"pacevm/internal/units"
+)
+
+// The functions in this file are the discrete form of the simulator's
+// interval accounting, stated exactly as the paper's Fig.-4 worked
+// example: "we compute the estimated execution time and energy
+// consumption with the weighted average of the values associated to each
+// interval of time". The continuous event loop in Run generalizes them;
+// the unit tests pin the paper's published numbers
+// (ExecTime_VM1 = 0.7·1200 s + 0.3·1800 s = 1380 s and
+// Energy = 0.35·15 kJ + 0.15·20 kJ + 0.5·12 kJ = 14.25 kJ) to these
+// functions bit for bit.
+
+func checkWeights(weights []float64, n int) error {
+	if len(weights) != n {
+		return fmt.Errorf("cloudsim: %d weights for %d values", len(weights), n)
+	}
+	if n == 0 {
+		return fmt.Errorf("cloudsim: empty weighted average")
+	}
+	sum := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			return fmt.Errorf("cloudsim: negative weight %v", w)
+		}
+		sum += w
+	}
+	if !units.NearlyEqual(sum, 1, 1e-9) {
+		return fmt.Errorf("cloudsim: weights sum to %v, want 1", sum)
+	}
+	return nil
+}
+
+// WeightedExecTime composes a VM's execution time from per-interval
+// estimates: weights are the fractions of the VM's lifetime spent under
+// each allocation, times the model's execution-time estimates for it.
+func WeightedExecTime(weights []float64, times []units.Seconds) (units.Seconds, error) {
+	if err := checkWeights(weights, len(times)); err != nil {
+		return 0, err
+	}
+	var out units.Seconds
+	for i, w := range weights {
+		if times[i] < 0 {
+			return 0, fmt.Errorf("cloudsim: negative interval time %v", times[i])
+		}
+		out += units.Seconds(w) * times[i]
+	}
+	return out, nil
+}
+
+// WeightedEnergy composes a server's energy over an outcome from
+// per-interval estimates, weighted by each interval's share of the
+// outcome duration.
+func WeightedEnergy(weights []float64, energies []units.Joules) (units.Joules, error) {
+	if err := checkWeights(weights, len(energies)); err != nil {
+		return 0, err
+	}
+	var out units.Joules
+	for i, w := range weights {
+		if energies[i] < 0 {
+			return 0, fmt.Errorf("cloudsim: negative interval energy %v", energies[i])
+		}
+		out += units.Joules(w) * energies[i]
+	}
+	return out, nil
+}

@@ -1,0 +1,85 @@
+package cloudsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pacevm/internal/units"
+)
+
+// TestFig4PaperNumbers pins the paper's Fig.-4 worked example exactly:
+// "the execution time of VM1 will be computed considering the relative
+// weight of each allocation (70% of allocation A and 30% of allocation
+// B) as follows: ExecTime_VM1 = 0.7·1200s + 0.3·1800s = 1380s and the
+// energy consumption for the whole outcome will be:
+// Energy = 0.35·15KJ + 0.15·20KJ + 0.5·12KJ = 14.25KJ".
+func TestFig4PaperNumbers(t *testing.T) {
+	execTime, err := WeightedExecTime(
+		[]float64{0.7, 0.3},
+		[]units.Seconds{1200, 1800},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if execTime != 1380 {
+		t.Errorf("ExecTime_VM1 = %v, want the paper's 1380 s", execTime)
+	}
+
+	energy, err := WeightedEnergy(
+		[]float64{0.35, 0.15, 0.5},
+		[]units.Joules{15000, 20000, 12000},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if energy != 14250 {
+		t.Errorf("Energy = %v, want the paper's 14.25 kJ", energy)
+	}
+}
+
+func TestWeightedValidation(t *testing.T) {
+	if _, err := WeightedExecTime([]float64{0.5}, []units.Seconds{1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := WeightedExecTime(nil, nil); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := WeightedExecTime([]float64{0.5, 0.4}, []units.Seconds{1, 2}); err == nil {
+		t.Error("weights not summing to 1 should fail")
+	}
+	if _, err := WeightedExecTime([]float64{1.5, -0.5}, []units.Seconds{1, 2}); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if _, err := WeightedExecTime([]float64{1}, []units.Seconds{-1}); err == nil {
+		t.Error("negative time should fail")
+	}
+	if _, err := WeightedEnergy([]float64{1}, []units.Joules{-1}); err == nil {
+		t.Error("negative energy should fail")
+	}
+}
+
+func TestWeightedBoundsProperty(t *testing.T) {
+	// A weighted average lies within [min, max] of its inputs.
+	f := func(raw [4]uint16) bool {
+		times := make([]units.Seconds, len(raw))
+		lo, hi := units.Seconds(raw[0]), units.Seconds(raw[0])
+		for i, r := range raw {
+			times[i] = units.Seconds(r)
+			if times[i] < lo {
+				lo = times[i]
+			}
+			if times[i] > hi {
+				hi = times[i]
+			}
+		}
+		w := []float64{0.25, 0.25, 0.25, 0.25}
+		got, err := WeightedExecTime(w, times)
+		if err != nil {
+			return false
+		}
+		return got >= lo-1e-9 && got <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,498 @@
+// Package core implements the paper's contribution: the proactive,
+// application-centric, energy-aware VM allocation algorithm of Sect.
+// III.D (Fig. 3).
+//
+// Given (i) the model database built by the benchmarking campaign,
+// (ii) the auxiliary base-test values, (iii) a set of VMs with their
+// application profiles and maximum execution times (QoS guarantees), and
+// (iv) an optimization goal α — α weighting energy and 1−α weighting
+// performance — the allocator searches the set partitions of the VM set
+// (via the Orlov-style generator in internal/partition), places each
+// block of each partition on the best server given the servers' current
+// allocations, prices every candidate through model-database lookups, and
+// returns the partition/placement that best matches the goal while
+// satisfying the QoS constraints.
+//
+// Following the paper, ties between equally ranked candidates select "the
+// first server of the list", and the whole search is deliberately brute
+// force — the paper chose exhaustive search "to demonstrate and study the
+// potential of application-centric proactive VM allocation". Two exact
+// reductions keep the brute force cheap: partitions whose block structure
+// is identical up to interchangeable VMs (same class, nominal time and
+// QoS bound) are evaluated once, and servers whose current allocation is
+// identical are evaluated once per block.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"pacevm/internal/model"
+	"pacevm/internal/partition"
+	"pacevm/internal/units"
+	"pacevm/internal/workload"
+)
+
+// ErrInfeasible is returned when no partition/placement satisfies the
+// QoS constraints on the given servers.
+var ErrInfeasible = errors.New("core: no feasible allocation")
+
+// VMRequest describes one VM to place.
+type VMRequest struct {
+	// ID identifies the VM for the caller (job id + index, typically).
+	ID string
+	// Class is the application profile from the profiler, "specified by
+	// the user in the job definition" per Sect. III.A's assumption.
+	Class workload.Class
+	// NominalTime is the application's solo execution time on the
+	// reference server; database times are scaled by
+	// NominalTime/RefTime(Class) to price this particular VM.
+	NominalTime units.Seconds
+	// MaxTime is the QoS guarantee: the maximum acceptable execution
+	// time. Zero means unconstrained.
+	MaxTime units.Seconds
+}
+
+func (v VMRequest) validate() error {
+	if !v.Class.Valid() {
+		return fmt.Errorf("core: VM %q has invalid class", v.ID)
+	}
+	if v.NominalTime <= 0 {
+		return fmt.Errorf("core: VM %q has non-positive nominal time", v.ID)
+	}
+	if v.MaxTime < 0 {
+		return fmt.Errorf("core: VM %q has negative QoS bound", v.ID)
+	}
+	return nil
+}
+
+// ServerState is a server's identity and current resident allocation.
+type ServerState struct {
+	ID    int
+	Alloc model.Key
+}
+
+// Goal is the optimization goal: Alpha ∈ [0,1] weights energy
+// minimization, 1−Alpha weights execution-time minimization (Sect.
+// III.D). The paper's evaluated variants are PA-1 (energy), PA-0
+// (performance) and PA-0.5 (tradeoff).
+type Goal struct {
+	Alpha float64
+}
+
+// The paper's evaluated goals.
+var (
+	GoalEnergy      = Goal{Alpha: 1}
+	GoalPerformance = Goal{Alpha: 0}
+	GoalBalanced    = Goal{Alpha: 0.5}
+)
+
+func (g Goal) validate() error {
+	if g.Alpha < 0 || g.Alpha > 1 {
+		return fmt.Errorf("core: alpha %v out of [0,1]", g.Alpha)
+	}
+	return nil
+}
+
+// Config parameterizes an Allocator.
+type Config struct {
+	// DB is the model database.
+	DB *model.DB
+	// MaxVMsPerServer caps any server's resident VM count after
+	// placement. Zero defaults to the database grid bound.
+	MaxVMsPerServer int
+	// RelaxQoS disregards the QoS guarantees, "which might not be
+	// acceptable for a production system" (Sect. III.D) but is needed to
+	// make progress when a request can never meet its bound.
+	RelaxQoS bool
+	// PerClassBound caps the per-class VM count a server may reach after
+	// placement. A zero entry defaults to the class's optimal scenario
+	// OS = max(OSP, OSE) from the auxiliary base-test data — the paper's
+	// combined-test grid is bounded exactly there (Sect. III.B), so its
+	// allocator can never consolidate a class beyond its measured
+	// optimum. A negative entry disables the bound for that class
+	// (useful for ablations).
+	PerClassBound [workload.NumClasses]int
+}
+
+// Allocator runs the paper's allocation algorithm.
+type Allocator struct {
+	cfg Config
+}
+
+// NewAllocator validates the configuration and returns an allocator.
+func NewAllocator(cfg Config) (*Allocator, error) {
+	if cfg.DB == nil {
+		return nil, errors.New("core: nil model database")
+	}
+	if cfg.MaxVMsPerServer < 0 {
+		return nil, errors.New("core: negative MaxVMsPerServer")
+	}
+	if cfg.MaxVMsPerServer == 0 {
+		m := cfg.DB.MaxKey()
+		cap := m.NCPU
+		if m.NMEM > cap {
+			cap = m.NMEM
+		}
+		if m.NIO > cap {
+			cap = m.NIO
+		}
+		cfg.MaxVMsPerServer = cap
+	}
+	aux := cfg.DB.Aux()
+	for _, c := range workload.Classes {
+		switch {
+		case cfg.PerClassBound[c] == 0:
+			cfg.PerClassBound[c] = aux.OS(c)
+		case cfg.PerClassBound[c] < 0:
+			cfg.PerClassBound[c] = cfg.MaxVMsPerServer
+		}
+	}
+	return &Allocator{cfg: cfg}, nil
+}
+
+// Placement is one block of the chosen partition assigned to a server.
+type Placement struct {
+	ServerID int
+	VMs      []VMRequest
+	// NewAlloc is the server's allocation after the block arrives.
+	NewAlloc model.Key
+	// EstTime is the estimated execution time of the block (the slowest
+	// VM in it under the new allocation).
+	EstTime units.Seconds
+	// EstEnergy is the marginal energy attributed to the block: the
+	// server's power increase (including the 125 W activation cost of a
+	// powered-down server) integrated over the block's estimated time.
+	EstEnergy units.Joules
+}
+
+// Allocation is the algorithm's output: "a set of partitions and
+// allocations of the VMs in the servers".
+type Allocation struct {
+	Placements []Placement
+	// EstTime is the estimated execution time of the whole request (max
+	// over placements).
+	EstTime units.Seconds
+	// EstEnergy is the total marginal energy over placements.
+	EstEnergy units.Joules
+}
+
+// EstimateVM prices one VM of the given request under an allocation: the
+// database's per-class time under alloc, scaled to the VM's nominal
+// length.
+func (a *Allocator) EstimateVM(alloc model.Key, vm VMRequest) (units.Seconds, error) {
+	if err := vm.validate(); err != nil {
+		return 0, err
+	}
+	rec, err := a.cfg.DB.Estimate(alloc)
+	if err != nil {
+		return 0, err
+	}
+	ref := a.cfg.DB.Aux().RefTime[vm.Class]
+	if ref <= 0 {
+		return 0, fmt.Errorf("core: no reference time for class %v", vm.Class)
+	}
+	return rec.ClassTime(vm.Class) * vm.NominalTime / ref, nil
+}
+
+// FitsAlone reports whether the VM meets its QoS bound when placed alone
+// on an empty server — if not, no allocation can ever satisfy it.
+func (a *Allocator) FitsAlone(vm VMRequest) bool {
+	if vm.MaxTime <= 0 {
+		return true
+	}
+	est, err := a.EstimateVM(model.KeyFor(vm.Class, 1), vm)
+	return err == nil && est <= vm.MaxTime
+}
+
+// candidate is one fully-placed partition under evaluation.
+type candidate struct {
+	placements []Placement
+	time       units.Seconds
+	energy     units.Joules
+}
+
+// Allocate runs the brute-force search and returns the best allocation
+// for the goal, or ErrInfeasible when no candidate satisfies QoS.
+func (a *Allocator) Allocate(goal Goal, servers []ServerState, vms []VMRequest) (Allocation, error) {
+	if err := goal.validate(); err != nil {
+		return Allocation{}, err
+	}
+	if len(servers) == 0 {
+		return Allocation{}, errors.New("core: no servers")
+	}
+	if len(vms) == 0 {
+		return Allocation{}, errors.New("core: no VMs to place")
+	}
+	for _, vm := range vms {
+		if err := vm.validate(); err != nil {
+			return Allocation{}, err
+		}
+	}
+	for _, s := range servers {
+		if !s.Alloc.Valid() {
+			return Allocation{}, fmt.Errorf("core: server %d has invalid allocation %v", s.ID, s.Alloc)
+		}
+	}
+
+	var cands []candidate
+	seen := map[string]bool{}
+	_, err := partition.ForEach(len(vms), func(blocks [][]int) bool {
+		sig := partitionSignature(vms, blocks)
+		if seen[sig] {
+			return true
+		}
+		seen[sig] = true
+		if cand, ok := a.evalPartition(goal, servers, vms, blocks); ok {
+			cands = append(cands, cand)
+		}
+		return true
+	})
+	if err != nil {
+		return Allocation{}, err
+	}
+	if len(cands) == 0 {
+		return Allocation{}, ErrInfeasible
+	}
+
+	best := pickBest(goal, cands)
+	return Allocation{
+		Placements: best.placements,
+		EstTime:    best.time,
+		EstEnergy:  best.energy,
+	}, nil
+}
+
+// pickBest normalizes candidate times and energies to their maxima and
+// selects the minimum α-weighted score, keeping the earliest candidate on
+// ties (deterministic enumeration order → the paper's first-of-the-list
+// tie break).
+func pickBest(goal Goal, cands []candidate) candidate {
+	var maxT units.Seconds
+	var maxE units.Joules
+	for _, c := range cands {
+		if c.time > maxT {
+			maxT = c.time
+		}
+		if c.energy > maxE {
+			maxE = c.energy
+		}
+	}
+	bestScore := 0.0
+	bestIdx := -1
+	for i, c := range cands {
+		tn, en := 0.0, 0.0
+		if maxT > 0 {
+			tn = float64(c.time) / float64(maxT)
+		}
+		if maxE > 0 {
+			en = float64(c.energy) / float64(maxE)
+		}
+		score := goal.Alpha*en + (1-goal.Alpha)*tn
+		if bestIdx < 0 || score < bestScore-1e-12 {
+			bestScore, bestIdx = score, i
+		}
+	}
+	return cands[bestIdx]
+}
+
+// evalPartition greedily places every block of the partition on its
+// best-scoring feasible server and prices the result. ok is false when
+// some block has no feasible server.
+func (a *Allocator) evalPartition(goal Goal, servers []ServerState, vms []VMRequest, blocks [][]int) (candidate, bool) {
+	extra := make(map[int]model.Key) // server index -> tentative additions
+	placedVMs := make(map[int][]VMRequest)
+	var cand candidate
+
+	for _, block := range blocks {
+		blockVMs := make([]VMRequest, len(block))
+		var blockKey model.Key
+		for i, idx := range block {
+			blockVMs[i] = vms[idx]
+			blockKey = blockKey.Add(model.KeyFor(vms[idx].Class, 1))
+		}
+
+		bestIdx := -1
+		var bestPl Placement
+		bestScore := 0.0
+		// Servers with identical effective allocation are equivalent;
+		// evaluate the first of each group only.
+		evaluated := map[model.Key]bool{}
+		type option struct {
+			idx    int
+			pl     Placement
+			before model.Key
+		}
+		var options []option
+		for si, s := range servers {
+			base := s.Alloc.Add(extra[si])
+			if evaluated[base] {
+				continue
+			}
+			evaluated[base] = true
+			pl, ok := a.evalBlock(base, blockKey, blockVMs, placedVMs[si])
+			if !ok {
+				continue
+			}
+			pl.ServerID = s.ID
+			options = append(options, option{idx: si, pl: pl, before: base})
+		}
+		if len(options) == 0 {
+			return candidate{}, false
+		}
+		// Normalize within the block's options and pick the best.
+		var maxT units.Seconds
+		var maxE units.Joules
+		for _, o := range options {
+			if o.pl.EstTime > maxT {
+				maxT = o.pl.EstTime
+			}
+			if o.pl.EstEnergy > maxE {
+				maxE = o.pl.EstEnergy
+			}
+		}
+		for _, o := range options {
+			tn, en := 0.0, 0.0
+			if maxT > 0 {
+				tn = float64(o.pl.EstTime) / float64(maxT)
+			}
+			if maxE > 0 {
+				en = float64(o.pl.EstEnergy) / float64(maxE)
+			}
+			// The block-level choice honors the same α as the
+			// allocation-level ranking.
+			score := goal.Alpha*en + (1-goal.Alpha)*tn
+			if bestIdx < 0 || score < bestScore-1e-12 {
+				bestScore, bestIdx, bestPl = score, o.idx, o.pl
+			}
+		}
+		extra[bestIdx] = extra[bestIdx].Add(blockKey)
+		placedVMs[bestIdx] = append(placedVMs[bestIdx], blockVMs...)
+		cand.placements = append(cand.placements, bestPl)
+		cand.energy += bestPl.EstEnergy
+		if bestPl.EstTime > cand.time {
+			cand.time = bestPl.EstTime
+		}
+	}
+	return cand, true
+}
+
+// EvaluateBlock prices adding the given VMs as one co-located block to a
+// server whose current allocation is base: the estimated execution time
+// of the block's slowest VM under the resulting allocation and the
+// marginal energy of the move. ok is false when the placement is
+// inadmissible (capacity, per-class bound, QoS, or unpriceable
+// allocation). This is the pricing primitive the heterogeneity extension
+// composes per server class.
+func (a *Allocator) EvaluateBlock(base model.Key, vms []VMRequest) (Placement, bool) {
+	var blockKey model.Key
+	for _, vm := range vms {
+		if vm.validate() != nil {
+			return Placement{}, false
+		}
+		blockKey = blockKey.Add(model.KeyFor(vm.Class, 1))
+	}
+	if blockKey.IsZero() || !base.Valid() {
+		return Placement{}, false
+	}
+	return a.evalBlock(base, blockKey, vms, nil)
+}
+
+// evalBlock prices adding blockKey to a server currently at base, and
+// checks QoS for both the new block and any VMs tentatively placed there
+// earlier in this partition.
+func (a *Allocator) evalBlock(base, blockKey model.Key, blockVMs, alreadyPlaced []VMRequest) (Placement, bool) {
+	after := base.Add(blockKey)
+	if after.Total() > a.cfg.MaxVMsPerServer {
+		return Placement{}, false
+	}
+	for _, c := range workload.Classes {
+		if after.Count(c) > a.cfg.PerClassBound[c] {
+			return Placement{}, false
+		}
+	}
+	recAfter, err := a.cfg.DB.Estimate(after)
+	if err != nil {
+		return Placement{}, false
+	}
+
+	var blockTime units.Seconds
+	aux := a.cfg.DB.Aux()
+	estOf := func(vm VMRequest) (units.Seconds, bool) {
+		ref := aux.RefTime[vm.Class]
+		if ref <= 0 {
+			return 0, false
+		}
+		return recAfter.ClassTime(vm.Class) * vm.NominalTime / ref, true
+	}
+	for _, vm := range blockVMs {
+		est, ok := estOf(vm)
+		if !ok {
+			return Placement{}, false
+		}
+		if !a.cfg.RelaxQoS && vm.MaxTime > 0 && est > vm.MaxTime {
+			return Placement{}, false
+		}
+		if est > blockTime {
+			blockTime = est
+		}
+	}
+	for _, vm := range alreadyPlaced {
+		est, ok := estOf(vm)
+		if !ok {
+			return Placement{}, false
+		}
+		if !a.cfg.RelaxQoS && vm.MaxTime > 0 && est > vm.MaxTime {
+			return Placement{}, false
+		}
+	}
+
+	// Marginal energy is the difference between the model's whole-outcome
+	// energies before and after the block arrives. Unlike a power-delta
+	// heuristic this prices the slowdown the new block inflicts on the
+	// server's resident VMs (their outcome stretches, and the stretched
+	// outcome's energy is exactly what the database measured), which is
+	// what keeps the energy goal from over-consolidating past the
+	// contention knee.
+	var beforeEnergy units.Joules
+	if !base.IsZero() {
+		recBefore, err := a.cfg.DB.Estimate(base)
+		if err != nil {
+			return Placement{}, false
+		}
+		beforeEnergy = recBefore.Energy
+	}
+	deltaE := recAfter.Energy - beforeEnergy
+	if deltaE < 0 {
+		deltaE = 0
+	}
+	return Placement{
+		VMs:       blockVMs,
+		NewAlloc:  after,
+		EstTime:   blockTime,
+		EstEnergy: deltaE,
+	}, true
+}
+
+// partitionSignature canonicalizes a partition of interchangeable VMs:
+// two partitions with the same multiset of block compositions (by class,
+// nominal time and QoS bound) are equivalent and evaluated once. For a
+// single-profile job this reduces the Bell-number search to integer
+// partitions, the reduction the paper's efficiency citation [21] is
+// about.
+func partitionSignature(vms []VMRequest, blocks [][]int) string {
+	blockSigs := make([]string, len(blocks))
+	for i, block := range blocks {
+		items := make([]string, len(block))
+		for j, idx := range block {
+			vm := vms[idx]
+			items[j] = fmt.Sprintf("%d:%g:%g", int(vm.Class), float64(vm.NominalTime), float64(vm.MaxTime))
+		}
+		sort.Strings(items)
+		blockSigs[i] = strings.Join(items, ",")
+	}
+	sort.Strings(blockSigs)
+	return strings.Join(blockSigs, "|")
+}

@@ -1,0 +1,113 @@
+// Package eventq implements the future-event list used by the PACE-VM
+// discrete-event simulators: a binary min-heap of timestamped events with
+// stable FIFO ordering among simultaneous events and O(log n) cancellation
+// by handle.
+//
+// Stable ordering matters for reproducibility: when a job arrival and a
+// job completion carry the same timestamp the simulator must process them
+// in a deterministic order, otherwise placement decisions (and therefore
+// every downstream metric) vary between runs.
+package eventq
+
+import (
+	"container/heap"
+
+	"pacevm/internal/units"
+)
+
+// Event is the payload scheduled on a Queue.
+type Event interface{}
+
+// Handle identifies a scheduled event for cancellation. Handles are valid
+// until the event is popped or cancelled.
+type Handle struct {
+	item *item
+}
+
+// Valid reports whether the handle still refers to a pending event.
+func (h Handle) Valid() bool { return h.item != nil && h.item.index >= 0 }
+
+type item struct {
+	at    units.Seconds
+	seq   uint64
+	ev    Event
+	index int // heap index; -1 once removed
+}
+
+type itemHeap []*item
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h itemHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *itemHeap) Push(x any) {
+	it := x.(*item)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+func (h *itemHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	*h = old[:n-1]
+	return it
+}
+
+// Queue is a future-event list. The zero value is an empty queue ready to
+// use. Queue is not safe for concurrent use; the simulators are
+// single-threaded per replication and parallelize across replications.
+type Queue struct {
+	heap itemHeap
+	seq  uint64
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// Schedule adds ev at virtual time at and returns a cancellation handle.
+func (q *Queue) Schedule(at units.Seconds, ev Event) Handle {
+	it := &item{at: at, seq: q.seq, ev: ev}
+	q.seq++
+	heap.Push(&q.heap, it)
+	return Handle{item: it}
+}
+
+// Cancel removes the event identified by h if it is still pending, and
+// reports whether anything was removed.
+func (q *Queue) Cancel(h Handle) bool {
+	if !h.Valid() {
+		return false
+	}
+	heap.Remove(&q.heap, h.item.index)
+	return true
+}
+
+// Peek returns the timestamp of the earliest pending event without
+// removing it. ok is false when the queue is empty.
+func (q *Queue) Peek() (at units.Seconds, ok bool) {
+	if len(q.heap) == 0 {
+		return 0, false
+	}
+	return q.heap[0].at, true
+}
+
+// Pop removes and returns the earliest pending event and its timestamp.
+// ok is false when the queue is empty. Among equal timestamps, events pop
+// in the order they were scheduled.
+func (q *Queue) Pop() (at units.Seconds, ev Event, ok bool) {
+	if len(q.heap) == 0 {
+		return 0, nil, false
+	}
+	it := heap.Pop(&q.heap).(*item)
+	return it.at, it.ev, true
+}

@@ -1,0 +1,177 @@
+package eventq
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pacevm/internal/units"
+)
+
+func TestEmptyQueue(t *testing.T) {
+	var q Queue
+	if q.Len() != 0 {
+		t.Errorf("zero queue Len = %d", q.Len())
+	}
+	if _, ok := q.Peek(); ok {
+		t.Error("Peek on empty queue reported ok")
+	}
+	if _, _, ok := q.Pop(); ok {
+		t.Error("Pop on empty queue reported ok")
+	}
+}
+
+func TestOrdering(t *testing.T) {
+	var q Queue
+	q.Schedule(3, "c")
+	q.Schedule(1, "a")
+	q.Schedule(2, "b")
+	want := []string{"a", "b", "c"}
+	wantAt := []units.Seconds{1, 2, 3}
+	for i, w := range want {
+		at, ev, ok := q.Pop()
+		if !ok || ev.(string) != w || at != wantAt[i] {
+			t.Fatalf("pop %d = (%v,%v,%v), want (%v,%q,true)", i, at, ev, ok, wantAt[i], w)
+		}
+	}
+}
+
+func TestFIFOAmongTies(t *testing.T) {
+	var q Queue
+	for i := 0; i < 10; i++ {
+		q.Schedule(5, i)
+	}
+	for i := 0; i < 10; i++ {
+		_, ev, ok := q.Pop()
+		if !ok || ev.(int) != i {
+			t.Fatalf("tie pop %d = %v", i, ev)
+		}
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	var q Queue
+	q.Schedule(7, "x")
+	at, ok := q.Peek()
+	if !ok || at != 7 {
+		t.Fatalf("Peek = %v,%v", at, ok)
+	}
+	if q.Len() != 1 {
+		t.Error("Peek removed the event")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var q Queue
+	h1 := q.Schedule(1, "a")
+	q.Schedule(2, "b")
+	if !q.Cancel(h1) {
+		t.Fatal("Cancel of pending event returned false")
+	}
+	if q.Cancel(h1) {
+		t.Fatal("double Cancel returned true")
+	}
+	_, ev, _ := q.Pop()
+	if ev.(string) != "b" {
+		t.Fatalf("after cancel popped %v", ev)
+	}
+	if q.Cancel(Handle{}) {
+		t.Error("Cancel of zero handle returned true")
+	}
+}
+
+func TestCancelMiddle(t *testing.T) {
+	var q Queue
+	var handles []Handle
+	for i := 0; i < 100; i++ {
+		handles = append(handles, q.Schedule(units.Seconds(i), i))
+	}
+	// Cancel all odd events.
+	for i := 1; i < 100; i += 2 {
+		if !q.Cancel(handles[i]) {
+			t.Fatalf("cancel %d failed", i)
+		}
+	}
+	for i := 0; i < 100; i += 2 {
+		_, ev, ok := q.Pop()
+		if !ok || ev.(int) != i {
+			t.Fatalf("expected %d, got %v", i, ev)
+		}
+	}
+	if q.Len() != 0 {
+		t.Errorf("queue not drained: %d left", q.Len())
+	}
+}
+
+func TestHandleValidLifecycle(t *testing.T) {
+	var q Queue
+	h := q.Schedule(1, "a")
+	if !h.Valid() {
+		t.Error("fresh handle invalid")
+	}
+	q.Pop()
+	if h.Valid() {
+		t.Error("handle still valid after pop")
+	}
+}
+
+func TestPopSortedProperty(t *testing.T) {
+	f := func(times []float64) bool {
+		var q Queue
+		clean := times[:0]
+		for _, ts := range times {
+			if math.IsNaN(ts) || math.IsInf(ts, 0) {
+				continue
+			}
+			ts = math.Mod(ts, 1e9)
+			clean = append(clean, ts)
+			q.Schedule(units.Seconds(ts), ts)
+		}
+		var popped []float64
+		for {
+			_, ev, ok := q.Pop()
+			if !ok {
+				break
+			}
+			popped = append(popped, ev.(float64))
+		}
+		if len(popped) != len(clean) {
+			return false
+		}
+		sorted := append([]float64(nil), clean...)
+		sort.Float64s(sorted)
+		for i := range sorted {
+			if popped[i] != sorted[i] {
+				// Ties may reorder equal values, which is fine — values are
+				// equal, so only compare the numbers.
+				if popped[i] != sorted[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterleavedScheduleAndPop(t *testing.T) {
+	var q Queue
+	q.Schedule(10, "late")
+	q.Schedule(1, "early")
+	at, ev, _ := q.Pop()
+	if ev.(string) != "early" || at != 1 {
+		t.Fatalf("got %v at %v", ev, at)
+	}
+	q.Schedule(5, "mid")
+	_, ev, _ = q.Pop()
+	if ev.(string) != "mid" {
+		t.Fatalf("got %v", ev)
+	}
+	_, ev, _ = q.Pop()
+	if ev.(string) != "late" {
+		t.Fatalf("got %v", ev)
+	}
+}

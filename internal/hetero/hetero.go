@@ -1,0 +1,257 @@
+// Package hetero implements the paper's second future-work direction:
+// "extending the solution to be aware of and support heterogeneous
+// server hardware" (Sect. V). The paper's model deliberately covers a
+// single platform and notes that with multiple server configurations the
+// database "should include system characteristics" — this extension
+// realizes that: every server class carries its own benchmarking
+// campaign and model database, and the allocator prices each candidate
+// server with its class's database, so a CPU-heavy job naturally lands
+// on the class whose measured behaviour suits it.
+package hetero
+
+import (
+	"errors"
+	"fmt"
+
+	"pacevm/internal/campaign"
+	"pacevm/internal/core"
+	"pacevm/internal/model"
+	"pacevm/internal/partition"
+	"pacevm/internal/strategy"
+	"pacevm/internal/units"
+	"pacevm/internal/vmm"
+)
+
+// Class is one hardware class: a hypervisor/server configuration plus
+// the model database measured on it.
+type Class struct {
+	Name string
+	VMM  vmm.Config
+	DB   *model.DB
+}
+
+// BuildClass benchmarks a server configuration into a Class by running
+// the campaign against it (full pricing grid).
+func BuildClass(name string, vcfg vmm.Config) (Class, error) {
+	ccfg := campaign.DefaultConfig()
+	ccfg.VMM = vcfg
+	ccfg.FullGridTotal = vcfg.Spec.MaxVMs
+	db, _, err := campaign.Run(ccfg)
+	if err != nil {
+		return Class{}, fmt.Errorf("hetero: benchmarking class %q: %w", name, err)
+	}
+	return Class{Name: name, VMM: vcfg, DB: db}, nil
+}
+
+// Fleet is a heterogeneous cloud: classes plus the class index of each
+// server.
+type Fleet struct {
+	Classes []Class
+	// Assign[i] is the class index of server i (by position in the
+	// server list handed to Place).
+	Assign []int
+}
+
+// NewFleet validates and builds a fleet.
+func NewFleet(classes []Class, assign []int) (*Fleet, error) {
+	if len(classes) == 0 {
+		return nil, errors.New("hetero: no classes")
+	}
+	for i, c := range classes {
+		if c.DB == nil {
+			return nil, fmt.Errorf("hetero: class %d (%q) has no database", i, c.Name)
+		}
+	}
+	if len(assign) == 0 {
+		return nil, errors.New("hetero: empty server assignment")
+	}
+	for i, a := range assign {
+		if a < 0 || a >= len(classes) {
+			return nil, fmt.Errorf("hetero: server %d assigned to unknown class %d", i, a)
+		}
+	}
+	return &Fleet{Classes: classes, Assign: assign}, nil
+}
+
+// Servers returns the fleet size.
+func (f *Fleet) Servers() int { return len(f.Assign) }
+
+// ClassOf returns the class of server i.
+func (f *Fleet) ClassOf(i int) Class { return f.Classes[f.Assign[i]] }
+
+// Allocator is the heterogeneity-aware variant of the paper's algorithm:
+// the same partition search, but each candidate server is priced with
+// its own class's model database. It implements strategy.Strategy.
+type Allocator struct {
+	fleet   *Fleet
+	goal    core.Goal
+	pricers []*core.Allocator // one per class, strict QoS
+	relaxed []*core.Allocator // one per class, QoS disregarded
+}
+
+// NewAllocator builds the allocator for a fleet and a goal.
+func NewAllocator(fleet *Fleet, goal core.Goal) (*Allocator, error) {
+	if fleet == nil {
+		return nil, errors.New("hetero: nil fleet")
+	}
+	if goal.Alpha < 0 || goal.Alpha > 1 {
+		return nil, fmt.Errorf("hetero: alpha %v out of [0,1]", goal.Alpha)
+	}
+	a := &Allocator{fleet: fleet, goal: goal}
+	for _, c := range fleet.Classes {
+		strict, err := core.NewAllocator(core.Config{DB: c.DB})
+		if err != nil {
+			return nil, err
+		}
+		relax, err := core.NewAllocator(core.Config{DB: c.DB, RelaxQoS: true})
+		if err != nil {
+			return nil, err
+		}
+		a.pricers = append(a.pricers, strict)
+		a.relaxed = append(a.relaxed, relax)
+	}
+	return a, nil
+}
+
+// Name implements strategy.Strategy.
+func (a *Allocator) Name() string { return fmt.Sprintf("HET-PA-%g", a.goal.Alpha) }
+
+// Place implements strategy.Strategy: servers are matched to fleet
+// positions by index, so the server list must be the whole fleet in
+// order.
+func (a *Allocator) Place(servers []strategy.Server, vms []core.VMRequest) ([]int, bool) {
+	if len(servers) != a.fleet.Servers() || len(vms) == 0 || len(vms) > partition.MaxN {
+		return nil, false
+	}
+	if assign, ok := a.place(servers, vms, a.pricers); ok {
+		return assign, true
+	}
+	// The paper's relaxation: when no placement satisfies QoS anywhere
+	// (and none ever could), place at the best relaxed score; jobs that
+	// are satisfiable in principle wait instead.
+	satisfiable := true
+	for _, vm := range vms {
+		fits := false
+		for ci := range a.fleet.Classes {
+			if a.pricers[ci].FitsAlone(vm) {
+				fits = true
+				break
+			}
+		}
+		if !fits {
+			satisfiable = false
+			break
+		}
+	}
+	if satisfiable {
+		return nil, false
+	}
+	return a.place(servers, vms, a.relaxed)
+}
+
+// place runs the partition search with the given per-class pricers.
+func (a *Allocator) place(servers []strategy.Server, vms []core.VMRequest, pricers []*core.Allocator) ([]int, bool) {
+	type cand struct {
+		assign []int
+		time   units.Seconds
+		energy units.Joules
+	}
+	var cands []cand
+	_, err := partition.ForEach(len(vms), func(blocks [][]int) bool {
+		assign := make([]int, len(vms))
+		extra := make([]model.Key, len(servers))
+		var total units.Joules
+		var worst units.Seconds
+		for _, block := range blocks {
+			blockVMs := make([]core.VMRequest, len(block))
+			for i, idx := range block {
+				blockVMs[i] = vms[idx]
+			}
+			bestIdx := -1
+			var bestPl core.Placement
+			bestScore := 0.0
+			type option struct {
+				idx int
+				pl  core.Placement
+			}
+			var options []option
+			for si, sv := range servers {
+				base := sv.Alloc.Add(extra[si])
+				pl, ok := pricers[a.fleet.Assign[si]].EvaluateBlock(base, blockVMs)
+				if !ok {
+					continue
+				}
+				options = append(options, option{idx: si, pl: pl})
+			}
+			if len(options) == 0 {
+				return true // partition infeasible; try the next one
+			}
+			var maxT units.Seconds
+			var maxE units.Joules
+			for _, o := range options {
+				if o.pl.EstTime > maxT {
+					maxT = o.pl.EstTime
+				}
+				if o.pl.EstEnergy > maxE {
+					maxE = o.pl.EstEnergy
+				}
+			}
+			for _, o := range options {
+				tn, en := 0.0, 0.0
+				if maxT > 0 {
+					tn = float64(o.pl.EstTime) / float64(maxT)
+				}
+				if maxE > 0 {
+					en = float64(o.pl.EstEnergy) / float64(maxE)
+				}
+				score := a.goal.Alpha*en + (1-a.goal.Alpha)*tn
+				if bestIdx < 0 || score < bestScore-1e-12 {
+					bestScore, bestIdx, bestPl = score, o.idx, o.pl
+				}
+			}
+			var blockKey model.Key
+			for _, vm := range blockVMs {
+				blockKey = blockKey.Add(model.KeyFor(vm.Class, 1))
+			}
+			extra[bestIdx] = extra[bestIdx].Add(blockKey)
+			for _, idx := range block {
+				assign[idx] = servers[bestIdx].ID
+			}
+			total += bestPl.EstEnergy
+			if bestPl.EstTime > worst {
+				worst = bestPl.EstTime
+			}
+		}
+		cands = append(cands, cand{assign: assign, time: worst, energy: total})
+		return true
+	})
+	if err != nil || len(cands) == 0 {
+		return nil, false
+	}
+	var maxT units.Seconds
+	var maxE units.Joules
+	for _, c := range cands {
+		if c.time > maxT {
+			maxT = c.time
+		}
+		if c.energy > maxE {
+			maxE = c.energy
+		}
+	}
+	best := -1
+	bestScore := 0.0
+	for i, c := range cands {
+		tn, en := 0.0, 0.0
+		if maxT > 0 {
+			tn = float64(c.time) / float64(maxT)
+		}
+		if maxE > 0 {
+			en = float64(c.energy) / float64(maxE)
+		}
+		score := a.goal.Alpha*en + (1-a.goal.Alpha)*tn
+		if best < 0 || score < bestScore-1e-12 {
+			bestScore, best = score, i
+		}
+	}
+	return cands[best].assign, true
+}

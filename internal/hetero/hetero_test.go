@@ -1,0 +1,255 @@
+package hetero
+
+import (
+	"sync"
+	"testing"
+
+	"pacevm/internal/core"
+	"pacevm/internal/hw"
+	"pacevm/internal/model"
+	"pacevm/internal/strategy"
+	"pacevm/internal/units"
+	"pacevm/internal/vmm"
+	"pacevm/internal/workload"
+)
+
+var (
+	fleetOnce sync.Once
+	small     Class
+	big       Class
+	fleetErr  error
+)
+
+// classes builds the two hardware classes once for the package.
+func classes(t *testing.T) (Class, Class) {
+	t.Helper()
+	fleetOnce.Do(func() {
+		smallCfg := vmm.DefaultConfig()
+		small, fleetErr = BuildClass("x3220", smallCfg)
+		if fleetErr != nil {
+			return
+		}
+		bigCfg := vmm.DefaultConfig()
+		bigCfg.Spec = hw.DualX5470()
+		big, fleetErr = BuildClass("2xx5470", bigCfg)
+	})
+	if fleetErr != nil {
+		t.Fatal(fleetErr)
+	}
+	return small, big
+}
+
+func mkFleet(t *testing.T, assign []int) *Fleet {
+	t.Helper()
+	s, b := classes(t)
+	f, err := NewFleet([]Class{s, b}, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func servers(n int) []strategy.Server {
+	out := make([]strategy.Server, n)
+	for i := range out {
+		out[i] = strategy.Server{ID: i}
+	}
+	return out
+}
+
+func TestDualX5470SpecValid(t *testing.T) {
+	spec := hw.DualX5470()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	x := hw.X3220()
+	if spec.Capacity.Get(0) <= x.Capacity.Get(0) {
+		t.Error("big class should have more cores")
+	}
+	if spec.MaxPower() <= x.MaxPower() {
+		t.Error("big class should draw more at full load")
+	}
+}
+
+func TestBuildClassMeasuresBiggerOptima(t *testing.T) {
+	s, b := classes(t)
+	// The bigger machine should consolidate more CPU VMs before its
+	// per-class optimum: its OS(CPU) must exceed the X3220's.
+	if b.DB.Aux().OS(workload.ClassCPU) <= s.DB.Aux().OS(workload.ClassCPU) {
+		t.Errorf("big-class OS(cpu)=%d not above small-class %d",
+			b.DB.Aux().OS(workload.ClassCPU), s.DB.Aux().OS(workload.ClassCPU))
+	}
+}
+
+func TestNewFleetValidation(t *testing.T) {
+	s, _ := classes(t)
+	if _, err := NewFleet(nil, []int{0}); err == nil {
+		t.Error("no classes should fail")
+	}
+	if _, err := NewFleet([]Class{s}, nil); err == nil {
+		t.Error("no servers should fail")
+	}
+	if _, err := NewFleet([]Class{s}, []int{1}); err == nil {
+		t.Error("unknown class index should fail")
+	}
+	if _, err := NewFleet([]Class{{Name: "x"}}, []int{0}); err == nil {
+		t.Error("class without DB should fail")
+	}
+}
+
+func TestAllocatorValidation(t *testing.T) {
+	f := mkFleet(t, []int{0, 1})
+	if _, err := NewAllocator(nil, core.GoalEnergy); err == nil {
+		t.Error("nil fleet should fail")
+	}
+	if _, err := NewAllocator(f, core.Goal{Alpha: 2}); err == nil {
+		t.Error("bad alpha should fail")
+	}
+	a, err := NewAllocator(f, core.GoalBalanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "HET-PA-0.5" {
+		t.Errorf("Name = %q", a.Name())
+	}
+	if _, ok := a.Place(servers(1), nil); ok {
+		t.Error("mismatched fleet size should be rejected")
+	}
+}
+
+func TestClassPricingDiffers(t *testing.T) {
+	// The same 6-VM CPU block is priced per class: the X3220 cannot even
+	// admit it (its per-class optimum bound is lower), while the
+	// dual-socket box hosts it near solo speed — the measured hardware
+	// difference the extension exists to exploit.
+	s, b := classes(t)
+	strictSmall, err := core.NewAllocator(core.Config{DB: s.DB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strictBig, err := core.NewAllocator(core.Config{DB: b.DB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := s.DB.Aux().RefTime[workload.ClassCPU]
+	block := make([]core.VMRequest, 6)
+	for i := range block {
+		block[i] = core.VMRequest{ID: string(rune('a' + i)), Class: workload.ClassCPU, NominalTime: ref}
+	}
+	if _, ok := strictSmall.EvaluateBlock(model.Key{}, block); ok {
+		t.Error("X3220 admitted a 6-VM CPU block past its per-class optimum")
+	}
+	pl, ok := strictBig.EvaluateBlock(model.Key{}, block)
+	if !ok {
+		t.Fatal("dual-socket class refused a 6-VM CPU block")
+	}
+	if pl.EstTime > ref*units.Seconds(1.3) {
+		t.Errorf("big-class estimate %v too slow for 6 VMs on 8 cores (ref %v)", pl.EstTime, ref)
+	}
+}
+
+func TestEnergyGoalConsidersPowerEnvelope(t *testing.T) {
+	// A single light VM: waking the 210 W-idle dual-socket box is
+	// wasteful, so the energy goal must choose the small server.
+	f := mkFleet(t, []int{0, 1})
+	a, err := NewAllocator(f, core.GoalEnergy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := classes(t)
+	ref := s.DB.Aux().RefTime[workload.ClassIO]
+	vms := []core.VMRequest{{ID: "v", Class: workload.ClassIO, NominalTime: ref}}
+	assign, ok := a.Place(servers(2), vms)
+	if !ok {
+		t.Fatal("placement failed")
+	}
+	if assign[0] != 0 {
+		t.Errorf("energy goal picked the big box for a single light VM: %v", assign)
+	}
+}
+
+func TestPlaceRespectsExistingAllocations(t *testing.T) {
+	f := mkFleet(t, []int{0, 0})
+	a, err := NewAllocator(f, core.GoalPerformance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := classes(t)
+	ref := s.DB.Aux().RefTime[workload.ClassCPU]
+	sv := servers(2)
+	sv[0].Alloc = model.Key{NCPU: 4} // saturated X3220
+	vms := []core.VMRequest{{ID: "v", Class: workload.ClassCPU, NominalTime: ref}}
+	assign, ok := a.Place(sv, vms)
+	if !ok {
+		t.Fatal("placement failed")
+	}
+	if assign[0] != 1 {
+		t.Errorf("placed on the saturated server: %v", assign)
+	}
+}
+
+func TestQueuesWhenSaturated(t *testing.T) {
+	f := mkFleet(t, []int{0})
+	a, err := NewAllocator(f, core.GoalEnergy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := classes(t)
+	ref := s.DB.Aux().RefTime[workload.ClassCPU]
+	sv := servers(1)
+	osc := s.DB.Aux().OS(workload.ClassCPU)
+	sv[0].Alloc = model.KeyFor(workload.ClassCPU, osc)
+	vms := []core.VMRequest{{
+		ID: "v", Class: workload.ClassCPU, NominalTime: ref,
+		MaxTime: ref * units.Seconds(1.5),
+	}}
+	if _, ok := a.Place(sv, vms); ok {
+		t.Error("saturated fleet should queue a satisfiable job")
+	}
+}
+
+func TestRelaxesUnsatisfiableQoS(t *testing.T) {
+	f := mkFleet(t, []int{0, 1})
+	a, err := NewAllocator(f, core.GoalEnergy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := classes(t)
+	ref := s.DB.Aux().RefTime[workload.ClassCPU]
+	vms := []core.VMRequest{{
+		ID: "v", Class: workload.ClassCPU, NominalTime: ref,
+		MaxTime: ref / 10, // impossible anywhere
+	}}
+	if _, ok := a.Place(servers(2), vms); !ok {
+		t.Error("unsatisfiable QoS should be force-placed, not starved")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	f := mkFleet(t, []int{0, 1, 0, 1})
+	a, err := NewAllocator(f, core.GoalBalanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := classes(t)
+	ref := s.DB.Aux().RefTime[workload.ClassMEM]
+	vms := make([]core.VMRequest, 3)
+	for i := range vms {
+		vms[i] = core.VMRequest{ID: string(rune('a' + i)), Class: workload.ClassMEM, NominalTime: ref}
+	}
+	first, ok := a.Place(servers(4), vms)
+	if !ok {
+		t.Fatal("placement failed")
+	}
+	for trial := 0; trial < 5; trial++ {
+		again, ok := a.Place(servers(4), vms)
+		if !ok {
+			t.Fatal("placement failed")
+		}
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatalf("nondeterministic placement: %v vs %v", first, again)
+			}
+		}
+	}
+}

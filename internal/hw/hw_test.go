@@ -1,0 +1,130 @@
+package hw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pacevm/internal/subsys"
+	"pacevm/internal/units"
+)
+
+func TestX3220Valid(t *testing.T) {
+	s := X3220()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("default spec invalid: %v", err)
+	}
+	if s.Capacity.Get(subsys.CPU) != 4 {
+		t.Errorf("X3220 cores = %v, want 4", s.Capacity.Get(subsys.CPU))
+	}
+	if s.RAM != 4096 {
+		t.Errorf("X3220 RAM = %v, want 4096", s.RAM)
+	}
+	if s.IdlePower != 125 {
+		t.Errorf("X3220 idle power = %v, want the paper's 125 W", s.IdlePower)
+	}
+	if s.UsableRAM() != 3584 {
+		t.Errorf("usable RAM = %v, want 3584", s.UsableRAM())
+	}
+}
+
+func TestPowerIdleAndFull(t *testing.T) {
+	s := X3220()
+	if got := s.Power(subsys.Vector{}); got != s.IdlePower {
+		t.Errorf("idle power = %v, want %v", got, s.IdlePower)
+	}
+	full := s.Power(subsys.V(1, 1, 1, 1))
+	if math.Abs(float64(full-s.MaxPower())) > 1e-9 {
+		t.Errorf("full power = %v, want %v", full, s.MaxPower())
+	}
+	if full < 250 || full > 300 {
+		t.Errorf("full power = %v, want an X3220-era 1U figure (250-300 W)", full)
+	}
+}
+
+func TestPowerMonotone(t *testing.T) {
+	s := X3220()
+	prev := units.Watts(0)
+	for u := 0.0; u <= 1.0; u += 0.05 {
+		p := s.Power(subsys.V(u, u, u, u))
+		if p < prev {
+			t.Fatalf("power not monotone at u=%v: %v < %v", u, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestPowerClampsUtilization(t *testing.T) {
+	s := X3220()
+	over := s.Power(subsys.V(5, 5, 5, 5))
+	if math.Abs(float64(over-s.MaxPower())) > 1e-9 {
+		t.Errorf("over-demand power = %v, want clamped %v", over, s.MaxPower())
+	}
+	under := s.Power(subsys.V(-1, -1, -1, -1))
+	if under != s.IdlePower {
+		t.Errorf("negative-demand power = %v, want %v", under, s.IdlePower)
+	}
+}
+
+func TestPowerBoundsProperty(t *testing.T) {
+	s := X3220()
+	f := func(a, b, c, d float64) bool {
+		fix := func(x float64) float64 {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return 0
+			}
+			return math.Mod(x, 3)
+		}
+		p := s.Power(subsys.V(fix(a), fix(b), fix(c), fix(d)))
+		return p >= s.IdlePower && p <= s.MaxPower()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	s := X3220()
+	u := s.Utilization(subsys.V(2, 2500, 320, 1000))
+	want := subsys.V(0.5, 0.5, 1, 0.5)
+	for i := range u {
+		if math.Abs(u[i]-want[i]) > 1e-9 {
+			t.Errorf("utilization = %v, want %v", u, want)
+			break
+		}
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	base := X3220()
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"zero capacity", func(s *Spec) { s.Capacity = subsys.Vector{} }},
+		{"zero cpu", func(s *Spec) { s.Capacity[subsys.CPU] = 0 }},
+		{"negative capacity", func(s *Spec) { s.Capacity[subsys.NET] = -1 }},
+		{"zero RAM", func(s *Spec) { s.RAM = 0 }},
+		{"reserved exceeds RAM", func(s *Spec) { s.RAMReserved = 8192 }},
+		{"negative idle", func(s *Spec) { s.IdlePower = -1 }},
+		{"negative dynamic", func(s *Spec) { s.DynamicPower[subsys.MEM] = -5 }},
+		{"zero MaxVMs", func(s *Spec) { s.MaxVMs = 0 }},
+	}
+	for _, c := range cases {
+		s := base
+		c.mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a bad spec", c.name)
+		}
+	}
+}
+
+func TestPowerExponentDefaultsToLinear(t *testing.T) {
+	s := X3220()
+	s.PowerExponent = [subsys.Count]float64{} // all zero
+	half := s.Power(subsys.V(0.5, 0, 0, 0))
+	want := s.IdlePower + s.DynamicPower[subsys.CPU]/2
+	if math.Abs(float64(half-want)) > 1e-9 {
+		t.Errorf("power with zero exponent = %v, want linear %v", half, want)
+	}
+}

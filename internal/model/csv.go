@@ -1,0 +1,201 @@
+package model
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"pacevm/internal/units"
+	"pacevm/internal/workload"
+)
+
+// The on-disk format follows the paper's choice of "a plain-text file
+// with comma-separated values instead of an actual database management
+// system" (Sect. III.C). The main file holds one row per Table II record;
+// the auxiliary file holds one row per workload class with the optimal
+// scenarios and reference times of Table I.
+
+var csvHeader = []string{
+	"ncpu", "nmem", "nio",
+	"time_s", "avgtimevm_s", "energy_j", "maxpower_w", "edp_js",
+	"time_cpu_s", "time_mem_s", "time_io_s",
+}
+
+var auxHeader = []string{"class", "osp", "ose", "reftime_s"}
+
+// WriteCSV writes the database records in key order.
+func (db *DB) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("model: writing header: %w", err)
+	}
+	for _, r := range db.recs {
+		row := []string{
+			strconv.Itoa(r.NCPU), strconv.Itoa(r.NMEM), strconv.Itoa(r.NIO),
+			fmtF(float64(r.Time)), fmtF(float64(r.AvgTimeVM)),
+			fmtF(float64(r.Energy)), fmtF(float64(r.MaxPower)), fmtF(float64(r.EDP)),
+			fmtF(float64(r.TimeByClass[workload.ClassCPU])),
+			fmtF(float64(r.TimeByClass[workload.ClassMEM])),
+			fmtF(float64(r.TimeByClass[workload.ClassIO])),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("model: writing record %v: %w", r.Key, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteAuxCSV writes the auxiliary parameter file.
+func (db *DB) WriteAuxCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(auxHeader); err != nil {
+		return fmt.Errorf("model: writing aux header: %w", err)
+	}
+	for _, c := range workload.Classes {
+		row := []string{
+			c.String(),
+			strconv.Itoa(db.aux.OSP[c]),
+			strconv.Itoa(db.aux.OSE[c]),
+			fmtF(float64(db.aux.RefTime[c])),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("model: writing aux row for %v: %w", c, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a database written by WriteCSV together with its
+// auxiliary file.
+func ReadCSV(main, aux io.Reader) (*DB, error) {
+	recs, err := readRecords(main)
+	if err != nil {
+		return nil, err
+	}
+	a, err := readAux(aux)
+	if err != nil {
+		return nil, err
+	}
+	return New(recs, a)
+}
+
+func readRecords(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("model: parsing records: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("model: empty records file")
+	}
+	if !sameRow(rows[0], csvHeader) {
+		return nil, fmt.Errorf("model: unexpected records header %v", rows[0])
+	}
+	recs := make([]Record, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		rec, err := parseRecord(row)
+		if err != nil {
+			return nil, fmt.Errorf("model: records row %d: %w", i+2, err)
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+func parseRecord(row []string) (Record, error) {
+	var rec Record
+	var err error
+	if rec.NCPU, err = strconv.Atoi(row[0]); err != nil {
+		return rec, fmt.Errorf("ncpu: %w", err)
+	}
+	if rec.NMEM, err = strconv.Atoi(row[1]); err != nil {
+		return rec, fmt.Errorf("nmem: %w", err)
+	}
+	if rec.NIO, err = strconv.Atoi(row[2]); err != nil {
+		return rec, fmt.Errorf("nio: %w", err)
+	}
+	fs := make([]float64, 8)
+	for i := range fs {
+		if fs[i], err = strconv.ParseFloat(row[3+i], 64); err != nil {
+			return rec, fmt.Errorf("%s: %w", csvHeader[3+i], err)
+		}
+	}
+	rec.Time = units.Seconds(fs[0])
+	rec.AvgTimeVM = units.Seconds(fs[1])
+	rec.Energy = units.Joules(fs[2])
+	rec.MaxPower = units.Watts(fs[3])
+	rec.EDP = units.JouleSeconds(fs[4])
+	rec.TimeByClass[workload.ClassCPU] = units.Seconds(fs[5])
+	rec.TimeByClass[workload.ClassMEM] = units.Seconds(fs[6])
+	rec.TimeByClass[workload.ClassIO] = units.Seconds(fs[7])
+	return rec, nil
+}
+
+func readAux(r io.Reader) (Aux, error) {
+	var a Aux
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(auxHeader)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return a, fmt.Errorf("model: parsing aux: %w", err)
+	}
+	if len(rows) == 0 || !sameRow(rows[0], auxHeader) {
+		return a, fmt.Errorf("model: missing or malformed aux header")
+	}
+	seen := map[workload.Class]bool{}
+	for i, row := range rows[1:] {
+		var c workload.Class
+		switch row[0] {
+		case "cpu":
+			c = workload.ClassCPU
+		case "mem":
+			c = workload.ClassMEM
+		case "io":
+			c = workload.ClassIO
+		default:
+			return a, fmt.Errorf("model: aux row %d: unknown class %q", i+2, row[0])
+		}
+		if seen[c] {
+			return a, fmt.Errorf("model: aux row %d: duplicate class %v", i+2, c)
+		}
+		seen[c] = true
+		if a.OSP[c], err = strconv.Atoi(row[1]); err != nil {
+			return a, fmt.Errorf("model: aux row %d osp: %w", i+2, err)
+		}
+		if a.OSE[c], err = strconv.Atoi(row[2]); err != nil {
+			return a, fmt.Errorf("model: aux row %d ose: %w", i+2, err)
+		}
+		var t float64
+		if t, err = strconv.ParseFloat(row[3], 64); err != nil {
+			return a, fmt.Errorf("model: aux row %d reftime: %w", i+2, err)
+		}
+		a.RefTime[c] = units.Seconds(t)
+	}
+	for _, c := range workload.Classes {
+		if !seen[c] {
+			return a, fmt.Errorf("model: aux file missing class %v", c)
+		}
+	}
+	return a, nil
+}
+
+func sameRow(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// fmtF uses the shortest representation that round-trips exactly, so a
+// database written and reloaded is bit-identical (simulations must not
+// depend on whether the model came from memory or from disk).
+func fmtF(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }

@@ -1,0 +1,124 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pacevm/internal/units"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	db := gridDB(t, 5)
+	var main, aux bytes.Buffer
+	if err := db.WriteCSV(&main); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.WriteAuxCSV(&aux); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&main, &aux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != db.Len() {
+		t.Fatalf("round trip lost records: %d vs %d", back.Len(), db.Len())
+	}
+	for i, want := range db.Records() {
+		got := back.Records()[i]
+		if got.Key != want.Key {
+			t.Fatalf("record %d key %v, want %v", i, got.Key, want.Key)
+		}
+		if !units.NearlyEqual(float64(got.Time), float64(want.Time), 1e-9) ||
+			!units.NearlyEqual(float64(got.Energy), float64(want.Energy), 1e-9) ||
+			!units.NearlyEqual(float64(got.MaxPower), float64(want.MaxPower), 1e-9) {
+			t.Fatalf("record %d drifted: %+v vs %+v", i, got, want)
+		}
+		for c := range got.TimeByClass {
+			if !units.NearlyEqual(float64(got.TimeByClass[c]), float64(want.TimeByClass[c]), 1e-9) {
+				t.Fatalf("record %d class time %d drifted", i, c)
+			}
+		}
+	}
+	if back.Aux() != db.Aux() {
+		t.Errorf("aux drifted: %+v vs %+v", back.Aux(), db.Aux())
+	}
+}
+
+func TestReadCSVRejectsMalformed(t *testing.T) {
+	good := gridDB(t, 2)
+	var main, aux bytes.Buffer
+	if err := good.WriteCSV(&main); err != nil {
+		t.Fatal(err)
+	}
+	if err := good.WriteAuxCSV(&aux); err != nil {
+		t.Fatal(err)
+	}
+	mainStr, auxStr := main.String(), aux.String()
+
+	cases := []struct {
+		name      string
+		main, aux string
+	}{
+		{"empty main", "", auxStr},
+		{"empty aux", mainStr, ""},
+		{"bad main header", "a,b,c\n", auxStr},
+		{"wrong field count", "ncpu,nmem,nio\n1,2,3\n", auxStr},
+		{"non-numeric field", corruptFirstDataField(mainStr), auxStr},
+		{"bad aux class", mainStr, "class,osp,ose,reftime_s\ngpu,1,1,600\n"},
+		{"missing aux class", mainStr, "class,osp,ose,reftime_s\ncpu,5,6,600\n"},
+		{"duplicate aux class", mainStr, "class,osp,ose,reftime_s\ncpu,5,6,600\ncpu,5,6,600\nmem,5,6,600\nio,5,6,600\n"},
+		{"bad aux osp", mainStr, "class,osp,ose,reftime_s\ncpu,x,6,600\nmem,5,6,600\nio,5,6,600\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.main), strings.NewReader(c.aux)); err == nil {
+			t.Errorf("%s: ReadCSV accepted malformed input", c.name)
+		}
+	}
+}
+
+// corruptFirstDataField replaces the time_s field of the first data row
+// with a non-numeric token.
+func corruptFirstDataField(s string) string {
+	lines := strings.SplitN(s, "\n", 3)
+	if len(lines) < 3 {
+		return s
+	}
+	fields := strings.Split(lines[1], ",")
+	fields[3] = "abc"
+	lines[1] = strings.Join(fields, ",")
+	return strings.Join(lines, "\n")
+}
+
+func TestCSVHeaderStable(t *testing.T) {
+	// The header is the on-disk schema; changing it silently would break
+	// stored campaigns.
+	db := gridDB(t, 1)
+	var buf bytes.Buffer
+	if err := db.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	first, _, _ := strings.Cut(buf.String(), "\n")
+	want := "ncpu,nmem,nio,time_s,avgtimevm_s,energy_j,maxpower_w,edp_js,time_cpu_s,time_mem_s,time_io_s"
+	if first != want {
+		t.Errorf("header = %q, want %q", first, want)
+	}
+}
+
+func TestAuxCSVShape(t *testing.T) {
+	db := gridDB(t, 1)
+	var buf bytes.Buffer
+	if err := db.WriteAuxCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("aux file has %d lines, want header + 3 classes", len(lines))
+	}
+	if lines[0] != "class,osp,ose,reftime_s" {
+		t.Errorf("aux header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "cpu,") || !strings.HasPrefix(lines[2], "mem,") || !strings.HasPrefix(lines[3], "io,") {
+		t.Errorf("aux rows out of canonical order: %v", lines[1:])
+	}
+}

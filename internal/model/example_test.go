@@ -1,0 +1,69 @@
+package model_test
+
+import (
+	"fmt"
+
+	"pacevm/internal/model"
+	"pacevm/internal/units"
+	"pacevm/internal/workload"
+)
+
+// A miniature database: solo records for one and two CPU-intensive VMs.
+func buildExampleDB() *model.DB {
+	mk := func(n int, time units.Seconds, energy units.Joules) model.Record {
+		r := model.Record{
+			Key:       model.KeyFor(workload.ClassCPU, n),
+			Time:      time,
+			AvgTimeVM: time / units.Seconds(n),
+			Energy:    energy,
+			MaxPower:  230,
+			EDP:       units.EDP(energy, time),
+		}
+		r.TimeByClass[workload.ClassCPU] = time
+		return r
+	}
+	var aux model.Aux
+	for _, c := range workload.Classes {
+		aux.OSP[c], aux.OSE[c], aux.RefTime[c] = 4, 4, 600
+	}
+	db, err := model.New([]model.Record{
+		mk(1, 600, 90000),
+		mk(2, 620, 120000),
+	}, aux)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+func ExampleDB_Lookup() {
+	db := buildExampleDB()
+	rec, ok := db.Lookup(model.Key{NCPU: 2})
+	fmt.Println(ok, rec.Time, rec.AvgTimeVM)
+	_, miss := db.Lookup(model.Key{NMEM: 1})
+	fmt.Println(miss)
+	// Output:
+	// true 620.000s 310.000s
+	// false
+}
+
+func ExampleDB_Estimate() {
+	db := buildExampleDB()
+	// (3,0,0) is off the grid: the estimate extrapolates from the
+	// nearest dominated record by VM-count ratio.
+	rec, err := db.Estimate(model.Key{NCPU: 3})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(rec.Key, rec.Time)
+	// Output: (3,0,0) 930.000s
+}
+
+func ExampleKey_Less() {
+	keys := []model.Key{{NCPU: 1, NIO: 1}, {NCPU: 1}, {NMEM: 2}}
+	// Lexicographic over (Ncpu, Nmem, Nio): (1,0,0) < (1,0,1), and
+	// (0,2,0) < (1,0,1) because Ncpu compares first.
+	fmt.Println(keys[1].Less(keys[0]), keys[2].Less(keys[0]))
+	// Output: true true
+}

@@ -1,0 +1,47 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks the database reader never panics and that accepted
+// databases are internally consistent (every record validates, lookups
+// by stored keys hit).
+func FuzzReadCSV(f *testing.F) {
+	// Seed with a valid database.
+	seedDB, err := New([]Record{mkRecord(Key{1, 0, 0}), mkRecord(Key{1, 2, 3})}, mkAux())
+	if err != nil {
+		f.Fatal(err)
+	}
+	var mainBuf, auxBuf bytes.Buffer
+	if err := seedDB.WriteCSV(&mainBuf); err != nil {
+		f.Fatal(err)
+	}
+	if err := seedDB.WriteAuxCSV(&auxBuf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(mainBuf.String(), auxBuf.String())
+	f.Add("", "")
+	f.Add("ncpu,nmem,nio\n", "class,osp\n")
+	f.Add(mainBuf.String(), "class,osp,ose,reftime_s\ncpu,1,1,1\n")
+
+	f.Fuzz(func(t *testing.T, mainCSV, auxCSV string) {
+		db, err := ReadCSV(strings.NewReader(mainCSV), strings.NewReader(auxCSV))
+		if err != nil {
+			return
+		}
+		for _, r := range db.Records() {
+			if err := r.Validate(); err != nil {
+				t.Fatalf("accepted database contains invalid record: %v", err)
+			}
+			if _, ok := db.Lookup(r.Key); !ok {
+				t.Fatalf("stored key %v not found by lookup", r.Key)
+			}
+		}
+		if err := db.Aux().Validate(); err != nil {
+			t.Fatalf("accepted database has invalid aux: %v", err)
+		}
+	})
+}

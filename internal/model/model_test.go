@@ -1,0 +1,306 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pacevm/internal/units"
+	"pacevm/internal/workload"
+)
+
+// mkRecord builds a consistent record for testing: time/energy grow with
+// the VM total so interpolation is monotone.
+func mkRecord(k Key) Record {
+	total := float64(k.Total())
+	t := units.Seconds(600 + 40*total)
+	e := units.Joules(80000 + 30000*total)
+	r := Record{
+		Key:       k,
+		Time:      t,
+		AvgTimeVM: t / units.Seconds(total),
+		Energy:    e,
+		MaxPower:  units.Watts(150 + 5*total),
+		EDP:       units.EDP(e, t),
+	}
+	for _, c := range workload.Classes {
+		if k.Count(c) > 0 {
+			r.TimeByClass[c] = t * units.Seconds(0.9)
+		}
+	}
+	return r
+}
+
+func mkAux() Aux {
+	var a Aux
+	for _, c := range workload.Classes {
+		a.OSP[c] = 5
+		a.OSE[c] = 6
+		a.RefTime[c] = 600
+	}
+	return a
+}
+
+// gridDB builds a DB over all keys with total <= maxTotal.
+func gridDB(t *testing.T, maxTotal int) *DB {
+	t.Helper()
+	var recs []Record
+	for c := 0; c <= maxTotal; c++ {
+		for m := 0; m <= maxTotal-c; m++ {
+			for i := 0; i <= maxTotal-c-m; i++ {
+				k := Key{c, m, i}
+				if k.IsZero() {
+					continue
+				}
+				recs = append(recs, mkRecord(k))
+			}
+		}
+	}
+	db, err := New(recs, mkAux())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestKeyBasics(t *testing.T) {
+	k := Key{1, 2, 3}
+	if k.Total() != 6 {
+		t.Errorf("Total = %d", k.Total())
+	}
+	if k.String() != "(1,2,3)" {
+		t.Errorf("String = %q", k.String())
+	}
+	if !k.Valid() || k.IsZero() {
+		t.Error("key misclassified")
+	}
+	if (Key{-1, 0, 0}).Valid() {
+		t.Error("negative key should be invalid")
+	}
+	if !(Key{}).IsZero() {
+		t.Error("zero key should be zero")
+	}
+	if got := k.Add(Key{1, 1, 1}); got != (Key{2, 3, 4}) {
+		t.Errorf("Add = %v", got)
+	}
+}
+
+func TestKeyWithCount(t *testing.T) {
+	for _, c := range workload.Classes {
+		k := KeyFor(c, 3)
+		if k.Count(c) != 3 || k.Total() != 3 {
+			t.Errorf("KeyFor(%v,3) = %v", c, k)
+		}
+	}
+}
+
+func TestKeyWithPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("With invalid class should panic")
+		}
+	}()
+	Key{}.With(workload.Class(9), 1)
+}
+
+func TestKeyLessIsStrictOrder(t *testing.T) {
+	f := func(a, b Key) bool {
+		// Antisymmetry and totality over the generated pairs.
+		if a == b {
+			return !a.Less(b) && !b.Less(a)
+		}
+		return a.Less(b) != b.Less(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyDominates(t *testing.T) {
+	if !(Key{2, 2, 2}).Dominates(Key{1, 2, 0}) {
+		t.Error("should dominate")
+	}
+	if (Key{2, 2, 2}).Dominates(Key{3, 0, 0}) {
+		t.Error("should not dominate")
+	}
+}
+
+func TestNewRejectsBadInput(t *testing.T) {
+	aux := mkAux()
+	if _, err := New(nil, aux); err == nil {
+		t.Error("empty record set should fail")
+	}
+	// Duplicate keys.
+	r := mkRecord(Key{1, 0, 0})
+	if _, err := New([]Record{r, r}, aux); err == nil {
+		t.Error("duplicate keys should fail")
+	}
+	// Invalid record.
+	bad := r
+	bad.Time = -1
+	if _, err := New([]Record{bad}, aux); err == nil {
+		t.Error("invalid record should fail")
+	}
+	// Inconsistent avg.
+	bad = mkRecord(Key{2, 0, 0})
+	bad.AvgTimeVM *= 3
+	if _, err := New([]Record{bad}, aux); err == nil {
+		t.Error("inconsistent avg should fail")
+	}
+	// Invalid aux.
+	var badAux Aux
+	if _, err := New([]Record{r}, badAux); err == nil {
+		t.Error("invalid aux should fail")
+	}
+}
+
+func TestLookupExact(t *testing.T) {
+	db := gridDB(t, 6)
+	for _, r := range db.Records() {
+		got, ok := db.Lookup(r.Key)
+		if !ok || got.Key != r.Key {
+			t.Fatalf("Lookup(%v) failed", r.Key)
+		}
+	}
+	if _, ok := db.Lookup(Key{99, 0, 0}); ok {
+		t.Error("Lookup of absent key succeeded")
+	}
+}
+
+func TestLookupEqualsLinearScanProperty(t *testing.T) {
+	db := gridDB(t, 5)
+	f := func(c, m, i uint8) bool {
+		k := Key{int(c % 8), int(m % 8), int(i % 8)}
+		got, ok := db.Lookup(k)
+		// Linear scan reference.
+		var want Record
+		found := false
+		for _, r := range db.Records() {
+			if r.Key == k {
+				want, found = r, true
+				break
+			}
+		}
+		if ok != found {
+			return false
+		}
+		return !ok || got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecordsSorted(t *testing.T) {
+	db := gridDB(t, 5)
+	recs := db.Records()
+	for i := 1; i < len(recs); i++ {
+		if !recs[i-1].Key.Less(recs[i].Key) {
+			t.Fatalf("records not strictly sorted at %d", i)
+		}
+	}
+}
+
+func TestAuxOS(t *testing.T) {
+	a := mkAux()
+	for _, c := range workload.Classes {
+		if got := a.OS(c); got != 6 {
+			t.Errorf("OS(%v) = %d, want max(5,6)=6", c, got)
+		}
+	}
+	a.OSP[workload.ClassCPU] = 9
+	if a.OS(workload.ClassCPU) != 9 {
+		t.Error("OS should be max(OSP,OSE)")
+	}
+}
+
+func TestEstimateExactHit(t *testing.T) {
+	db := gridDB(t, 6)
+	want, _ := db.Lookup(Key{2, 1, 1})
+	got, err := db.Estimate(Key{2, 1, 1})
+	if err != nil || got != want {
+		t.Fatalf("Estimate exact = %+v, %v", got, err)
+	}
+}
+
+func TestEstimateBeyondGridScales(t *testing.T) {
+	db := gridDB(t, 6)
+	got, err := db.Estimate(Key{12, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchor, _ := db.Lookup(Key{6, 0, 0})
+	if got.Time <= anchor.Time {
+		t.Errorf("extrapolated time %v should exceed anchor %v", got.Time, anchor.Time)
+	}
+	if got.Key != (Key{12, 0, 0}) {
+		t.Errorf("estimate key = %v", got.Key)
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("extrapolated record invalid: %v", err)
+	}
+}
+
+func TestEstimateInteriorHole(t *testing.T) {
+	// Build a sparse DB with a hole at (2,0,0).
+	recs := []Record{mkRecord(Key{1, 0, 0}), mkRecord(Key{3, 0, 0})}
+	db, err := New(recs, mkAux())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Estimate(Key{2, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := recs[0], recs[1]
+	if got.Time <= lo.Time || got.Time >= hi.Time {
+		t.Errorf("interpolated time %v not between %v and %v", got.Time, lo.Time, hi.Time)
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("interpolated record invalid: %v", err)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	db := gridDB(t, 3)
+	if _, err := db.Estimate(Key{}); err == nil {
+		t.Error("zero key should fail")
+	}
+	if _, err := db.Estimate(Key{-1, 0, 0}); err == nil {
+		t.Error("invalid key should fail")
+	}
+}
+
+func TestEstimateAlwaysValidProperty(t *testing.T) {
+	db := gridDB(t, 6)
+	f := func(c, m, i uint8) bool {
+		k := Key{int(c % 16), int(m % 16), int(i % 16)}
+		if k.IsZero() {
+			return true
+		}
+		r, err := db.Estimate(k)
+		if err != nil {
+			return false
+		}
+		return r.Validate() == nil && r.Key == k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxKey(t *testing.T) {
+	db := gridDB(t, 4)
+	if got := db.MaxKey(); got != (Key{4, 4, 4}) {
+		t.Errorf("MaxKey = %v", got)
+	}
+}
+
+func TestClassTimeFallback(t *testing.T) {
+	r := mkRecord(Key{2, 0, 0})
+	if r.ClassTime(workload.ClassCPU) != r.TimeByClass[workload.ClassCPU] {
+		t.Error("present class should use stored time")
+	}
+	if r.ClassTime(workload.ClassIO) != r.AvgTimeVM {
+		t.Error("absent class should fall back to AvgTimeVM")
+	}
+}

@@ -1,0 +1,51 @@
+package partition_test
+
+import (
+	"fmt"
+
+	"pacevm/internal/partition"
+)
+
+// The allocator's search space for a 3-VM job: every way to split the
+// set across servers.
+func ExampleForEach() {
+	n, err := partition.ForEach(3, func(blocks [][]int) bool {
+		fmt.Println(blocks)
+		return true
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("total:", n)
+	// Output:
+	// [[0 1 2]]
+	// [[0 1] [2]]
+	// [[0 2] [1]]
+	// [[0] [1 2]]
+	// [[0] [1] [2]]
+	// total: 5
+}
+
+// Interchangeable VMs reduce set partitions to integer partitions: a
+// 4-VM single-profile job has exactly five distinct splits.
+func ExampleInts() {
+	_, err := partition.Ints(4, func(parts []int) bool {
+		fmt.Println(parts)
+		return true
+	})
+	if err != nil {
+		fmt.Println(err)
+	}
+	// Output:
+	// [4]
+	// [3 1]
+	// [2 2]
+	// [2 1 1]
+	// [1 1 1 1]
+}
+
+func ExampleBell() {
+	fmt.Println(partition.Bell(4), partition.Bell(8))
+	// Output: 15 4140
+}

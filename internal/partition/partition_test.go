@@ -1,0 +1,289 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBellNumbers(t *testing.T) {
+	want := []uint64{1, 1, 2, 5, 15, 52, 203, 877, 4140, 21147, 115975, 678570, 4213597}
+	for n, w := range want {
+		if got := Bell(n); got != w {
+			t.Errorf("Bell(%d) = %d, want %d", n, got, w)
+		}
+	}
+}
+
+func TestBellPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bell(-1) should panic")
+		}
+	}()
+	Bell(-1)
+}
+
+func TestForEachCountsMatchBell(t *testing.T) {
+	for n := 1; n <= 9; n++ {
+		got, err := ForEach(n, func([][]int) bool { return true })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uint64(got) != Bell(n) {
+			t.Errorf("ForEach(%d) visited %d partitions, want B(%d)=%d", n, got, n, Bell(n))
+		}
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	visited, err := ForEach(5, func([][]int) bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visited != 1 {
+		t.Errorf("early stop visited %d, want 1", visited)
+	}
+}
+
+func TestGeneratorBounds(t *testing.T) {
+	if _, err := NewGenerator(0); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := NewGenerator(MaxN + 1); err == nil {
+		t.Error("n beyond MaxN should fail")
+	}
+}
+
+func TestPartitionsOfThree(t *testing.T) {
+	var got []string
+	_, err := ForEach(3, func(blocks [][]int) bool {
+		got = append(got, fmt.Sprint(blocks))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"[[0 1 2]]",
+		"[[0 1] [2]]",
+		"[[0 2] [1]]",
+		"[[0] [1 2]]",
+		"[[0] [1] [2]]",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d partitions: %v", len(got), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("partition %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestPartitionsAreValidAndDistinct checks the defining properties for
+// every n: each partition covers every element exactly once, blocks are
+// non-empty, and no partition repeats.
+func TestPartitionsAreValidAndDistinct(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		seen := map[string]bool{}
+		_, err := ForEach(n, func(blocks [][]int) bool {
+			covered := make([]int, n)
+			for _, b := range blocks {
+				if len(b) == 0 {
+					t.Fatalf("n=%d: empty block in %v", n, blocks)
+				}
+				for _, e := range b {
+					covered[e]++
+				}
+			}
+			for e, c := range covered {
+				if c != 1 {
+					t.Fatalf("n=%d: element %d covered %d times in %v", n, e, c, blocks)
+				}
+			}
+			key := fmt.Sprint(blocks)
+			if seen[key] {
+				t.Fatalf("n=%d: duplicate partition %v", n, blocks)
+			}
+			seen[key] = true
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRGSIsRestrictedGrowth(t *testing.T) {
+	g, err := NewGenerator(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g.Next() {
+		a := g.RGS()
+		if a[0] != 0 {
+			t.Fatalf("RGS %v does not start at 0", a)
+		}
+		maxSeen := 0
+		for i := 1; i < len(a); i++ {
+			if a[i] > maxSeen+1 || a[i] < 0 {
+				t.Fatalf("RGS %v violates growth at %d", a, i)
+			}
+			if a[i] > maxSeen {
+				maxSeen = a[i]
+			}
+		}
+	}
+}
+
+func TestRGSLexicographicOrder(t *testing.T) {
+	g, err := NewGenerator(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev []int
+	for g.Next() {
+		cur := append([]int(nil), g.RGS()...)
+		if prev != nil && !lexLess(prev, cur) {
+			t.Fatalf("RGS not increasing: %v then %v", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func lexLess(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func TestIntsCountsMatchOracle(t *testing.T) {
+	for n := 1; n <= 20; n++ {
+		got, err := Ints(n, func([]int) bool { return true })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uint64(got) != CountInts(n) {
+			t.Errorf("Ints(%d) visited %d, want p(%d)=%d", n, got, n, CountInts(n))
+		}
+	}
+}
+
+func TestCountIntsKnownValues(t *testing.T) {
+	want := []uint64{1, 1, 2, 3, 5, 7, 11, 15, 22, 30, 42, 56, 77, 101, 135, 176, 231, 297, 385, 490, 627}
+	for n, w := range want {
+		if got := CountInts(n); got != w {
+			t.Errorf("p(%d) = %d, want %d", n, got, w)
+		}
+	}
+}
+
+func TestIntsPartsValid(t *testing.T) {
+	for n := 1; n <= 12; n++ {
+		_, err := Ints(n, func(parts []int) bool {
+			sum := 0
+			for i, p := range parts {
+				if p < 1 {
+					t.Fatalf("n=%d: non-positive part in %v", n, parts)
+				}
+				if i > 0 && parts[i-1] < p {
+					t.Fatalf("n=%d: parts not non-increasing: %v", n, parts)
+				}
+				sum += p
+			}
+			if sum != n {
+				t.Fatalf("n=%d: parts %v sum to %d", n, parts, sum)
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestIntsFour(t *testing.T) {
+	// The allocator's common case: a 4-VM job has exactly 5 distinct
+	// splits.
+	var got []string
+	if _, err := Ints(4, func(p []int) bool {
+		got = append(got, fmt.Sprint(p))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"[4]", "[3 1]", "[2 2]", "[2 1 1]", "[1 1 1 1]"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("Ints(4) = %v, want %v", got, want)
+	}
+}
+
+func TestIntsErrors(t *testing.T) {
+	if _, err := Ints(0, func([]int) bool { return true }); err == nil {
+		t.Error("Ints(0) should fail")
+	}
+}
+
+func TestIntsEarlyStop(t *testing.T) {
+	n, err := Ints(10, func([]int) bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+// TestBlockSizesMatchIntPartitions cross-checks the two enumerations:
+// grouping set partitions of n by their block-size multiset must yield
+// exactly the integer partitions of n.
+func TestBlockSizesMatchIntPartitions(t *testing.T) {
+	for n := 1; n <= 7; n++ {
+		shapes := map[string]bool{}
+		if _, err := ForEach(n, func(blocks [][]int) bool {
+			sizes := make([]int, len(blocks))
+			for i, b := range blocks {
+				sizes[i] = len(b)
+			}
+			sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+			shapes[fmt.Sprint(sizes)] = true
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if uint64(len(shapes)) != CountInts(n) {
+			t.Errorf("n=%d: %d distinct shapes, want p(%d)=%d", n, len(shapes), n, CountInts(n))
+		}
+	}
+}
+
+func TestGeneratorExhaustionIsSticky(t *testing.T) {
+	g, _ := NewGenerator(2)
+	for g.Next() {
+	}
+	if g.Next() {
+		t.Error("Next returned true after exhaustion")
+	}
+}
+
+func TestBlocksPropertyRandomN(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := int(raw%8) + 1
+		count, err := ForEach(n, func(blocks [][]int) bool {
+			total := 0
+			for _, b := range blocks {
+				total += len(b)
+			}
+			return total == n
+		})
+		return err == nil && uint64(count) == Bell(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

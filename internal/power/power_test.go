@@ -1,0 +1,168 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pacevm/internal/rng"
+	"pacevm/internal/subsys"
+	"pacevm/internal/units"
+	"pacevm/internal/vmm"
+	"pacevm/internal/workload"
+)
+
+func constTimeline(p units.Watts, dur units.Seconds) []vmm.Interval {
+	return []vmm.Interval{{Start: 0, End: dur, Power: p, Util: subsys.Vector{}, Residents: 1}}
+}
+
+func TestIdealMeterConstantPower(t *testing.T) {
+	m := &Meter{Interval: 1, Accuracy: 0}
+	got, err := m.Measure(constTimeline(125, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.NearlyEqual(float64(got.Energy), 7500, 1e-9) {
+		t.Errorf("energy = %v, want 7500J", got.Energy)
+	}
+	if got.MaxPower != 125 {
+		t.Errorf("max power = %v", got.MaxPower)
+	}
+	if len(got.Samples) != 60 {
+		t.Errorf("samples = %d, want 60", len(got.Samples))
+	}
+	if got.AvgPower() != 125 {
+		t.Errorf("avg power = %v", got.AvgPower())
+	}
+	if got.EDP() != units.EDP(got.Energy, 60) {
+		t.Errorf("EDP = %v", got.EDP())
+	}
+}
+
+func TestPartialFinalWindow(t *testing.T) {
+	m := &Meter{Interval: 1, Accuracy: 0}
+	got, err := m.Measure(constTimeline(100, 10.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.NearlyEqual(float64(got.Energy), 1050, 1e-9) {
+		t.Errorf("energy = %v, want 1050J", got.Energy)
+	}
+	if len(got.Samples) != 11 {
+		t.Errorf("samples = %d, want 11", len(got.Samples))
+	}
+}
+
+func TestStepTimelineAveragedWithinWindow(t *testing.T) {
+	m := &Meter{Interval: 1, Accuracy: 0}
+	// 0.5s at 100W then 0.5s at 200W inside one window: sample = 150W.
+	tl := []vmm.Interval{
+		{Start: 0, End: 0.5, Power: 100},
+		{Start: 0.5, End: 1, Power: 200},
+	}
+	got, err := m.Measure(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Samples) != 1 || math.Abs(float64(got.Samples[0].W-150)) > 1e-9 {
+		t.Fatalf("samples = %+v, want one 150W sample", got.Samples)
+	}
+}
+
+func TestEmptyTimeline(t *testing.T) {
+	m := NewWattsUp(nil)
+	got, err := m.Measure(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Energy != 0 || len(got.Samples) != 0 {
+		t.Errorf("empty timeline measurement = %+v", got)
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	if _, err := (&Meter{Interval: 0}).Measure(constTimeline(1, 1)); err == nil {
+		t.Error("zero interval should fail")
+	}
+	if _, err := (&Meter{Interval: 1, Accuracy: 1.5}).Measure(constTimeline(1, 1)); err == nil {
+		t.Error("accuracy >= 1 should fail")
+	}
+	if _, err := (&Meter{Interval: 1, Accuracy: -0.1}).Measure(constTimeline(1, 1)); err == nil {
+		t.Error("negative accuracy should fail")
+	}
+}
+
+func TestNoiseWithinAccuracy(t *testing.T) {
+	m := NewWattsUp(rng.New(42))
+	got, err := m.Measure(constTimeline(200, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range got.Samples {
+		if s.W < 200*(1-0.015)-1e-9 || s.W > 200*(1+0.015)+1e-9 {
+			t.Fatalf("sample %v outside ±1.5%% of 200W", s.W)
+		}
+	}
+	// Energy estimate should be within the accuracy bound of truth.
+	if math.Abs(float64(got.Energy)-60000) > 0.015*60000 {
+		t.Errorf("noisy energy %v too far from 60kJ", got.Energy)
+	}
+}
+
+func TestMeterDeterministicWithSeed(t *testing.T) {
+	a, _ := NewWattsUp(rng.New(7)).Measure(constTimeline(150, 100))
+	b, _ := NewWattsUp(rng.New(7)).Measure(constTimeline(150, 100))
+	if a.Energy != b.Energy {
+		t.Error("meter noise not reproducible from seed")
+	}
+}
+
+func TestMeasureRealRunCloseToExact(t *testing.T) {
+	res, err := vmm.Run(vmm.DefaultConfig(), vmm.Mix(2, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := &Meter{Interval: 1, Accuracy: 0}
+	got, err := ideal.Measure(res.Timeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.NearlyEqual(float64(got.Energy), float64(res.Energy()), 1e-6) {
+		t.Errorf("ideal 1Hz meter energy %v vs exact %v", got.Energy, res.Energy())
+	}
+	if got.Duration != res.Makespan() {
+		t.Errorf("duration %v vs makespan %v", got.Duration, res.Makespan())
+	}
+}
+
+func TestEnergyConservationProperty(t *testing.T) {
+	// For any benchmark and replica count, the ideal meter's energy must
+	// match exact integration.
+	f := func(which uint8, nRaw uint8) bool {
+		all := workload.All()
+		b := all[int(which)%len(all)]
+		n := int(nRaw%6) + 1
+		res, err := vmm.Run(vmm.DefaultConfig(), vmm.Replicate(b, n))
+		if err != nil {
+			return false
+		}
+		got, err := (&Meter{Interval: 1}).Measure(res.Timeline)
+		if err != nil {
+			return false
+		}
+		return units.NearlyEqual(float64(got.Energy), float64(res.Energy()), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleTimesMonotone(t *testing.T) {
+	res, _ := vmm.Run(vmm.DefaultConfig(), vmm.Replicate(workload.FFTW(), 3))
+	got, _ := NewWattsUp(rng.New(1)).Measure(res.Timeline)
+	for i := 1; i < len(got.Samples); i++ {
+		if got.Samples[i].At <= got.Samples[i-1].At {
+			t.Fatal("sample times not strictly increasing")
+		}
+	}
+}

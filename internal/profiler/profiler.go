@@ -1,0 +1,185 @@
+// Package profiler emulates the paper's application-profiling toolchain
+// (Sect. III.A): OS-level metric collection ("mpstat", "iostat",
+// "netstat", PowerTOP) plus hardware performance counters (a perfctr-
+// patched kernel read through PAPI, using L2 cache misses as a memory-
+// activity proxy), and the classification of an application as CPU-,
+// memory-, I/O- and/or network-intensive from its average subsystem
+// demand.
+//
+// The profiler runs a benchmark solo on the simulated server, samples the
+// realized utilization timeline in discrete windows (the paper's Fig. 1),
+// and labels the application X-intensive for every subsystem whose
+// time-averaged intensity exceeds a threshold — "if the average demand
+// for a subsystem X is significant, we consider the application to be
+// X-intensive".
+package profiler
+
+import (
+	"fmt"
+
+	"pacevm/internal/subsys"
+	"pacevm/internal/units"
+	"pacevm/internal/vmm"
+	"pacevm/internal/workload"
+)
+
+// Config holds sampling and classification parameters.
+type Config struct {
+	// SampleEvery is the metric sampling window (mpstat/iostat cadence).
+	SampleEvery units.Seconds
+
+	// Reference normalizes raw per-VM demand into an intensity in [0,~1]
+	// per subsystem. CPU is referenced to one core (a pinned single
+	// vCPU), the streaming subsystems to the share of server bandwidth a
+	// single well-behaved guest can realistically draw.
+	Reference subsys.Vector
+
+	// Threshold is the per-subsystem intensity above which the
+	// application is labeled intensive for that subsystem.
+	Threshold subsys.Vector
+}
+
+// DefaultConfig returns the calibrated profiling configuration. With it,
+// every catalog benchmark classifies as the paper describes: HPL and FFTW
+// CPU-intensive, sysbench memory-intensive, bonnie++ and b_eff_io
+// I/O-intensive, and mpinet CPU- cum network-intensive.
+func DefaultConfig() Config {
+	return Config{
+		SampleEvery: 5,
+		Reference:   subsys.V(1, 1250, 40, 500),
+		Threshold:   subsys.V(0.35, 0.50, 0.30, 0.30),
+	}
+}
+
+// Point is one sampled profiling window.
+type Point struct {
+	At units.Seconds
+	// Intensity is the normalized per-subsystem activity in the window
+	// (CPU ≈ fraction of one core busy; others ≈ fraction of a
+	// single-guest bandwidth reference).
+	Intensity subsys.Vector
+}
+
+// Profile is the result of profiling one application.
+type Profile struct {
+	Benchmark string
+	// Series is the Fig.-1-style time series of normalized intensities.
+	Series []Point
+	// Avg is the run-length-weighted mean intensity.
+	Avg subsys.Vector
+	// Intensive flags each subsystem whose Avg exceeds the threshold.
+	Intensive [subsys.Count]bool
+	// Class is the model class the labels map onto (see Classify).
+	Class workload.Class
+}
+
+// Labels returns the human-readable intensity labels, e.g.
+// ["cpu-intensive", "net-intensive"].
+func (p Profile) Labels() []string {
+	var out []string
+	for i, on := range p.Intensive {
+		if on {
+			out = append(out, subsys.All[i].String()+"-intensive")
+		}
+	}
+	return out
+}
+
+// Run profiles a benchmark by executing it solo on the given hypervisor
+// configuration and sampling its realized utilization.
+func Run(cfg Config, vcfg vmm.Config, b workload.Benchmark) (Profile, error) {
+	if cfg.SampleEvery <= 0 {
+		return Profile{}, fmt.Errorf("profiler: non-positive sampling window")
+	}
+	if !cfg.Reference.NonNegative() || cfg.Reference.IsZero() {
+		return Profile{}, fmt.Errorf("profiler: invalid reference vector %v", cfg.Reference)
+	}
+	res, err := vmm.Run(vcfg, []workload.Benchmark{b})
+	if err != nil {
+		return Profile{}, fmt.Errorf("profiler: %w", err)
+	}
+
+	p := Profile{Benchmark: b.Name}
+	end := res.Makespan()
+
+	// Sample normalized intensity in windows of SampleEvery.
+	idx := 0
+	var accum subsys.Vector
+	var accumDur units.Seconds
+	for start := units.Seconds(0); start < end; start += cfg.SampleEvery {
+		winEnd := start + cfg.SampleEvery
+		if winEnd > end {
+			winEnd = end
+		}
+		var winDemand subsys.Vector
+		for idx < len(res.Timeline) && res.Timeline[idx].End <= start {
+			idx++
+		}
+		for j := idx; j < len(res.Timeline) && res.Timeline[j].Start < winEnd; j++ {
+			lo, hi := res.Timeline[j].Start, res.Timeline[j].End
+			if lo < start {
+				lo = start
+			}
+			if hi > winEnd {
+				hi = winEnd
+			}
+			if hi > lo {
+				// Convert realized utilization back to demand units, then
+				// normalize per-VM: solo run, so server demand is the
+				// VM's demand.
+				demand := vectorMul(res.Timeline[j].Util, vcfg.Spec.Capacity)
+				winDemand = winDemand.Add(demand.Scale(float64(hi - lo)))
+			}
+		}
+		dur := winEnd - start
+		if dur <= 0 {
+			continue
+		}
+		intensity := vectorDiv(winDemand.Scale(1/float64(dur)), cfg.Reference)
+		p.Series = append(p.Series, Point{At: start, Intensity: intensity})
+		accum = accum.Add(intensity.Scale(float64(dur)))
+		accumDur += dur
+	}
+	if accumDur > 0 {
+		p.Avg = accum.Scale(1 / float64(accumDur))
+	}
+	for i := range subsys.All {
+		p.Intensive[i] = p.Avg[i] >= cfg.Threshold[i]
+	}
+	p.Class = Classify(p.Intensive)
+	return p, nil
+}
+
+// Classify maps intensity labels onto the paper's three model classes
+// (the database key dimensions Ncpu/Nmem/Nio). Disk activity dominates
+// the mapping (an MPI-I/O code with a network component is still
+// I/O-intensive for the model), then memory, then CPU; an application
+// intensive along no dimension defaults to CPU-bound, the benign case.
+func Classify(intensive [subsys.Count]bool) workload.Class {
+	switch {
+	case intensive[subsys.DISK]:
+		return workload.ClassIO
+	case intensive[subsys.MEM]:
+		return workload.ClassMEM
+	default:
+		return workload.ClassCPU
+	}
+}
+
+func vectorMul(a, b subsys.Vector) subsys.Vector {
+	for i := range a {
+		a[i] *= b[i]
+	}
+	return a
+}
+
+func vectorDiv(a, b subsys.Vector) subsys.Vector {
+	for i := range a {
+		if b[i] != 0 {
+			a[i] /= b[i]
+		} else {
+			a[i] = 0
+		}
+	}
+	return a
+}

@@ -1,0 +1,161 @@
+package profiler
+
+import (
+	"testing"
+
+	"pacevm/internal/subsys"
+	"pacevm/internal/units"
+	"pacevm/internal/vmm"
+	"pacevm/internal/workload"
+)
+
+func profileOf(t *testing.T, b workload.Benchmark) Profile {
+	t.Helper()
+	p, err := Run(DefaultConfig(), vmm.DefaultConfig(), b)
+	if err != nil {
+		t.Fatalf("%s: %v", b.Name, err)
+	}
+	return p
+}
+
+// TestCatalogClassification is the paper's Sect. III.A ground truth: the
+// profiler must recover each benchmark's published class from observed
+// behaviour alone.
+func TestCatalogClassification(t *testing.T) {
+	for _, b := range workload.All() {
+		p := profileOf(t, b)
+		if p.Class != b.Class {
+			t.Errorf("%s classified as %v, want %v (avg=%v)", b.Name, p.Class, b.Class, p.Avg)
+		}
+	}
+}
+
+func TestHPLIsCPUOnly(t *testing.T) {
+	p := profileOf(t, workload.HPL())
+	want := [subsys.Count]bool{subsys.CPU: true}
+	if p.Intensive != want {
+		t.Errorf("HPL labels = %v, want cpu-intensive only", p.Labels())
+	}
+}
+
+func TestMPINetIsCPUAndNet(t *testing.T) {
+	// Fig. 1 (right): "a CPU- cum network-intensive workload".
+	p := profileOf(t, workload.MPINet())
+	if !p.Intensive[subsys.CPU] || !p.Intensive[subsys.NET] {
+		t.Errorf("mpinet labels = %v, want cpu- and net-intensive (avg=%v)", p.Labels(), p.Avg)
+	}
+	if p.Intensive[subsys.DISK] {
+		t.Errorf("mpinet should not be disk-intensive: %v", p.Labels())
+	}
+}
+
+func TestSysbenchIsMemOnly(t *testing.T) {
+	p := profileOf(t, workload.Sysbench())
+	if !p.Intensive[subsys.MEM] {
+		t.Errorf("sysbench labels = %v, want mem-intensive", p.Labels())
+	}
+	if p.Intensive[subsys.CPU] || p.Intensive[subsys.DISK] {
+		t.Errorf("sysbench over-labeled: %v (avg=%v)", p.Labels(), p.Avg)
+	}
+}
+
+func TestBonnieIsIO(t *testing.T) {
+	p := profileOf(t, workload.Bonnie())
+	if !p.Intensive[subsys.DISK] {
+		t.Errorf("bonnie labels = %v, want disk-intensive", p.Labels())
+	}
+}
+
+func TestSeriesCoversRun(t *testing.T) {
+	p := profileOf(t, workload.FFTW())
+	if len(p.Series) == 0 {
+		t.Fatal("empty series")
+	}
+	cfg := DefaultConfig()
+	for i, pt := range p.Series {
+		if pt.At != units.Seconds(i)*cfg.SampleEvery {
+			t.Fatalf("sample %d at %v, want %v", i, pt.At, units.Seconds(i)*cfg.SampleEvery)
+		}
+		if !pt.Intensity.NonNegative() {
+			t.Fatalf("negative intensity at %v: %v", pt.At, pt.Intensity)
+		}
+	}
+	// FFTW solo: ~612s of run → ~123 windows of 5s.
+	if len(p.Series) < 100 || len(p.Series) > 140 {
+		t.Errorf("series length = %d, want ~123", len(p.Series))
+	}
+}
+
+func TestSeriesShowsPhaseStructure(t *testing.T) {
+	// FFTW's plan phase has low CPU, the transform phase higher CPU:
+	// early samples must differ from mid-run samples (the "discrete time
+	// windows" of Sect. III.A).
+	p := profileOf(t, workload.FFTW())
+	early := p.Series[2].Intensity[subsys.CPU] // in plan phase
+	mid := p.Series[60].Intensity[subsys.CPU]  // in transform phase
+	if mid <= early {
+		t.Errorf("expected transform CPU (%v) > plan CPU (%v)", mid, early)
+	}
+}
+
+func TestClassifyPriority(t *testing.T) {
+	mk := func(ids ...subsys.ID) (v [subsys.Count]bool) {
+		for _, id := range ids {
+			v[id] = true
+		}
+		return
+	}
+	cases := []struct {
+		in   [subsys.Count]bool
+		want workload.Class
+	}{
+		{mk(subsys.CPU), workload.ClassCPU},
+		{mk(subsys.MEM), workload.ClassMEM},
+		{mk(subsys.DISK), workload.ClassIO},
+		{mk(subsys.NET), workload.ClassCPU},
+		{mk(subsys.CPU, subsys.MEM), workload.ClassMEM},
+		{mk(subsys.CPU, subsys.DISK, subsys.MEM), workload.ClassIO},
+		{mk(), workload.ClassCPU},
+	}
+	for _, c := range cases {
+		if got := Classify(c.in); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLabels(t *testing.T) {
+	p := Profile{Intensive: [subsys.Count]bool{subsys.CPU: true, subsys.NET: true}}
+	got := p.Labels()
+	if len(got) != 2 || got[0] != "cpu-intensive" || got[1] != "net-intensive" {
+		t.Errorf("Labels = %v", got)
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	v := vmm.DefaultConfig()
+	b := workload.HPL()
+	if _, err := Run(Config{SampleEvery: 0, Reference: subsys.V(1, 1, 1, 1)}, v, b); err == nil {
+		t.Error("zero sampling window should fail")
+	}
+	if _, err := Run(Config{SampleEvery: 1}, v, b); err == nil {
+		t.Error("zero reference should fail")
+	}
+	bad := b
+	bad.Phases = nil
+	if _, err := Run(DefaultConfig(), v, bad); err == nil {
+		t.Error("invalid benchmark should fail")
+	}
+}
+
+func TestAvgMatchesDemandRoughly(t *testing.T) {
+	// The profiler's average intensity should track the catalog's
+	// declared average demand (normalized), modulo overhead stretching.
+	cfg := DefaultConfig()
+	p := profileOf(t, workload.Bonnie())
+	declared := workload.Bonnie().AvgDemand()
+	wantDisk := declared[subsys.DISK] / cfg.Reference[subsys.DISK]
+	if !units.NearlyEqual(p.Avg[subsys.DISK], wantDisk, 0.1) {
+		t.Errorf("observed disk intensity %v vs declared %v", p.Avg[subsys.DISK], wantDisk)
+	}
+}

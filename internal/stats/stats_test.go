@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Errorf("summary = %+v", s)
+	}
+	// Sample std of this classic dataset is ~2.138.
+	if math.Abs(s.Std-2.1380899) > 1e-6 {
+		t.Errorf("std = %v", s.Std)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{3})
+	if s.N != 1 || s.Mean != 3 || s.Std != 0 || s.Min != 3 || s.Max != 3 {
+		t.Errorf("single summary = %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile([]float64{1, 2}, 50); got != 1.5 {
+		t.Errorf("interpolated median = %v", got)
+	}
+	if got := Median([]float64{9}); got != 9 {
+		t.Errorf("single median = %v", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Percentile(nil, 50) },
+		func() { Percentile([]float64{1}, -1) },
+		func() { Percentile([]float64{1}, 101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSavingPct(t *testing.T) {
+	if got := SavingPct(100, 88); got != 12 {
+		t.Errorf("SavingPct = %v, want 12", got)
+	}
+	if got := SavingPct(100, 118); got != -18 {
+		t.Errorf("SavingPct = %v, want -18", got)
+	}
+	if got := SavingPct(0, 5); got != 0 {
+		t.Errorf("SavingPct on zero baseline = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 100}); math.Abs(got-10) > 1e-9 {
+		t.Errorf("GeoMean = %v, want 10", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("GeoMean of zero should panic")
+		}
+	}()
+	GeoMean([]float64{0, 1})
+}
+
+func TestMeanOf(t *testing.T) {
+	type pair struct{ a, b float64 }
+	xs := []pair{{1, 10}, {3, 20}}
+	if got := MeanOf(xs, func(p pair) float64 { return p.a }); got != 2 {
+		t.Errorf("MeanOf = %v", got)
+	}
+	if got := MeanOf(nil, func(p pair) float64 { return p.a }); got != 0 {
+		t.Errorf("MeanOf empty = %v", got)
+	}
+}
+
+func TestPercentileWithinBoundsProperty(t *testing.T) {
+	f := func(raw []float64, pRaw uint8) bool {
+		var xs []float64
+		for _, r := range raw {
+			if !math.IsNaN(r) && !math.IsInf(r, 0) {
+				xs = append(xs, r)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p := float64(pRaw % 101)
+		got := Percentile(xs, p)
+		s := Summarize(xs)
+		return got >= s.Min-1e-9 && got <= s.Max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanBetweenMinMaxProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, r := range raw {
+			if !math.IsNaN(r) && !math.IsInf(r, 0) && math.Abs(r) < 1e12 {
+				xs = append(xs, r)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9 && s.Std >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Pearson(xs, []float64{2, 4, 6, 8, 10}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect positive correlation = %v", got)
+	}
+	if got := Pearson(xs, []float64{10, 8, 6, 4, 2}); math.Abs(got+1) > 1e-12 {
+		t.Errorf("perfect negative correlation = %v", got)
+	}
+	if got := Pearson(xs, []float64{7, 7, 7, 7, 7}); got != 0 {
+		t.Errorf("zero-variance correlation = %v, want 0", got)
+	}
+	// A textbook dataset: r of (1,2,3) vs (1,3,2) is 0.5.
+	if got := Pearson([]float64{1, 2, 3}, []float64{1, 3, 2}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("r = %v, want 0.5", got)
+	}
+}
+
+func TestPearsonPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Pearson([]float64{1}, []float64{1, 2}) },
+		func() { Pearson([]float64{1}, []float64{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPearsonBoundedProperty(t *testing.T) {
+	f := func(raw [6]int16) bool {
+		xs := make([]float64, 3)
+		ys := make([]float64, 3)
+		for i := 0; i < 3; i++ {
+			xs[i], ys[i] = float64(raw[i]), float64(raw[i+3])
+		}
+		r := Pearson(xs, ys)
+		return r >= -1-1e-9 && r <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,273 @@
+// Package strategy defines the VM placement strategies evaluated in the
+// paper (Sect. IV.D):
+//
+//   - FIRST-FIT (FF): job VMs go to the first server with a free CPU
+//     slot; "VM multiplexing on CPUs is not allowed", so a quad-core
+//     server holds at most 4 VMs. FIRST-FIT-2 and FIRST-FIT-3 allow
+//     multiplexing up to 2 and 3 VMs per CPU (8 and 12 per server).
+//   - PROACTIVE (PA-α): the paper's application-centric energy-aware
+//     algorithm from internal/core, with α = 1 (minimize energy), α = 0
+//     (minimize execution time) or α = 0.5 (best tradeoff).
+//
+// BEST-FIT and RANDOM are additional baselines beyond the paper, useful
+// for ablations.
+package strategy
+
+import (
+	"errors"
+	"fmt"
+
+	"pacevm/internal/core"
+	"pacevm/internal/model"
+	"pacevm/internal/rng"
+)
+
+// Server is a placement-time view of one physical server.
+type Server struct {
+	ID    int
+	Alloc model.Key
+}
+
+// Strategy decides where a job request's VMs run.
+type Strategy interface {
+	Name() string
+	// Place returns, for each VM, the ID of the chosen server. ok is
+	// false when the job cannot be placed now and should wait in the
+	// queue. Implementations must be all-or-nothing: a false return
+	// leaves no VM placed.
+	Place(servers []Server, vms []core.VMRequest) (assign []int, ok bool)
+}
+
+// CPUSlotsPerServer is the paper's testbed core count, the basis of the
+// first-fit slot arithmetic.
+const CPUSlotsPerServer = 4
+
+// FirstFit implements FF and its multiplexing variants.
+type FirstFit struct {
+	// Multiplex is the number of VMs allowed per CPU: 1 for FF, 2 for
+	// FF-2, 3 for FF-3.
+	Multiplex int
+}
+
+// NewFirstFit returns the FF variant with the given multiplexing level.
+func NewFirstFit(multiplex int) (*FirstFit, error) {
+	if multiplex < 1 {
+		return nil, fmt.Errorf("strategy: multiplex %d must be >= 1", multiplex)
+	}
+	return &FirstFit{Multiplex: multiplex}, nil
+}
+
+func (f *FirstFit) Name() string {
+	if f.Multiplex == 1 {
+		return "FF"
+	}
+	return fmt.Sprintf("FF-%d", f.Multiplex)
+}
+
+// Cap is the per-server VM limit for this variant.
+func (f *FirstFit) Cap() int { return f.Multiplex * CPUSlotsPerServer }
+
+// Place assigns each VM to the first server with a free slot.
+func (f *FirstFit) Place(servers []Server, vms []core.VMRequest) ([]int, bool) {
+	if len(vms) == 0 {
+		return nil, false
+	}
+	used := make([]int, len(servers))
+	for i, s := range servers {
+		used[i] = s.Alloc.Total()
+	}
+	assign := make([]int, len(vms))
+	for v := range vms {
+		placed := false
+		for i := range servers {
+			if used[i] < f.Cap() {
+				used[i]++
+				assign[v] = servers[i].ID
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, false
+		}
+	}
+	return assign, true
+}
+
+// BestFit packs each VM onto the feasible server with the least remaining
+// slack (the classic consolidation heuristic), at the given multiplexing
+// level. An extra baseline beyond the paper.
+type BestFit struct {
+	Multiplex int
+}
+
+func (b *BestFit) Name() string { return fmt.Sprintf("BF-%d", b.Multiplex) }
+
+func (b *BestFit) cap() int { return b.Multiplex * CPUSlotsPerServer }
+
+// Place assigns each VM to the fullest server that still has a slot.
+func (b *BestFit) Place(servers []Server, vms []core.VMRequest) ([]int, bool) {
+	if b.Multiplex < 1 || len(vms) == 0 {
+		return nil, false
+	}
+	used := make([]int, len(servers))
+	for i, s := range servers {
+		used[i] = s.Alloc.Total()
+	}
+	assign := make([]int, len(vms))
+	for v := range vms {
+		best := -1
+		for i := range servers {
+			if used[i] >= b.cap() {
+				continue
+			}
+			if best < 0 || used[i] > used[best] {
+				best = i
+			}
+		}
+		if best < 0 {
+			return nil, false
+		}
+		used[best]++
+		assign[v] = servers[best].ID
+	}
+	return assign, true
+}
+
+// Random places each VM on a uniformly random server with a free slot.
+// An extra baseline beyond the paper.
+type Random struct {
+	Multiplex int
+	Rng       *rng.Stream
+}
+
+func (r *Random) Name() string { return fmt.Sprintf("RAND-%d", r.Multiplex) }
+
+// Place assigns each VM to a random server with spare capacity.
+func (r *Random) Place(servers []Server, vms []core.VMRequest) ([]int, bool) {
+	if r.Multiplex < 1 || r.Rng == nil || len(vms) == 0 {
+		return nil, false
+	}
+	cap := r.Multiplex * CPUSlotsPerServer
+	used := make([]int, len(servers))
+	for i, s := range servers {
+		used[i] = s.Alloc.Total()
+	}
+	assign := make([]int, len(vms))
+	for v := range vms {
+		var free []int
+		for i := range servers {
+			if used[i] < cap {
+				free = append(free, i)
+			}
+		}
+		if len(free) == 0 {
+			return nil, false
+		}
+		pick := free[r.Rng.Intn(len(free))]
+		used[pick]++
+		assign[v] = servers[pick].ID
+	}
+	return assign, true
+}
+
+// Proactive adapts the paper's allocator (internal/core) to the Strategy
+// interface.
+type Proactive struct {
+	goal    core.Goal
+	strict  *core.Allocator
+	relaxed *core.Allocator
+}
+
+// NewProactive builds a PA-α strategy over the given model database.
+// maxVMs caps per-server residency (0 uses the database grid bound).
+func NewProactive(db *model.DB, goal core.Goal, maxVMs int) (*Proactive, error) {
+	if db == nil {
+		return nil, errors.New("strategy: nil model database")
+	}
+	return NewProactiveConfig(core.Config{DB: db, MaxVMsPerServer: maxVMs}, goal)
+}
+
+// NewProactiveConfig builds a PA-α strategy from an explicit allocator
+// configuration — the hook for ablations (e.g. disabling the per-class
+// grid bound). The RelaxQoS field is managed internally: the strategy
+// always runs a strict pass first and a relaxed pass only for
+// unsatisfiable requests.
+func NewProactiveConfig(cfg core.Config, goal core.Goal) (*Proactive, error) {
+	cfg.RelaxQoS = false
+	strict, err := core.NewAllocator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg.RelaxQoS = true
+	relaxed, err := core.NewAllocator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Proactive{goal: goal, strict: strict, relaxed: relaxed}, nil
+}
+
+func (p *Proactive) Name() string {
+	return fmt.Sprintf("PA-%g", p.goal.Alpha)
+}
+
+// Place runs the proactive allocation. QoS guarantees gate the search:
+// when some placement satisfies every bound the best such placement wins;
+// when none does but the bounds are satisfiable in principle (each VM
+// would meet its bound alone on an empty server), the job waits for
+// completions to free QoS-compatible capacity; and when a bound is
+// unsatisfiable even on an idle server, the job is placed at the best
+// relaxed score — the paper's algorithm "can be relaxed by disregarding
+// the QoS guarantees" — so an impossible SLA becomes one recorded
+// violation instead of a starved queue.
+func (p *Proactive) Place(servers []Server, vms []core.VMRequest) ([]int, bool) {
+	states := make([]core.ServerState, len(servers))
+	for i, s := range servers {
+		states[i] = core.ServerState{ID: s.ID, Alloc: s.Alloc}
+	}
+	out, err := p.strict.Allocate(p.goal, states, vms)
+	if errors.Is(err, core.ErrInfeasible) {
+		satisfiable := true
+		for _, vm := range vms {
+			if !p.strict.FitsAlone(vm) {
+				satisfiable = false
+				break
+			}
+		}
+		if satisfiable {
+			return nil, false // wait for QoS-compatible capacity
+		}
+		out, err = p.relaxed.Allocate(p.goal, states, vms)
+	}
+	if err != nil {
+		return nil, false
+	}
+	return flatten(out, vms)
+}
+
+// flatten converts an Allocation into the per-VM assignment slice,
+// matching VMs by their IDs.
+func flatten(out core.Allocation, vms []core.VMRequest) ([]int, bool) {
+	byID := make(map[string]int, len(vms))
+	for i, vm := range vms {
+		byID[vm.ID] = i
+	}
+	assign := make([]int, len(vms))
+	seen := make([]bool, len(vms))
+	for _, pl := range out.Placements {
+		for _, vm := range pl.VMs {
+			idx, ok := byID[vm.ID]
+			if !ok || seen[idx] {
+				return nil, false
+			}
+			seen[idx] = true
+			assign[idx] = pl.ServerID
+		}
+	}
+	for _, s := range seen {
+		if !s {
+			return nil, false
+		}
+	}
+	return assign, true
+}

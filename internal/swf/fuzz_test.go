@@ -1,0 +1,41 @@
+package swf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that arbitrary input never panics the parser, and
+// that anything it accepts survives a write/parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add(sample)
+	f.Add("")
+	f.Add("; Version: 2.2\n")
+	f.Add("1 0 5 600 2 -1 -1 2 1200 -1 1 3 1 7 1 1 -1 -1\n")
+	f.Add("1 2 3\n")
+	f.Add(strings.Repeat("9 ", 18) + "\n")
+	f.Add("; broken header without colon\n\n  \n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatalf("Write failed on accepted trace: %v", err)
+		}
+		back, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(back.Jobs) != len(tr.Jobs) {
+			t.Fatalf("round trip changed job count: %d vs %d", len(back.Jobs), len(tr.Jobs))
+		}
+		// Cleaning accepted input must never panic either.
+		_, rep := Clean(tr)
+		if rep.Kept+rep.Failed+rep.Cancelled+rep.Anomalous != rep.Input {
+			t.Fatalf("clean report does not add up: %+v", rep)
+		}
+	})
+}

@@ -1,0 +1,268 @@
+// Package thermal implements the paper's first future-work direction:
+// "consider thermal efficiency in VM allocation" and integration "with
+// schemes for autonomic thermal management in instrumented datacenters"
+// (Sect. V; the authors' earlier reactive study is reference [3]).
+//
+// The model is the standard abstract heat-recirculation formulation used
+// by that literature: each server's inlet temperature is the cooling
+// supply temperature plus a weighted sum of all servers' power draws,
+//
+//	T_in[i] = T_supply + Σ_j D[i][j]·P[j]
+//
+// where D captures how much of server j's heat recirculates into server
+// i's inlet. A thermal-aware placement keeps the predicted peak inlet
+// temperature below the redline by preferring servers whose heat
+// contribution to hot positions is small.
+//
+// Strategy decorates any base placement strategy with a thermal
+// admission check and a coolest-feasible re-ranking, so the paper's
+// PROACTIVE allocator composes with thermal management unchanged.
+package thermal
+
+import (
+	"fmt"
+
+	"pacevm/internal/core"
+	"pacevm/internal/model"
+	"pacevm/internal/strategy"
+	"pacevm/internal/units"
+)
+
+// Celsius is a temperature.
+type Celsius float64
+
+func (c Celsius) String() string { return fmt.Sprintf("%.1f°C", float64(c)) }
+
+// Model is the datacenter heat-recirculation model.
+type Model struct {
+	// Supply is the cooling (CRAC) supply temperature.
+	Supply Celsius
+	// Recirculation[i][j] is the inlet temperature rise at server i per
+	// Watt dissipated at server j (°C/W). The diagonal models a
+	// server's own heat feedback.
+	Recirculation [][]float64
+	// Redline is the maximum safe inlet temperature.
+	Redline Celsius
+}
+
+// Uniform builds a model for n servers where every server receives
+// self °C/W from itself and cross °C/W from every other server — the
+// simplest well-mixed room. Use custom matrices for row/aisle layouts.
+func Uniform(n int, supply, redline Celsius, self, cross float64) (*Model, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("thermal: need at least one server")
+	}
+	if self < 0 || cross < 0 {
+		return nil, fmt.Errorf("thermal: negative recirculation coefficients")
+	}
+	m := &Model{Supply: supply, Redline: redline, Recirculation: make([][]float64, n)}
+	for i := range m.Recirculation {
+		row := make([]float64, n)
+		for j := range row {
+			if i == j {
+				row[j] = self
+			} else {
+				row[j] = cross
+			}
+		}
+		m.Recirculation[i] = row
+	}
+	return m, nil
+}
+
+// Validate checks the model's shape.
+func (m *Model) Validate() error {
+	n := len(m.Recirculation)
+	if n == 0 {
+		return fmt.Errorf("thermal: empty recirculation matrix")
+	}
+	for i, row := range m.Recirculation {
+		if len(row) != n {
+			return fmt.Errorf("thermal: recirculation row %d has %d entries, want %d", i, len(row), n)
+		}
+		for j, d := range row {
+			if d < 0 {
+				return fmt.Errorf("thermal: negative recirculation D[%d][%d]", i, j)
+			}
+		}
+	}
+	if m.Redline <= m.Supply {
+		return fmt.Errorf("thermal: redline %v not above supply %v", m.Redline, m.Supply)
+	}
+	return nil
+}
+
+// Servers returns the number of servers the model covers.
+func (m *Model) Servers() int { return len(m.Recirculation) }
+
+// Inlets predicts every server's inlet temperature for the given power
+// vector (one entry per server).
+func (m *Model) Inlets(powers []units.Watts) ([]Celsius, error) {
+	if len(powers) != m.Servers() {
+		return nil, fmt.Errorf("thermal: %d powers for %d servers", len(powers), m.Servers())
+	}
+	out := make([]Celsius, m.Servers())
+	for i, row := range m.Recirculation {
+		t := m.Supply
+		for j, d := range row {
+			t += Celsius(d * float64(powers[j]))
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// Peak returns the hottest inlet and its server index.
+func (m *Model) Peak(powers []units.Watts) (int, Celsius, error) {
+	inlets, err := m.Inlets(powers)
+	if err != nil {
+		return 0, 0, err
+	}
+	idx, peak := 0, inlets[0]
+	for i, t := range inlets[1:] {
+		if t > peak {
+			idx, peak = i+1, t
+		}
+	}
+	return idx, peak, nil
+}
+
+// PowerOf estimates a server's power draw for an allocation using the
+// model database (125 W-floored average power while hosting; idle draw
+// for an empty server).
+func PowerOf(db *model.DB, alloc model.Key, idle units.Watts) (units.Watts, error) {
+	if alloc.IsZero() {
+		return idle, nil
+	}
+	rec, err := db.Estimate(alloc)
+	if err != nil {
+		return 0, err
+	}
+	return rec.AvgPower(), nil
+}
+
+// Strategy decorates a base placement strategy with thermal awareness:
+// the base decides which VMs go where; if the decision's predicted peak
+// inlet exceeds the redline, Strategy greedily re-homes VMs onto the
+// thermally coolest feasible servers (by predicted peak after
+// placement), and rejects the job if no thermally safe placement exists.
+type Strategy struct {
+	Base  strategy.Strategy
+	Model *Model
+	DB    *model.DB
+	// IdlePower is the draw assumed for empty servers (the paper's
+	// 125 W, or 0 for power-gated fleets).
+	IdlePower units.Watts
+	// MaxVMsPerServer caps re-homed placements (defaults to 16).
+	MaxVMsPerServer int
+}
+
+// Name identifies the decorated strategy.
+func (s *Strategy) Name() string { return "THERM+" + s.Base.Name() }
+
+// Place implements strategy.Strategy.
+func (s *Strategy) Place(servers []strategy.Server, vms []core.VMRequest) ([]int, bool) {
+	if s.Model == nil || s.DB == nil || len(servers) != s.Model.Servers() {
+		return nil, false
+	}
+	assign, ok := s.Base.Place(servers, vms)
+	if !ok {
+		return nil, false
+	}
+	if safe, err := s.safe(servers, assign, vms); err == nil && safe {
+		return assign, true
+	}
+	return s.coolest(servers, vms)
+}
+
+// safe predicts whether a committed assignment stays under the redline.
+func (s *Strategy) safe(servers []strategy.Server, assign []int, vms []core.VMRequest) (bool, error) {
+	allocs := s.allocsAfter(servers, assign, vms)
+	powers, err := s.powers(allocs)
+	if err != nil {
+		return false, err
+	}
+	_, peak, err := s.Model.Peak(powers)
+	if err != nil {
+		return false, err
+	}
+	return peak <= s.Redline(), nil
+}
+
+// Redline returns the model redline.
+func (s *Strategy) Redline() Celsius { return s.Model.Redline }
+
+// coolest greedily places each VM on the server that minimizes the
+// predicted peak inlet temperature, subject to the admission cap and the
+// redline.
+func (s *Strategy) coolest(servers []strategy.Server, vms []core.VMRequest) ([]int, bool) {
+	cap := s.MaxVMsPerServer
+	if cap <= 0 {
+		cap = 16
+	}
+	allocs := make([]model.Key, len(servers))
+	for i, sv := range servers {
+		allocs[i] = sv.Alloc
+	}
+	assign := make([]int, len(vms))
+	for v, vm := range vms {
+		bestIdx := -1
+		var bestPeak Celsius
+		for i := range servers {
+			if allocs[i].Total() >= cap {
+				continue
+			}
+			trial := append([]model.Key(nil), allocs...)
+			trial[i] = trial[i].Add(model.KeyFor(vm.Class, 1))
+			powers, err := s.powers(trial)
+			if err != nil {
+				continue
+			}
+			_, peak, err := s.Model.Peak(powers)
+			if err != nil {
+				continue
+			}
+			if peak > s.Redline() {
+				continue
+			}
+			if bestIdx < 0 || peak < bestPeak {
+				bestIdx, bestPeak = i, peak
+			}
+		}
+		if bestIdx < 0 {
+			return nil, false
+		}
+		allocs[bestIdx] = allocs[bestIdx].Add(model.KeyFor(vm.Class, 1))
+		assign[v] = servers[bestIdx].ID
+	}
+	return assign, true
+}
+
+func (s *Strategy) allocsAfter(servers []strategy.Server, assign []int, vms []core.VMRequest) []model.Key {
+	byID := map[int]int{}
+	for i, sv := range servers {
+		byID[sv.ID] = i
+	}
+	allocs := make([]model.Key, len(servers))
+	for i, sv := range servers {
+		allocs[i] = sv.Alloc
+	}
+	for v, id := range assign {
+		if i, ok := byID[id]; ok {
+			allocs[i] = allocs[i].Add(model.KeyFor(vms[v].Class, 1))
+		}
+	}
+	return allocs
+}
+
+func (s *Strategy) powers(allocs []model.Key) ([]units.Watts, error) {
+	out := make([]units.Watts, len(allocs))
+	for i, a := range allocs {
+		p, err := PowerOf(s.DB, a, s.IdlePower)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}

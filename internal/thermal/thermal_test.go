@@ -1,0 +1,244 @@
+package thermal
+
+import (
+	"sync"
+	"testing"
+
+	"pacevm/internal/campaign"
+	"pacevm/internal/core"
+	"pacevm/internal/model"
+	"pacevm/internal/strategy"
+	"pacevm/internal/units"
+	"pacevm/internal/workload"
+)
+
+var (
+	dbOnce sync.Once
+	testDB *model.DB
+	dbErr  error
+)
+
+func sharedDB(t *testing.T) *model.DB {
+	t.Helper()
+	dbOnce.Do(func() {
+		cfg := campaign.DefaultConfig()
+		cfg.FullGridTotal = 12
+		testDB, _, dbErr = campaign.Run(cfg)
+	})
+	if dbErr != nil {
+		t.Fatal(dbErr)
+	}
+	return testDB
+}
+
+func TestUniformModel(t *testing.T) {
+	m, err := Uniform(3, 18, 30, 0.01, 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Servers() != 3 {
+		t.Errorf("servers = %d", m.Servers())
+	}
+	inlets, err := m.Inlets([]units.Watts{100, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Server 0 heats itself by 1°C, the others by 0.2°C.
+	if inlets[0] != 19 || inlets[1] != 18.2 || inlets[2] != 18.2 {
+		t.Errorf("inlets = %v", inlets)
+	}
+}
+
+func TestUniformErrors(t *testing.T) {
+	if _, err := Uniform(0, 18, 30, 0.01, 0.002); err == nil {
+		t.Error("zero servers should fail")
+	}
+	if _, err := Uniform(2, 18, 30, -1, 0.002); err == nil {
+		t.Error("negative coefficient should fail")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	m, _ := Uniform(2, 18, 30, 0.01, 0.002)
+	m.Recirculation[1] = m.Recirculation[1][:1]
+	if err := m.Validate(); err == nil {
+		t.Error("ragged matrix should fail")
+	}
+	m, _ = Uniform(2, 18, 30, 0.01, 0.002)
+	m.Redline = 10
+	if err := m.Validate(); err == nil {
+		t.Error("redline below supply should fail")
+	}
+	m = &Model{}
+	if err := m.Validate(); err == nil {
+		t.Error("empty model should fail")
+	}
+}
+
+func TestPeak(t *testing.T) {
+	m, _ := Uniform(3, 18, 30, 0.01, 0.001)
+	idx, peak, err := m.Peak([]units.Watts{50, 200, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 {
+		t.Errorf("peak at %d, want the 200W server", idx)
+	}
+	if peak <= 18 {
+		t.Errorf("peak %v not above supply", peak)
+	}
+	if _, _, err := m.Peak([]units.Watts{1}); err == nil {
+		t.Error("wrong power vector length should fail")
+	}
+}
+
+func TestPowerOf(t *testing.T) {
+	db := sharedDB(t)
+	idle, err := PowerOf(db, model.Key{}, 125)
+	if err != nil || idle != 125 {
+		t.Fatalf("idle power = %v, %v", idle, err)
+	}
+	busy, err := PowerOf(db, model.KeyFor(workload.ClassCPU, 2), 125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if busy <= 125 {
+		t.Errorf("busy power %v not above idle", busy)
+	}
+}
+
+func mkServers(n int) []strategy.Server {
+	out := make([]strategy.Server, n)
+	for i := range out {
+		out[i] = strategy.Server{ID: i}
+	}
+	return out
+}
+
+func mkVMs(t *testing.T, n int) []core.VMRequest {
+	t.Helper()
+	ref := sharedDB(t).Aux().RefTime[workload.ClassCPU]
+	out := make([]core.VMRequest, n)
+	for i := range out {
+		out[i] = core.VMRequest{ID: string(rune('a' + i)), Class: workload.ClassCPU, NominalTime: ref}
+	}
+	return out
+}
+
+func TestStrategyPassesThroughWhenCool(t *testing.T) {
+	db := sharedDB(t)
+	base, err := strategy.NewFirstFit(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generous redline: base decision stands.
+	m, _ := Uniform(4, 18, 60, 0.005, 0.001)
+	s := &Strategy{Base: base, Model: m, DB: db}
+	assign, ok := s.Place(mkServers(4), mkVMs(t, 2))
+	if !ok {
+		t.Fatal("placement failed")
+	}
+	if assign[0] != 0 || assign[1] != 0 {
+		t.Errorf("cool decision should match first-fit: %v", assign)
+	}
+	if s.Name() != "THERM+FF" {
+		t.Errorf("Name = %q", s.Name())
+	}
+}
+
+func TestStrategySpreadsWhenHot(t *testing.T) {
+	db := sharedDB(t)
+	base, err := strategy.NewFirstFit(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Self-heating dominates: stacking on one server blows the redline,
+	// spreading stays under it. Redline chosen so one busy server plus
+	// idles is fine but a 4-stack is not.
+	m, _ := Uniform(4, 18, 20.0, 0.01, 0.0005)
+	s := &Strategy{Base: base, Model: m, DB: db, IdlePower: 0}
+	assign, ok := s.Place(mkServers(4), mkVMs(t, 4))
+	if !ok {
+		t.Fatal("thermal placement failed")
+	}
+	used := map[int]int{}
+	for _, a := range assign {
+		used[a]++
+	}
+	if len(used) < 2 {
+		t.Errorf("thermal strategy did not spread a hot placement: %v", assign)
+	}
+	// And the final configuration must respect the redline.
+	allocs := make([]model.Key, 4)
+	for _, a := range assign {
+		allocs[a] = allocs[a].Add(model.KeyFor(workload.ClassCPU, 1))
+	}
+	powers := make([]units.Watts, 4)
+	for i, al := range allocs {
+		powers[i], err = PowerOf(db, al, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, peak, _ := m.Peak(powers); peak > m.Redline {
+		t.Errorf("final peak %v above redline %v", peak, m.Redline)
+	}
+}
+
+func TestStrategyRejectsWhenNothingIsSafe(t *testing.T) {
+	db := sharedDB(t)
+	base, err := strategy.NewFirstFit(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Impossible redline: even one busy server overheats.
+	m, _ := Uniform(2, 18, 18.1, 0.01, 0.01)
+	s := &Strategy{Base: base, Model: m, DB: db, IdlePower: 0}
+	if _, ok := s.Place(mkServers(2), mkVMs(t, 1)); ok {
+		t.Error("unsafe placement should be rejected")
+	}
+}
+
+func TestStrategyServerCountMismatch(t *testing.T) {
+	db := sharedDB(t)
+	base, _ := strategy.NewFirstFit(1)
+	m, _ := Uniform(3, 18, 30, 0.01, 0.001)
+	s := &Strategy{Base: base, Model: m, DB: db}
+	if _, ok := s.Place(mkServers(2), mkVMs(t, 1)); ok {
+		t.Error("mismatched model/server count should be rejected")
+	}
+}
+
+func TestCoolestPrefersThermallyFavoredServer(t *testing.T) {
+	db := sharedDB(t)
+	base, err := strategy.NewFirstFit(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Asymmetric room: server 0 sits in a hot spot (large self
+	// coefficient), server 1 is well cooled. With a tight redline the
+	// base FF choice (server 0) is unsafe and the re-homing must pick
+	// server 1.
+	m := &Model{
+		Supply:  18,
+		Redline: 19.0,
+		Recirculation: [][]float64{
+			{0.010, 0.0001},
+			{0.0001, 0.003},
+		},
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := &Strategy{Base: base, Model: m, DB: db, IdlePower: 0}
+	assign, ok := s.Place(mkServers(2), mkVMs(t, 1))
+	if !ok {
+		t.Fatal("placement failed")
+	}
+	if assign[0] != 1 {
+		t.Errorf("placed on %d, want the cool server 1", assign[0])
+	}
+}

@@ -1,0 +1,25 @@
+package units_test
+
+import (
+	"fmt"
+
+	"pacevm/internal/units"
+)
+
+func ExampleWatts_Times() {
+	// A server idling at the paper's 125 W for ten minutes:
+	energy := units.Watts(125).Times(600)
+	fmt.Println(energy)
+	// Output: 75.000kJ
+}
+
+func ExampleEDP() {
+	// Table II's energy-delay product column.
+	fmt.Println(units.EDP(14250, 1380))
+	// Output: 1.97e+07J·s
+}
+
+func ExampleEnergyOver() {
+	fmt.Println(units.EnergyOver(75000, 600))
+	// Output: 125.0W
+}

@@ -1,0 +1,152 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSecondsDuration(t *testing.T) {
+	cases := []struct {
+		in   Seconds
+		want time.Duration
+	}{
+		{0, 0},
+		{1, time.Second},
+		{1.5, 1500 * time.Millisecond},
+		{-2, -2 * time.Second},
+	}
+	for _, c := range cases {
+		if got := c.in.Duration(); got != c.want {
+			t.Errorf("Seconds(%v).Duration() = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSecondsDurationSaturates(t *testing.T) {
+	huge := Seconds(1e30)
+	if got := huge.Duration(); got != time.Duration(math.MaxInt64) {
+		t.Errorf("huge duration = %v, want MaxInt64", got)
+	}
+	if got := (-huge).Duration(); got != time.Duration(math.MinInt64) {
+		t.Errorf("huge negative duration = %v, want MinInt64", got)
+	}
+}
+
+func TestFromDurationRoundTrip(t *testing.T) {
+	f := func(ms int32) bool {
+		d := time.Duration(ms) * time.Millisecond
+		s := FromDuration(d)
+		back := s.Duration()
+		// float64 cannot represent every nanosecond count exactly;
+		// allow one nanosecond of round-trip error.
+		diff := back - d
+		return diff >= -1 && diff <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowerTimes(t *testing.T) {
+	e := Watts(125).Times(Seconds(60))
+	if e != Joules(7500) {
+		t.Errorf("125W * 60s = %v, want 7500J", e)
+	}
+}
+
+func TestEnergyOver(t *testing.T) {
+	if p := EnergyOver(Joules(7500), Seconds(60)); p != Watts(125) {
+		t.Errorf("7500J / 60s = %v, want 125W", p)
+	}
+	if p := EnergyOver(Joules(7500), 0); p != 0 {
+		t.Errorf("division by zero duration should yield 0, got %v", p)
+	}
+	if p := EnergyOver(Joules(7500), Seconds(-1)); p != 0 {
+		t.Errorf("negative duration should yield 0, got %v", p)
+	}
+}
+
+func TestEDP(t *testing.T) {
+	if got := EDP(Joules(100), Seconds(10)); got != JouleSeconds(1000) {
+		t.Errorf("EDP(100J,10s) = %v, want 1000", got)
+	}
+}
+
+func TestPowerEnergyInverse(t *testing.T) {
+	f := func(pw float64, dur float64) bool {
+		p := Watts(math.Abs(math.Mod(pw, 1e6)))
+		d := Seconds(math.Abs(math.Mod(dur, 1e6)) + 1e-3)
+		back := EnergyOver(p.Times(d), d)
+		return NearlyEqual(float64(back), float64(p), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{-1, 0}, {0, 0}, {0.5, 0.5}, {1, 1}, {2, 1},
+	}
+	for _, c := range cases {
+		if got := Clamp01(c.in); got != c.want {
+			t.Errorf("Clamp01(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestClamp01Property(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) {
+			return true
+		}
+		y := Clamp01(x)
+		return y >= 0 && y <= 1 && (x < 0 || x > 1 || y == x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNearlyEqual(t *testing.T) {
+	cases := []struct {
+		a, b, rel float64
+		want      bool
+	}{
+		{1, 1, 0, true},
+		{1, 1.0000001, 1e-6, true},
+		{1, 1.1, 1e-6, false},
+		{0, 1e-13, 1e-9, true},
+		{100, 101, 0.02, true},
+		{100, 103, 0.02, false},
+	}
+	for _, c := range cases {
+		if got := NearlyEqual(c.a, c.b, c.rel); got != c.want {
+			t.Errorf("NearlyEqual(%v,%v,%v) = %v, want %v", c.a, c.b, c.rel, got, c.want)
+		}
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{Seconds(1.5).String(), "1.500s"},
+		{Watts(125).String(), "125.0W"},
+		{Joules(500).String(), "500.0J"},
+		{Joules(14250).String(), "14.250kJ"},
+		{Joules(2.5e6).String(), "2.500MJ"},
+		{Joules(3.2e9).String(), "3.200GJ"},
+		{MiB(512).String(), "512MiB"},
+		{MiB(4096).String(), "4.00GiB"},
+		{MiBps(100).String(), "100.0MiB/s"},
+		{Mbps(1000).String(), "1000.0Mb/s"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("String() = %q, want %q", c.got, c.want)
+		}
+	}
+}

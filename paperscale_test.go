@@ -1,0 +1,60 @@
+package pacevm
+
+// Paper-scale end-to-end verification, opt-in because it runs the full
+// 10,000-VM evaluation (~5 s):
+//
+//	PACEVM_PAPER_SCALE=1 go test -run TestPaperScale .
+//
+// The Quick-scale equivalents in internal/experiments run on every `go
+// test`; this test confirms the headline bands hold at the scale the
+// paper actually reports.
+
+import (
+	"os"
+	"testing"
+
+	"pacevm/internal/experiments"
+)
+
+func TestPaperScaleHeadlines(t *testing.T) {
+	if os.Getenv("PACEVM_PAPER_SCALE") != "1" {
+		t.Skip("set PACEVM_PAPER_SCALE=1 to run the full 10,000-VM evaluation")
+	}
+	ctx, err := experiments.NewContext(experiments.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := ctx.Evaluation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cloud := range []experiments.CloudName{experiments.Smaller, experiments.Larger} {
+		h, err := experiments.ComputeHeadlines(results, cloud)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The paper: up to 18 % shorter execution times vs first-fit.
+		if h.MakespanSavingVsFFPct < 15 || h.MakespanSavingVsFFPct > 35 {
+			t.Errorf("%s: makespan saving vs FF = %.1f%%, want 15-35%% (paper: up to 18%%)", cloud, h.MakespanSavingVsFFPct)
+		}
+		// The paper: ~12 % energy saving vs first-fit.
+		if h.EnergySavingVsFFPct < 8 || h.EnergySavingVsFFPct > 18 {
+			t.Errorf("%s: energy saving vs FF = %.1f%%, want 8-18%% (paper: ~12%%)", cloud, h.EnergySavingVsFFPct)
+		}
+		// α orderings (paper: ~3 %, "<2 %" variations).
+		if h.PA1VsPA0EnergyPct < 0 || h.PA1VsPA0EnergyPct > 5 {
+			t.Errorf("%s: PA-1 vs PA-0 energy = %.1f%%, want 0-5%%", cloud, h.PA1VsPA0EnergyPct)
+		}
+		if h.SLAReductionPct <= 50 {
+			t.Errorf("%s: SLA reduction = %.1f pts, want a decisive PROACTIVE advantage", cloud, h.SLAReductionPct)
+		}
+	}
+	// Fig. 2 at paper scale: optimum 9, knee past 11.
+	fig2, err := ctx.Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig2.OSP != 9 {
+		t.Errorf("FFTW optimum = %d VMs, want the paper's 9 at full calibration", fig2.OSP)
+	}
+}
