@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build verify test race vet bench bench-alloc cover clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+# verify is the tier-1 gate: compile, static checks, full test suite.
+verify: build vet test
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run NONE -bench . -benchmem ./...
+
+# bench-alloc compares the optimized allocation search against the
+# retained pre-optimization reference on the same workloads.
+bench-alloc:
+	$(GO) test -run NONE -bench 'BenchmarkAllocate' -benchmem .
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean ./...

@@ -7,7 +7,9 @@ package pacevm
 // -bench flags can raise the scale through PACEVM_PAPER_SCALE=1.
 
 import (
+	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -20,6 +22,7 @@ import (
 	"pacevm/internal/profiler"
 	"pacevm/internal/strategy"
 	"pacevm/internal/trace"
+	"pacevm/internal/units"
 	"pacevm/internal/vmm"
 	"pacevm/internal/workload"
 )
@@ -196,27 +199,113 @@ func BenchmarkPartitions8(b *testing.B) {
 	}
 }
 
-// BenchmarkAllocate measures one proactive allocation decision: a 4-VM
-// job against a 66-server cloud with mixed residual allocations.
-func BenchmarkAllocate(b *testing.B) {
-	db := sharedCtx(b).DB
-	alloc, err := core.NewAllocator(core.Config{DB: db})
-	if err != nil {
-		b.Fatal(err)
-	}
+// benchServers builds the 66-server cloud with mixed residual
+// allocations shared by the allocation benchmarks.
+func benchServers() []core.ServerState {
 	servers := make([]core.ServerState, 66)
 	for i := range servers {
 		servers[i] = core.ServerState{ID: i, Alloc: model.Key{NCPU: i % 3, NMEM: i % 2, NIO: (i + 1) % 2}}
 	}
-	ref := db.Aux().RefTime[workload.ClassCPU]
-	vms := make([]core.VMRequest, 4)
+	return servers
+}
+
+// benchVMs builds an n-VM job mixing all three classes with staggered
+// nominal times and generous QoS bounds, so the search sees genuinely
+// distinct VM types rather than one fully-interchangeable set.
+func benchVMs(db *model.DB, n int) []core.VMRequest {
+	vms := make([]core.VMRequest, n)
 	for i := range vms {
-		vms[i] = core.VMRequest{ID: string(rune('a' + i)), Class: workload.ClassCPU, NominalTime: ref, MaxTime: 3 * ref}
+		class := workload.Classes[i%workload.NumClasses]
+		nominal := db.Aux().RefTime[class] * units.Seconds(1+0.07*float64(i))
+		vms[i] = core.VMRequest{ID: string(rune('a' + i)), Class: class, NominalTime: nominal, MaxTime: 4 * nominal}
 	}
-	b.ResetTimer()
+	return vms
+}
+
+// BenchmarkAllocate measures one proactive allocation decision at
+// growing job sizes: an n-VM job against a 66-server cloud with mixed
+// residual allocations, through the pruned and memoized search.
+func BenchmarkAllocate(b *testing.B) {
+	db := sharedCtx(b).DB
+	alloc, err := core.NewAllocator(core.Config{DB: db, SearchWorkers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	servers := benchServers()
+	for _, n := range []int{4, 6, 8, 10} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			vms := benchVMs(db, n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := alloc.Allocate(core.GoalBalanced, servers, vms); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAllocateReference measures the retained unpruned serial
+// transcription on the same workload — the pre-optimization baseline
+// the BenchmarkAllocate numbers are compared against.
+func BenchmarkAllocateReference(b *testing.B) {
+	db := sharedCtx(b).DB
+	alloc, err := core.NewAllocator(core.Config{DB: db, SearchWorkers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	servers := benchServers()
+	for _, n := range []int{4, 6, 8} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			vms := benchVMs(db, n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := alloc.AllocateReference(core.GoalBalanced, servers, vms); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAllocateParallel measures the worker-pool search on an 8-VM
+// job. The pool is sized to the machine but never below two workers, so
+// the fan-out path itself is exercised even on a single-core host.
+func BenchmarkAllocateParallel(b *testing.B) {
+	db := sharedCtx(b).DB
+	workers := runtime.NumCPU()
+	if workers < 2 {
+		workers = 2
+	}
+	alloc, err := core.NewAllocator(core.Config{DB: db, SearchWorkers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	servers := benchServers()
+	vms := benchVMs(db, 8)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := alloc.Allocate(core.GoalBalanced, servers, vms); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignParallel measures the full benchmarking campaign
+// (base tests plus the complete Table-II pricing grid) through the
+// worker-pool harness sized to the machine.
+func BenchmarkCampaignParallel(b *testing.B) {
+	cfg := campaign.DefaultConfig()
+	cfg.FullGridTotal = 16
+	cfg.Workers = 0 // one worker per CPU
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db, _, err := campaign.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if db.Len() < 900 {
+			b.Fatalf("grid shrank to %d records", db.Len())
 		}
 	}
 }

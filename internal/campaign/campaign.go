@@ -12,6 +12,10 @@ package campaign
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"pacevm/internal/model"
 	"pacevm/internal/power"
@@ -44,6 +48,16 @@ type Config struct {
 	// never below 1 s.
 	MeterNoise   *rng.Stream
 	MeterSamples int
+
+	// Workers sizes the pool the combined-test grid (and the per-class
+	// base tests) fan out to. Zero defaults to runtime.NumCPU(); one
+	// forces the serial path. Results are gathered and ordered by grid
+	// key, so the produced database — and the model.csv written from it
+	// — is byte-identical to a serial run. A non-nil MeterNoise forces
+	// the serial path regardless: the noisy meter draws from one shared
+	// stream, and only a fixed draw order reproduces the paper's
+	// measured-noise runs.
+	Workers int
 }
 
 // DefaultConfig returns the paper-faithful configuration over the
@@ -69,7 +83,22 @@ func (c Config) validate() error {
 	if c.MeterSamples < 0 {
 		return fmt.Errorf("campaign: negative MeterSamples")
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("campaign: negative Workers")
+	}
 	return nil
+}
+
+// workers resolves the effective pool size: MeterNoise shares one
+// stream and pins the serial path, zero means one worker per CPU.
+func (c Config) workers() int {
+	if c.MeterNoise != nil {
+		return 1
+	}
+	if c.Workers == 0 {
+		return runtime.NumCPU()
+	}
+	return c.Workers
 }
 
 // BasePoint is one base-test outcome: n same-type VMs on one server.
@@ -182,15 +211,13 @@ func Run(cfg Config) (*model.DB, Summary, error) {
 	}
 	var sum Summary
 	var aux model.Aux
+	if err := runBases(cfg, &sum); err != nil {
+		return nil, Summary{}, err
+	}
 	for _, class := range workload.Classes {
-		base, err := RunBase(cfg, class)
-		if err != nil {
-			return nil, Summary{}, err
-		}
-		sum.Base[class] = base
-		aux.OSP[class] = base.OSP
-		aux.OSE[class] = base.OSE
-		aux.RefTime[class] = base.RefTime
+		aux.OSP[class] = sum.Base[class].OSP
+		aux.OSE[class] = sum.Base[class].OSE
+		aux.RefTime[class] = sum.Base[class].RefTime
 	}
 
 	keys := map[model.Key]bool{}
@@ -240,16 +267,21 @@ func Run(cfg Config) (*model.DB, Summary, error) {
 		}
 	}
 
-	recs := make([]model.Record, 0, len(keys))
+	// Order the grid deterministically before fanning out: rows land at
+	// fixed indices, so the record list (hence model.New's sorted CSV) is
+	// byte-identical whatever the pool size — and identical to the
+	// pre-parallel map-iteration code, which model.New already sorted.
+	grid := make([]model.Key, 0, len(keys))
 	for k := range keys {
-		if k.Total() > cfg.VMM.Spec.MaxVMs {
-			continue
+		if k.Total() <= cfg.VMM.Spec.MaxVMs {
+			grid = append(grid, k)
 		}
-		rec, err := MeasureMix(cfg, k)
-		if err != nil {
-			return nil, Summary{}, err
-		}
-		recs = append(recs, rec)
+	}
+	sort.Slice(grid, func(i, j int) bool { return grid[i].Less(grid[j]) })
+
+	recs, err := measureGrid(cfg, grid)
+	if err != nil {
+		return nil, Summary{}, err
 	}
 	sum.TotalRuns = len(recs)
 
@@ -258,6 +290,86 @@ func Run(cfg Config) (*model.DB, Summary, error) {
 		return nil, Summary{}, err
 	}
 	return db, sum, nil
+}
+
+// runBases executes the three per-class base-test sweeps, concurrently
+// when the configured pool allows it. Each class writes its own Summary
+// slot, and the reported error is the first in canonical class order, so
+// the outcome matches the serial loop exactly.
+func runBases(cfg Config, sum *Summary) error {
+	if cfg.workers() == 1 {
+		for _, class := range workload.Classes {
+			base, err := RunBase(cfg, class)
+			if err != nil {
+				return err
+			}
+			sum.Base[class] = base
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	var errs [workload.NumClasses]error
+	for _, class := range workload.Classes {
+		wg.Add(1)
+		go func(class workload.Class) {
+			defer wg.Done()
+			sum.Base[class], errs[class] = RunBase(cfg, class)
+		}(class)
+	}
+	wg.Wait()
+	for _, class := range workload.Classes {
+		if errs[class] != nil {
+			return errs[class]
+		}
+	}
+	return nil
+}
+
+// measureGrid measures every key of the (already sorted) grid and
+// returns the records in grid order. Experiments are independent, so
+// they fan out over cfg.workers() goroutines pulling indices from an
+// atomic counter; each result lands at its key's fixed slot and the
+// error reported is the one at the lowest index, making output and
+// failure behavior identical to the serial loop.
+func measureGrid(cfg Config, grid []model.Key) ([]model.Record, error) {
+	recs := make([]model.Record, len(grid))
+	workers := cfg.workers()
+	if workers > len(grid) {
+		workers = len(grid)
+	}
+	if workers <= 1 {
+		for i, k := range grid {
+			rec, err := MeasureMix(cfg, k)
+			if err != nil {
+				return nil, err
+			}
+			recs[i] = rec
+		}
+		return recs, nil
+	}
+	errs := make([]error, len(grid))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(grid) {
+					return
+				}
+				recs[i], errs[i] = MeasureMix(cfg, grid[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return recs, nil
 }
 
 func mixed(k model.Key) bool {

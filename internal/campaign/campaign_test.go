@@ -1,6 +1,8 @@
 package campaign
 
 import (
+	"bytes"
+	"reflect"
 	"testing"
 
 	"pacevm/internal/model"
@@ -235,6 +237,71 @@ func TestNoisyMeterStillConsistent(t *testing.T) {
 	}
 	if !units.NearlyEqual(float64(rec.Energy), float64(ideal.Energy), 0.02) {
 		t.Errorf("noisy energy %v too far from ideal %v", rec.Energy, ideal.Energy)
+	}
+}
+
+// csvs renders a database to its model.csv and aux.csv bytes.
+func csvs(t *testing.T, db *model.DB) (string, string) {
+	t.Helper()
+	var main, aux bytes.Buffer
+	if err := db.WriteCSV(&main); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.WriteAuxCSV(&aux); err != nil {
+		t.Fatal(err)
+	}
+	return main.String(), aux.String()
+}
+
+// TestParallelCampaignMatchesSerial pins the harness guarantee: the
+// worker-pool campaign writes byte-identical CSV output to the serial
+// run, whatever the pool size.
+func TestParallelCampaignMatchesSerial(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxBase = 4
+	cfg.FullGridTotal = 4
+	cfg.Workers = 1
+	serialDB, serialSum, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMain, wantAux := csvs(t, serialDB)
+	for _, workers := range []int{0, 4} {
+		cfg.Workers = workers
+		db, sum, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		gotMain, gotAux := csvs(t, db)
+		if gotMain != wantMain {
+			t.Errorf("workers=%d: model.csv differs from serial run", workers)
+		}
+		if gotAux != wantAux {
+			t.Errorf("workers=%d: aux.csv differs from serial run", workers)
+		}
+		if !reflect.DeepEqual(sum, serialSum) {
+			t.Errorf("workers=%d: summary differs from serial run", workers)
+		}
+	}
+}
+
+// TestConfigRejectsNegativeWorkers covers the new knob's validation.
+func TestConfigRejectsNegativeWorkers(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = -1
+	if _, _, err := Run(cfg); err == nil {
+		t.Error("negative Workers should fail")
+	}
+}
+
+// TestNoisyMeterForcesSerial documents that a shared noise stream pins
+// the serial path even when a pool is requested.
+func TestNoisyMeterForcesSerial(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = 8
+	cfg.MeterNoise = rng.New(1)
+	if got := cfg.workers(); got != 1 {
+		t.Errorf("workers() = %d with MeterNoise set, want 1", got)
 	}
 }
 

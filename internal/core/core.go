@@ -16,21 +16,24 @@
 // Following the paper, ties between equally ranked candidates select "the
 // first server of the list", and the whole search is deliberately brute
 // force — the paper chose exhaustive search "to demonstrate and study the
-// potential of application-centric proactive VM allocation". Two exact
-// reductions keep the brute force cheap: partitions whose block structure
-// is identical up to interchangeable VMs (same class, nominal time and
-// QoS bound) are evaluated once, and servers whose current allocation is
-// identical are evaluated once per block.
+// potential of application-centric proactive VM allocation". Four exact
+// reductions keep the brute force cheap (see search.go): partitions whose
+// block structure is identical up to interchangeable VMs (same class,
+// nominal time and QoS bound) are evaluated once, servers whose current
+// allocation is identical are evaluated once per block, block pricings
+// are memoized per (server state, block composition), and candidates are
+// pruned online to the Pareto frontier the α-monotone score selects
+// from; larger searches additionally fan out to a worker pool. All of it
+// is bit-for-bit equivalent to the literal serial transcription retained
+// as AllocateReference.
 package core
 
 import (
 	"errors"
 	"fmt"
-	"sort"
-	"strings"
+	"runtime"
 
 	"pacevm/internal/model"
-	"pacevm/internal/partition"
 	"pacevm/internal/units"
 	"pacevm/internal/workload"
 )
@@ -115,6 +118,13 @@ type Config struct {
 	// optimum. A negative entry disables the bound for that class
 	// (useful for ablations).
 	PerClassBound [workload.NumClasses]int
+	// SearchWorkers sizes the worker pool the partition search fans out
+	// to for larger VM sets. Zero defaults to runtime.NumCPU(); one
+	// forces the serial in-place search. The result is bit-for-bit
+	// identical at every setting — workers carry the partition's
+	// enumeration index through the reduce, so the paper's
+	// first-of-the-list tie-break is preserved.
+	SearchWorkers int
 }
 
 // Allocator runs the paper's allocation algorithm.
@@ -140,6 +150,12 @@ func NewAllocator(cfg Config) (*Allocator, error) {
 			cap = m.NIO
 		}
 		cfg.MaxVMsPerServer = cap
+	}
+	if cfg.SearchWorkers < 0 {
+		return nil, errors.New("core: negative SearchWorkers")
+	}
+	if cfg.SearchWorkers == 0 {
+		cfg.SearchWorkers = runtime.NumCPU()
 	}
 	aux := cfg.DB.Aux()
 	for _, c := range workload.Classes {
@@ -207,176 +223,97 @@ func (a *Allocator) FitsAlone(vm VMRequest) bool {
 	return err == nil && est <= vm.MaxTime
 }
 
-// candidate is one fully-placed partition under evaluation.
-type candidate struct {
-	placements []Placement
-	time       units.Seconds
-	energy     units.Joules
-}
-
-// Allocate runs the brute-force search and returns the best allocation
+// Allocate runs the partition search and returns the best allocation
 // for the goal, or ErrInfeasible when no candidate satisfies QoS.
+//
+// The search is still the paper's exhaustive one, accelerated by exact
+// reductions only: equivalent partitions are deduplicated through a
+// canonical typed-multiset signature, block pricing is memoized per
+// (server state, block composition), dominated candidates are discarded
+// online (the α-weighted score is monotone in both estimated time and
+// energy, so the winner always lies on the Pareto frontier), and for
+// larger VM sets the partition stream fans out to a bounded worker
+// pool. Every reduction preserves the enumeration-order tie-breaks, so
+// the result is bit-for-bit identical to AllocateReference, the
+// retained literal transcription of Sect. III.D.
 func (a *Allocator) Allocate(goal Goal, servers []ServerState, vms []VMRequest) (Allocation, error) {
-	if err := goal.validate(); err != nil {
+	if err := a.validateRequest(goal, servers, vms); err != nil {
 		return Allocation{}, err
 	}
+	sc := newSearchCtx(a, goal, servers, vms)
+	frontier, maxT, maxE, err := sc.search(a.cfg.SearchWorkers)
+	if err != nil {
+		return Allocation{}, err
+	}
+	if len(frontier) == 0 {
+		return Allocation{}, ErrInfeasible
+	}
+	best := pickBest(goal, frontier, maxT, maxE)
+	return sc.materialize(frontier[best]), nil
+}
+
+// validateRequest checks the inputs shared by Allocate and
+// AllocateReference.
+func (a *Allocator) validateRequest(goal Goal, servers []ServerState, vms []VMRequest) error {
+	if err := goal.validate(); err != nil {
+		return err
+	}
 	if len(servers) == 0 {
-		return Allocation{}, errors.New("core: no servers")
+		return errors.New("core: no servers")
 	}
 	if len(vms) == 0 {
-		return Allocation{}, errors.New("core: no VMs to place")
+		return errors.New("core: no VMs to place")
 	}
 	for _, vm := range vms {
 		if err := vm.validate(); err != nil {
-			return Allocation{}, err
+			return err
 		}
 	}
 	for _, s := range servers {
 		if !s.Alloc.Valid() {
-			return Allocation{}, fmt.Errorf("core: server %d has invalid allocation %v", s.ID, s.Alloc)
+			return fmt.Errorf("core: server %d has invalid allocation %v", s.ID, s.Alloc)
 		}
 	}
-
-	var cands []candidate
-	seen := map[string]bool{}
-	_, err := partition.ForEach(len(vms), func(blocks [][]int) bool {
-		sig := partitionSignature(vms, blocks)
-		if seen[sig] {
-			return true
-		}
-		seen[sig] = true
-		if cand, ok := a.evalPartition(goal, servers, vms, blocks); ok {
-			cands = append(cands, cand)
-		}
-		return true
-	})
-	if err != nil {
-		return Allocation{}, err
-	}
-	if len(cands) == 0 {
-		return Allocation{}, ErrInfeasible
-	}
-
-	best := pickBest(goal, cands)
-	return Allocation{
-		Placements: best.placements,
-		EstTime:    best.time,
-		EstEnergy:  best.energy,
-	}, nil
+	return nil
 }
 
-// pickBest normalizes candidate times and energies to their maxima and
-// selects the minimum α-weighted score, keeping the earliest candidate on
-// ties (deterministic enumeration order → the paper's first-of-the-list
-// tie break).
-func pickBest(goal Goal, cands []candidate) candidate {
-	var maxT units.Seconds
-	var maxE units.Joules
-	for _, c := range cands {
-		if c.time > maxT {
-			maxT = c.time
-		}
-		if c.energy > maxE {
-			maxE = c.energy
-		}
-	}
+// scoreEpsilon is the tolerance of every α-weighted score comparison.
+// Normalized scores live in [0,1], where float64 spacing is ≈2.2e-16;
+// 1e-12 is ~4 orders of magnitude above the rounding noise the two
+// multiply-adds of a score can accumulate, yet far below any difference
+// the model database can produce between genuinely distinct outcomes.
+// Candidates whose scores differ by less than it are therefore treated
+// as tied, and the tie goes to the earlier enumeration index — the
+// paper's "first server of the list" rule, lifted from servers to whole
+// candidates. The strict `score < best-scoreEpsilon` form (rather than
+// `score <= best+scoreEpsilon`) is what makes the scan keep the
+// incumbent on a tie.
+const scoreEpsilon = 1e-12
+
+// pickBest selects, from candidates ordered by enumeration index, the
+// minimum α-weighted score after max-normalizing times and energies,
+// keeping the earliest candidate on ties (see scoreEpsilon). maxT and
+// maxE must be the maxima over every feasible candidate of the search —
+// not merely over the retained frontier — so normalization matches the
+// unpruned enumeration exactly. It returns the winning index into
+// cands.
+func pickBest(goal Goal, cands []candidate, maxT units.Seconds, maxE units.Joules) int {
 	bestScore := 0.0
 	bestIdx := -1
-	for i, c := range cands {
+	for i := range cands {
 		tn, en := 0.0, 0.0
 		if maxT > 0 {
-			tn = float64(c.time) / float64(maxT)
+			tn = float64(cands[i].time) / float64(maxT)
 		}
 		if maxE > 0 {
-			en = float64(c.energy) / float64(maxE)
+			en = float64(cands[i].energy) / float64(maxE)
 		}
 		score := goal.Alpha*en + (1-goal.Alpha)*tn
-		if bestIdx < 0 || score < bestScore-1e-12 {
+		if bestIdx < 0 || score < bestScore-scoreEpsilon {
 			bestScore, bestIdx = score, i
 		}
 	}
-	return cands[bestIdx]
-}
-
-// evalPartition greedily places every block of the partition on its
-// best-scoring feasible server and prices the result. ok is false when
-// some block has no feasible server.
-func (a *Allocator) evalPartition(goal Goal, servers []ServerState, vms []VMRequest, blocks [][]int) (candidate, bool) {
-	extra := make(map[int]model.Key) // server index -> tentative additions
-	placedVMs := make(map[int][]VMRequest)
-	var cand candidate
-
-	for _, block := range blocks {
-		blockVMs := make([]VMRequest, len(block))
-		var blockKey model.Key
-		for i, idx := range block {
-			blockVMs[i] = vms[idx]
-			blockKey = blockKey.Add(model.KeyFor(vms[idx].Class, 1))
-		}
-
-		bestIdx := -1
-		var bestPl Placement
-		bestScore := 0.0
-		// Servers with identical effective allocation are equivalent;
-		// evaluate the first of each group only.
-		evaluated := map[model.Key]bool{}
-		type option struct {
-			idx    int
-			pl     Placement
-			before model.Key
-		}
-		var options []option
-		for si, s := range servers {
-			base := s.Alloc.Add(extra[si])
-			if evaluated[base] {
-				continue
-			}
-			evaluated[base] = true
-			pl, ok := a.evalBlock(base, blockKey, blockVMs, placedVMs[si])
-			if !ok {
-				continue
-			}
-			pl.ServerID = s.ID
-			options = append(options, option{idx: si, pl: pl, before: base})
-		}
-		if len(options) == 0 {
-			return candidate{}, false
-		}
-		// Normalize within the block's options and pick the best.
-		var maxT units.Seconds
-		var maxE units.Joules
-		for _, o := range options {
-			if o.pl.EstTime > maxT {
-				maxT = o.pl.EstTime
-			}
-			if o.pl.EstEnergy > maxE {
-				maxE = o.pl.EstEnergy
-			}
-		}
-		for _, o := range options {
-			tn, en := 0.0, 0.0
-			if maxT > 0 {
-				tn = float64(o.pl.EstTime) / float64(maxT)
-			}
-			if maxE > 0 {
-				en = float64(o.pl.EstEnergy) / float64(maxE)
-			}
-			// The block-level choice honors the same α as the
-			// allocation-level ranking.
-			score := goal.Alpha*en + (1-goal.Alpha)*tn
-			if bestIdx < 0 || score < bestScore-1e-12 {
-				bestScore, bestIdx, bestPl = score, o.idx, o.pl
-			}
-		}
-		extra[bestIdx] = extra[bestIdx].Add(blockKey)
-		placedVMs[bestIdx] = append(placedVMs[bestIdx], blockVMs...)
-		cand.placements = append(cand.placements, bestPl)
-		cand.energy += bestPl.EstEnergy
-		if bestPl.EstTime > cand.time {
-			cand.time = bestPl.EstTime
-		}
-	}
-	return cand, true
+	return bestIdx
 }
 
 // EvaluateBlock prices adding the given VMs as one co-located block to a
@@ -474,25 +411,4 @@ func (a *Allocator) evalBlock(base, blockKey model.Key, blockVMs, alreadyPlaced 
 		EstTime:   blockTime,
 		EstEnergy: deltaE,
 	}, true
-}
-
-// partitionSignature canonicalizes a partition of interchangeable VMs:
-// two partitions with the same multiset of block compositions (by class,
-// nominal time and QoS bound) are equivalent and evaluated once. For a
-// single-profile job this reduces the Bell-number search to integer
-// partitions, the reduction the paper's efficiency citation [21] is
-// about.
-func partitionSignature(vms []VMRequest, blocks [][]int) string {
-	blockSigs := make([]string, len(blocks))
-	for i, block := range blocks {
-		items := make([]string, len(block))
-		for j, idx := range block {
-			vm := vms[idx]
-			items[j] = fmt.Sprintf("%d:%g:%g", int(vm.Class), float64(vm.NominalTime), float64(vm.MaxTime))
-		}
-		sort.Strings(items)
-		blockSigs[i] = strings.Join(items, ",")
-	}
-	sort.Strings(blockSigs)
-	return strings.Join(blockSigs, "|")
 }

@@ -350,20 +350,20 @@ func TestPartitionSignatureDedup(t *testing.T) {
 		vm("c", workload.ClassCPU, ref, 0),
 	}
 	// Identical VMs: {a,b}{c} and {a,c}{b} must collapse.
-	sig1 := partitionSignature(vms, [][]int{{0, 1}, {2}})
-	sig2 := partitionSignature(vms, [][]int{{0, 2}, {1}})
+	sig1 := legacyPartitionSignature(vms, [][]int{{0, 1}, {2}})
+	sig2 := legacyPartitionSignature(vms, [][]int{{0, 2}, {1}})
 	if sig1 != sig2 {
 		t.Errorf("equivalent partitions have different signatures:\n%s\n%s", sig1, sig2)
 	}
 	// Different block structure must not collapse.
-	sig3 := partitionSignature(vms, [][]int{{0, 1, 2}})
+	sig3 := legacyPartitionSignature(vms, [][]int{{0, 1, 2}})
 	if sig1 == sig3 {
 		t.Error("distinct partitions share a signature")
 	}
 	// Distinct VM attributes must not collapse.
 	vms[2].Class = workload.ClassIO
-	sig4 := partitionSignature(vms, [][]int{{0, 1}, {2}})
-	sig5 := partitionSignature(vms, [][]int{{0, 2}, {1}})
+	sig4 := legacyPartitionSignature(vms, [][]int{{0, 1}, {2}})
+	sig5 := legacyPartitionSignature(vms, [][]int{{0, 2}, {1}})
 	if sig4 == sig5 {
 		t.Error("partitions of distinguishable VMs should differ")
 	}

@@ -1,0 +1,613 @@
+package core
+
+// The parallel Pareto-pruned partition search behind Allocator.Allocate.
+//
+// The engine keeps the paper's exhaustive semantics — every non-redundant
+// set partition of the VM set is still evaluated — but restructures the
+// enumeration around four exact reductions:
+//
+//  1. Equivalent partitions (same typed multiset of block compositions)
+//     are deduplicated through a packed integer signature instead of the
+//     legacy sorted-string form; no per-partition string is ever built.
+//  2. Block pricing is memoized per (server state, block composition):
+//     the same block on the same effective allocation is priced once,
+//     not once per partition that contains it. Database estimates are
+//     additionally memoized per allocation key (model.EstimateCache).
+//  3. Candidates are pruned online to a Pareto frontier: the α-weighted
+//     score after max-normalization is monotone increasing in both
+//     estimated time and energy, so a candidate weakly dominated by an
+//     earlier one can never win under any goal — dropping it cannot
+//     change the outcome (the earlier candidate also wins the
+//     first-of-the-list tie-break). Later dominators never evict earlier
+//     candidates, because within the scoreEpsilon tie band the earlier
+//     index must still win.
+//  4. For larger VM sets the deduplicated partition stream fans out to a
+//     bounded worker pool. Each job carries its enumeration index, each
+//     worker reduces its subsequence in arrival order, and the final
+//     merge re-sorts by index, so the deterministic tie-break of the
+//     serial scan survives the parallel reduce bit-for-bit.
+//
+// Normalization maxima are tracked over every feasible candidate — not
+// just the retained frontier — so pickBest sees exactly the constants
+// the unpruned enumeration would have used.
+
+import (
+	"sort"
+	"sync"
+
+	"pacevm/internal/model"
+	"pacevm/internal/partition"
+	"pacevm/internal/units"
+	"pacevm/internal/workload"
+)
+
+// parallelWorkThreshold is the VM-set size from which Allocate fans the
+// partition stream out to the worker pool. Below it there are at most
+// B(5) = 52 partitions and the pool's startup cost exceeds the work; it
+// also keeps the per-job allocations of the nested searches issued by a
+// concurrent datacenter simulation (jobs of 1–4 VMs) on the serial fast
+// path.
+const parallelWorkThreshold = 6
+
+// blockSig is the canonical typed-multiset signature of one block: VM
+// counts packed 4 bits per VM type. partition.MaxN = 12 bounds both the
+// number of distinct types and any count at 12, so 48 bits suffice and
+// two blocks have equal signatures iff their typed multisets are equal.
+type blockSig uint64
+
+// partSig canonicalizes a whole partition as its sorted multiset of
+// block signatures, zero-padded (a block is never empty, so a zero entry
+// is unambiguous padding). Two partitions have equal signatures iff
+// their multisets of block compositions are equal — the typed
+// generalization of the paper's interchangeable-VM reduction [21].
+type partSig [partition.MaxN]blockSig
+
+// typeMask is a bitset over VM types (≤ partition.MaxN of them).
+type typeMask uint16
+
+// vmTypes assigns each VM a small type id such that two VMs share an id
+// iff they are interchangeable: same class, nominal time and QoS bound.
+// types[t] is a representative request of type t.
+func vmTypes(vms []VMRequest) (typeOf []uint8, types []VMRequest) {
+	typeOf = make([]uint8, len(vms))
+	types = make([]VMRequest, 0, len(vms))
+assign:
+	for i, vm := range vms {
+		for t, rep := range types {
+			if rep.Class == vm.Class && rep.NominalTime == vm.NominalTime && rep.MaxTime == vm.MaxTime {
+				typeOf[i] = uint8(t)
+				continue assign
+			}
+		}
+		typeOf[i] = uint8(len(types))
+		types = append(types, vm)
+	}
+	return typeOf, types
+}
+
+// sigOfBlock folds a block's members into its packed type-count vector.
+func sigOfBlock(typeOf []uint8, block []int) blockSig {
+	var sig blockSig
+	for _, vi := range block {
+		sig += 1 << (4 * blockSig(typeOf[vi]))
+	}
+	return sig
+}
+
+// sigOfPartition canonicalizes a partition: block signatures, insertion-
+// sorted descending into a fixed array. No heap allocation.
+func sigOfPartition(typeOf []uint8, blocks [][]int) partSig {
+	var sig partSig
+	for i, block := range blocks {
+		s := sigOfBlock(typeOf, block)
+		j := i
+		for j > 0 && sig[j-1] < s {
+			sig[j] = sig[j-1]
+			j--
+		}
+		sig[j] = s
+	}
+	return sig
+}
+
+// blockMemoKey identifies one priced (server state, block composition)
+// pair within a single search.
+type blockMemoKey struct {
+	base model.Key
+	sig  blockSig
+}
+
+// blockMemoVal is a memoized block pricing: the placement economics
+// minus the concrete VM identities (every block with the same signature
+// shares them).
+type blockMemoVal struct {
+	after  model.Key
+	time   units.Seconds
+	energy units.Joules
+	ok     bool
+}
+
+// candidate is one fully placed partition that survived Pareto pruning.
+// Placements are stored as indices (blocks into the request's VM set,
+// places into the server list) and materialized only for the winner.
+type candidate struct {
+	// idx is the partition's position in the deduplicated enumeration —
+	// the identity the first-of-the-list tie-break ranks on.
+	idx    int
+	time   units.Seconds
+	energy units.Joules
+	blocks [][]int
+	places []blockPlace
+}
+
+// blockPlace records where one block of a candidate went and at what
+// estimated cost.
+type blockPlace struct {
+	serverID int
+	after    model.Key
+	time     units.Seconds
+	energy   units.Joules
+}
+
+// searchCtx is the shared state of one Allocate call: the VM type
+// table plus the two memo layers, both safe for concurrent workers.
+type searchCtx struct {
+	a       *Allocator
+	goal    Goal
+	servers []ServerState
+	vms     []VMRequest
+	typeOf  []uint8
+	types   []VMRequest
+	typeKey []model.Key
+
+	est *model.EstimateCache
+
+	blockMu   sync.RWMutex
+	blockMemo map[blockMemoKey]blockMemoVal
+}
+
+func newSearchCtx(a *Allocator, goal Goal, servers []ServerState, vms []VMRequest) *searchCtx {
+	typeOf, types := vmTypes(vms)
+	typeKey := make([]model.Key, len(types))
+	for t, rep := range types {
+		typeKey[t] = model.KeyFor(rep.Class, 1)
+	}
+	return &searchCtx{
+		a:         a,
+		goal:      goal,
+		servers:   servers,
+		vms:       vms,
+		typeOf:    typeOf,
+		types:     types,
+		typeKey:   typeKey,
+		est:       model.NewEstimateCache(a.cfg.DB),
+		blockMemo: make(map[blockMemoKey]blockMemoVal, 256),
+	}
+}
+
+// priceBlock prices adding a block of composition sig (total key
+// blockKey) to a server currently at base, memoized. The semantics are
+// those of Allocator.evalBlock restricted to the block's own VMs;
+// QoS of VMs already tentatively placed on the server is rechecked
+// per call by placedOK, because it depends on the partition prefix,
+// not on (base, sig).
+func (sc *searchCtx) priceBlock(base model.Key, sig blockSig, blockKey model.Key) blockMemoVal {
+	k := blockMemoKey{base: base, sig: sig}
+	sc.blockMu.RLock()
+	v, ok := sc.blockMemo[k]
+	sc.blockMu.RUnlock()
+	if ok {
+		return v
+	}
+	// Compute outside the lock: the pricing is deterministic, so a
+	// concurrent duplicate computation stores an identical value.
+	v = sc.priceBlockUncached(base, sig, blockKey)
+	sc.blockMu.Lock()
+	sc.blockMemo[k] = v
+	sc.blockMu.Unlock()
+	return v
+}
+
+func (sc *searchCtx) priceBlockUncached(base model.Key, sig blockSig, blockKey model.Key) blockMemoVal {
+	cfg := &sc.a.cfg
+	after := base.Add(blockKey)
+	if after.Total() > cfg.MaxVMsPerServer {
+		return blockMemoVal{}
+	}
+	for _, c := range workload.Classes {
+		if after.Count(c) > cfg.PerClassBound[c] {
+			return blockMemoVal{}
+		}
+	}
+	recAfter, err := sc.est.Estimate(after)
+	if err != nil {
+		return blockMemoVal{}
+	}
+	aux := cfg.DB.Aux()
+	var blockTime units.Seconds
+	for t := range sc.types {
+		if sig>>(4*blockSig(t))&0xF == 0 {
+			continue
+		}
+		rep := sc.types[t]
+		ref := aux.RefTime[rep.Class]
+		if ref <= 0 {
+			return blockMemoVal{}
+		}
+		est := recAfter.ClassTime(rep.Class) * rep.NominalTime / ref
+		if !cfg.RelaxQoS && rep.MaxTime > 0 && est > rep.MaxTime {
+			return blockMemoVal{}
+		}
+		if est > blockTime {
+			blockTime = est
+		}
+	}
+	// Marginal energy: see Allocator.evalBlock — whole-outcome energy
+	// difference, clamped at zero.
+	var beforeEnergy units.Joules
+	if !base.IsZero() {
+		recBefore, err := sc.est.Estimate(base)
+		if err != nil {
+			return blockMemoVal{}
+		}
+		beforeEnergy = recBefore.Energy
+	}
+	deltaE := recAfter.Energy - beforeEnergy
+	if deltaE < 0 {
+		deltaE = 0
+	}
+	return blockMemoVal{after: after, time: blockTime, energy: deltaE, ok: true}
+}
+
+// placedOK rechecks the QoS bounds of VM types already tentatively
+// placed on a server whose allocation would grow to after. Counts are
+// irrelevant — every VM of a type gets the same estimate — so a type
+// bitmask suffices.
+func (sc *searchCtx) placedOK(after model.Key, mask typeMask) bool {
+	if mask == 0 || sc.a.cfg.RelaxQoS {
+		return true
+	}
+	rec, err := sc.est.Estimate(after)
+	if err != nil {
+		return false
+	}
+	aux := sc.a.cfg.DB.Aux()
+	for t := 0; mask != 0; t++ {
+		if mask&1 != 0 {
+			rep := sc.types[t]
+			if rep.MaxTime > 0 {
+				est := rec.ClassTime(rep.Class) * rep.NominalTime / aux.RefTime[rep.Class]
+				if est > rep.MaxTime {
+					return false
+				}
+			}
+		}
+		mask >>= 1
+	}
+	return true
+}
+
+// searchWorker evaluates a subsequence of the deduplicated partition
+// stream, reducing it to a Pareto frontier plus the normalization
+// maxima over every feasible candidate it saw. All scratch buffers are
+// reused across partitions; a worker is single-goroutine state.
+type searchWorker struct {
+	sc *searchCtx
+
+	// Per-partition scratch, reset via the touched list.
+	extra   []model.Key // tentative additions per server index
+	mask    []typeMask  // tentatively placed VM types per server index
+	touched []int
+
+	// Per-block scratch.
+	seenBases []model.Key
+	options   []blockOption
+	places    []blockPlace
+
+	// Reduction state.
+	frontier []candidate
+	maxT     units.Seconds
+	maxE     units.Joules
+}
+
+type blockOption struct {
+	serverIdx int
+	val       blockMemoVal
+}
+
+func (sc *searchCtx) newWorker() *searchWorker {
+	return &searchWorker{
+		sc:        sc,
+		extra:     make([]model.Key, len(sc.servers)),
+		mask:      make([]typeMask, len(sc.servers)),
+		touched:   make([]int, 0, len(sc.vms)),
+		seenBases: make([]model.Key, 0, len(sc.servers)),
+		options:   make([]blockOption, 0, len(sc.servers)),
+		places:    make([]blockPlace, 0, len(sc.vms)),
+	}
+}
+
+// consider evaluates one partition and folds it into the worker's
+// frontier. blocks must be owned by the caller if owned is true;
+// otherwise they are copied before retention.
+func (w *searchWorker) consider(idx int, blocks [][]int, owned bool) {
+	ok := w.evalPartition(blocks)
+	if !ok {
+		return
+	}
+	var candT units.Seconds
+	var candE units.Joules
+	for _, p := range w.places {
+		candE += p.energy
+		if p.time > candT {
+			candT = p.time
+		}
+	}
+	if candT > w.maxT {
+		w.maxT = candT
+	}
+	if candE > w.maxE {
+		w.maxE = candE
+	}
+	// Pareto pruning: a candidate weakly dominated by an earlier kept
+	// one can never win any goal (the earlier also takes the tie).
+	// Within a worker, arrival order is ascending enumeration order, so
+	// every kept candidate is earlier than the new one.
+	for i := range w.frontier {
+		f := &w.frontier[i]
+		if f.time <= candT && f.energy <= candE {
+			return
+		}
+	}
+	if !owned {
+		blocks = copyBlocks(blocks)
+	}
+	w.frontier = append(w.frontier, candidate{
+		idx:    idx,
+		time:   candT,
+		energy: candE,
+		blocks: blocks,
+		places: append([]blockPlace(nil), w.places...),
+	})
+}
+
+// copyBlocks deep-copies a partition with a single backing array (a
+// partition of n elements has exactly n entries in total).
+func copyBlocks(blocks [][]int) [][]int {
+	total := 0
+	for _, b := range blocks {
+		total += len(b)
+	}
+	flat := make([]int, 0, total)
+	out := make([][]int, len(blocks))
+	for i, b := range blocks {
+		start := len(flat)
+		flat = append(flat, b...)
+		out[i] = flat[start:len(flat):len(flat)]
+	}
+	return out
+}
+
+// evalPartition greedily places every block of the partition on its
+// best-scoring feasible server and prices the result into w.places
+// (valid until the next call). ok is false when some block has no
+// feasible server. The block-level choice mirrors the reference
+// implementation exactly: servers with identical effective allocation
+// collapse to the first of each group, options are max-normalized
+// within the block, and the α-scored minimum wins with the epsilon
+// tie-break to the lower server index.
+func (w *searchWorker) evalPartition(blocks [][]int) (ok bool) {
+	sc := w.sc
+	alpha := sc.goal.Alpha
+	for _, si := range w.touched {
+		w.extra[si] = model.Key{}
+		w.mask[si] = 0
+	}
+	w.touched = w.touched[:0]
+	w.places = w.places[:0]
+
+	for _, block := range blocks {
+		var sig blockSig
+		var blockKey model.Key
+		var bmask typeMask
+		for _, vi := range block {
+			t := sc.typeOf[vi]
+			sig += 1 << (4 * blockSig(t))
+			blockKey = blockKey.Add(sc.typeKey[t])
+			bmask |= 1 << t
+		}
+
+		w.seenBases = w.seenBases[:0]
+		w.options = w.options[:0]
+		for si := range sc.servers {
+			base := sc.servers[si].Alloc.Add(w.extra[si])
+			dup := false
+			for _, b := range w.seenBases {
+				if b == base {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			w.seenBases = append(w.seenBases, base)
+			v := sc.priceBlock(base, sig, blockKey)
+			if !v.ok || !sc.placedOK(v.after, w.mask[si]) {
+				continue
+			}
+			w.options = append(w.options, blockOption{serverIdx: si, val: v})
+		}
+		if len(w.options) == 0 {
+			return false
+		}
+
+		var maxT units.Seconds
+		var maxE units.Joules
+		for _, o := range w.options {
+			if o.val.time > maxT {
+				maxT = o.val.time
+			}
+			if o.val.energy > maxE {
+				maxE = o.val.energy
+			}
+		}
+		bestI := -1
+		bestScore := 0.0
+		for i, o := range w.options {
+			tn, en := 0.0, 0.0
+			if maxT > 0 {
+				tn = float64(o.val.time) / float64(maxT)
+			}
+			if maxE > 0 {
+				en = float64(o.val.energy) / float64(maxE)
+			}
+			// The block-level choice honors the same α as the
+			// allocation-level ranking.
+			score := alpha*en + (1-alpha)*tn
+			if bestI < 0 || score < bestScore-scoreEpsilon {
+				bestScore, bestI = score, i
+			}
+		}
+		chosen := w.options[bestI]
+		si := chosen.serverIdx
+		if w.extra[si].IsZero() && w.mask[si] == 0 {
+			w.touched = append(w.touched, si)
+		}
+		w.extra[si] = w.extra[si].Add(blockKey)
+		w.mask[si] |= bmask
+		w.places = append(w.places, blockPlace{
+			serverID: sc.servers[si].ID,
+			after:    chosen.val.after,
+			time:     chosen.val.time,
+			energy:   chosen.val.energy,
+		})
+	}
+	return true
+}
+
+// search enumerates the deduplicated partitions of the VM set and
+// reduces them to a Pareto frontier sorted by enumeration index, plus
+// the normalization maxima over all feasible candidates.
+func (sc *searchCtx) search(workers int) ([]candidate, units.Seconds, units.Joules, error) {
+	n := len(sc.vms)
+	if workers <= 1 || n < parallelWorkThreshold {
+		return sc.searchSerial(n)
+	}
+	return sc.searchParallel(n, workers)
+}
+
+func (sc *searchCtx) searchSerial(n int) ([]candidate, units.Seconds, units.Joules, error) {
+	w := sc.newWorker()
+	seen := make(map[partSig]struct{}, 64)
+	idx := 0
+	_, err := partition.ForEachIndexed(n, func(_ int, blocks [][]int) bool {
+		ps := sigOfPartition(sc.typeOf, blocks)
+		if _, dup := seen[ps]; dup {
+			return true
+		}
+		seen[ps] = struct{}{}
+		w.consider(idx, blocks, false)
+		idx++
+		return true
+	})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return w.frontier, w.maxT, w.maxE, nil
+}
+
+// searchJob is one deduplicated partition shipped to a worker, tagged
+// with its enumeration index so the reduce can restore serial order.
+type searchJob struct {
+	idx    int
+	blocks [][]int
+}
+
+func (sc *searchCtx) searchParallel(n, workers int) ([]candidate, units.Seconds, units.Joules, error) {
+	jobs := make(chan searchJob, 2*workers)
+	ws := make([]*searchWorker, workers)
+	var wg sync.WaitGroup
+	for i := range ws {
+		ws[i] = sc.newWorker()
+		wg.Add(1)
+		go func(w *searchWorker) {
+			defer wg.Done()
+			for j := range jobs {
+				w.consider(j.idx, j.blocks, true)
+			}
+		}(ws[i])
+	}
+
+	// The producer enumerates and deduplicates sequentially — the seen
+	// map stays single-goroutine, so "first occurrence is evaluated" is
+	// deterministic — while workers price partitions concurrently.
+	seen := make(map[partSig]struct{}, 256)
+	idx := 0
+	_, err := partition.ForEachIndexed(n, func(_ int, blocks [][]int) bool {
+		ps := sigOfPartition(sc.typeOf, blocks)
+		if _, dup := seen[ps]; dup {
+			return true
+		}
+		seen[ps] = struct{}{}
+		jobs <- searchJob{idx: idx, blocks: copyBlocks(blocks)}
+		idx++
+		return true
+	})
+	close(jobs)
+	wg.Wait()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+
+	var frontier []candidate
+	var maxT units.Seconds
+	var maxE units.Joules
+	for _, w := range ws {
+		frontier = append(frontier, w.frontier...)
+		if w.maxT > maxT {
+			maxT = w.maxT
+		}
+		if w.maxE > maxE {
+			maxE = w.maxE
+		}
+	}
+	sort.Slice(frontier, func(i, j int) bool { return frontier[i].idx < frontier[j].idx })
+	// Re-prune across worker boundaries: a candidate kept by one worker
+	// may be dominated by an earlier candidate another worker held.
+	kept := frontier[:0]
+	for _, c := range frontier {
+		dominated := false
+		for i := range kept {
+			if kept[i].time <= c.time && kept[i].energy <= c.energy {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			kept = append(kept, c)
+		}
+	}
+	return kept, maxT, maxE, nil
+}
+
+// materialize expands the winning candidate into the public Allocation
+// form, reconstructing per-block VM lists from the stored indices.
+func (sc *searchCtx) materialize(c candidate) Allocation {
+	pls := make([]Placement, len(c.places))
+	for i, p := range c.places {
+		block := c.blocks[i]
+		vms := make([]VMRequest, len(block))
+		for j, vi := range block {
+			vms[j] = sc.vms[vi]
+		}
+		pls[i] = Placement{
+			ServerID:  p.serverID,
+			VMs:       vms,
+			NewAlloc:  p.after,
+			EstTime:   p.time,
+			EstEnergy: p.energy,
+		}
+	}
+	return Allocation{Placements: pls, EstTime: c.time, EstEnergy: c.energy}
+}

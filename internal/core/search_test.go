@@ -1,0 +1,279 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pacevm/internal/model"
+	"pacevm/internal/rng"
+	"pacevm/internal/units"
+	"pacevm/internal/workload"
+)
+
+// randomFleet builds nServers servers with small valid residual
+// allocations drawn from r.
+func randomFleet(r *rng.Stream, nServers int) []ServerState {
+	servers := make([]ServerState, nServers)
+	for i := range servers {
+		servers[i] = ServerState{ID: i}
+		if r.Bool(0.6) {
+			servers[i].Alloc = model.Key{
+				NCPU: r.Intn(3),
+				NMEM: r.Intn(2),
+				NIO:  r.Intn(2),
+			}
+		}
+	}
+	return servers
+}
+
+// randomVMs builds n VM requests with attributes drawn from small pools
+// so that some VMs are interchangeable and some are not.
+func randomVMs(t *testing.T, r *rng.Stream, n int) []VMRequest {
+	t.Helper()
+	factors := []float64{1, 1, 1.25, 1.5}
+	vms := make([]VMRequest, n)
+	for i := range vms {
+		class := workload.Classes[r.Intn(workload.NumClasses)]
+		nominal := refTime(t, class) * units.Seconds(factors[r.Intn(len(factors))])
+		var max units.Seconds
+		switch r.Intn(3) {
+		case 1:
+			max = nominal * 4
+		case 2:
+			max = nominal * 3 / 2
+		}
+		vms[i] = VMRequest{ID: string(rune('a' + i)), Class: class, NominalTime: nominal, MaxTime: max}
+	}
+	return vms
+}
+
+// sameAllocation asserts two allocations are bit-for-bit identical:
+// same placements in the same order, same servers, same VM identities,
+// and exactly equal estimated times and energies.
+func sameAllocation(t *testing.T, label string, got, want Allocation) {
+	t.Helper()
+	if got.EstTime != want.EstTime || got.EstEnergy != want.EstEnergy {
+		t.Errorf("%s: totals (%v, %v) != reference (%v, %v)",
+			label, got.EstTime, got.EstEnergy, want.EstTime, want.EstEnergy)
+	}
+	if len(got.Placements) != len(want.Placements) {
+		t.Fatalf("%s: %d placements, reference has %d", label, len(got.Placements), len(want.Placements))
+	}
+	for i := range got.Placements {
+		g, w := got.Placements[i], want.Placements[i]
+		if g.ServerID != w.ServerID || g.NewAlloc != w.NewAlloc ||
+			g.EstTime != w.EstTime || g.EstEnergy != w.EstEnergy {
+			t.Errorf("%s: placement %d = {srv %d alloc %v t %v e %v}, reference {srv %d alloc %v t %v e %v}",
+				label, i, g.ServerID, g.NewAlloc, g.EstTime, g.EstEnergy,
+				w.ServerID, w.NewAlloc, w.EstTime, w.EstEnergy)
+		}
+		if len(g.VMs) != len(w.VMs) {
+			t.Fatalf("%s: placement %d has %d VMs, reference %d", label, i, len(g.VMs), len(w.VMs))
+		}
+		for j := range g.VMs {
+			if g.VMs[j].ID != w.VMs[j].ID {
+				t.Errorf("%s: placement %d VM %d = %q, reference %q", label, i, j, g.VMs[j].ID, w.VMs[j].ID)
+			}
+		}
+	}
+}
+
+// TestAllocateMatchesReference is the equivalence satellite: the
+// pruned/memoized engine — serial and parallel — must return the
+// identical Allocation as the retained literal transcription of the
+// paper's search, across seeded random fleets, all three evaluated α
+// goals, and VM sets up to n = 8.
+func TestAllocateMatchesReference(t *testing.T) {
+	db := sharedDB(t)
+	serial, err := NewAllocator(Config{DB: db, SearchWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := NewAllocator(Config{DB: db, SearchWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goals := []Goal{GoalEnergy, GoalPerformance, GoalBalanced}
+	r := rng.New(7)
+	for n := 2; n <= 8; n++ {
+		servers := randomFleet(r, 4+r.Intn(5))
+		vms := randomVMs(t, r, n)
+		for _, goal := range goals {
+			want, wantErr := serial.AllocateReference(goal, servers, vms)
+			for name, a := range map[string]*Allocator{"serial": serial, "parallel": pooled} {
+				got, gotErr := a.Allocate(goal, servers, vms)
+				label := name
+				if gotErr != wantErr {
+					t.Errorf("%s n=%d alpha=%g: err %v, reference err %v", label, n, goal.Alpha, gotErr, wantErr)
+					continue
+				}
+				if wantErr != nil {
+					continue
+				}
+				sameAllocation(t, label, got, want)
+			}
+		}
+	}
+}
+
+// TestAllocateParallelDeterministic re-runs a pooled search and demands
+// identical output every time: the enumeration index carried through
+// the fan-out must fully pin the tie-breaks.
+func TestAllocateParallelDeterministic(t *testing.T) {
+	a, err := NewAllocator(Config{DB: sharedDB(t), SearchWorkers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(11)
+	servers := randomFleet(r, 6)
+	vms := randomVMs(t, r, 7)
+	first, err := a.Allocate(GoalBalanced, servers, vms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		again, err := a.Allocate(GoalBalanced, servers, vms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameAllocation(t, "rerun", again, first)
+	}
+}
+
+// randomRGS draws a uniform valid restricted-growth string of length n
+// and materializes its blocks.
+func randomRGS(r *rng.Stream, n int) [][]int {
+	a := make([]int, n)
+	mx := 0
+	for i := 1; i < n; i++ {
+		a[i] = r.Intn(mx + 2)
+		if a[i] > mx {
+			mx = a[i]
+		}
+	}
+	blocks := make([][]int, mx+1)
+	for i, v := range a {
+		blocks[v] = append(blocks[v], i)
+	}
+	return blocks
+}
+
+// TestPartitionSignatureProperty is the signature satellite: two
+// partitions get equal typed-multiset signatures iff the legacy string
+// canonicalization — the previous implementation, kept as the spec —
+// also considers them equal.
+func TestPartitionSignatureProperty(t *testing.T) {
+	r := rng.New(23)
+	f := func(nRaw, seedRaw uint8) bool {
+		n := int(nRaw%7) + 2
+		vms := make([]VMRequest, n)
+		nominals := []units.Seconds{600, 900}
+		maxes := []units.Seconds{0, 2400}
+		for i := range vms {
+			vms[i] = VMRequest{
+				ID:          string(rune('a' + i)),
+				Class:       workload.Classes[r.Intn(workload.NumClasses)],
+				NominalTime: nominals[r.Intn(len(nominals))],
+				MaxTime:     maxes[r.Intn(len(maxes))],
+			}
+		}
+		b1 := randomRGS(r, n)
+		b2 := randomRGS(r, n)
+		typeOf, types := vmTypes(vms)
+		if len(types) > n {
+			return false
+		}
+		newEq := sigOfPartition(typeOf, b1) == sigOfPartition(typeOf, b2)
+		legacyEq := legacyPartitionSignature(vms, b1) == legacyPartitionSignature(vms, b2)
+		return newEq == legacyEq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestVMTypesInterchangeability pins the type-table construction: ids
+// collapse exactly on (class, nominal, QoS) equality.
+func TestVMTypesInterchangeability(t *testing.T) {
+	vms := []VMRequest{
+		{ID: "a", Class: workload.ClassCPU, NominalTime: 600},
+		{ID: "b", Class: workload.ClassCPU, NominalTime: 600},
+		{ID: "c", Class: workload.ClassCPU, NominalTime: 900},
+		{ID: "d", Class: workload.ClassMEM, NominalTime: 600},
+		{ID: "e", Class: workload.ClassCPU, NominalTime: 600, MaxTime: 1200},
+		{ID: "f", Class: workload.ClassCPU, NominalTime: 600},
+	}
+	typeOf, types := vmTypes(vms)
+	if len(types) != 4 {
+		t.Fatalf("types = %d, want 4", len(types))
+	}
+	want := []uint8{0, 0, 1, 2, 3, 0}
+	for i, w := range want {
+		if typeOf[i] != w {
+			t.Errorf("typeOf[%d] = %d, want %d", i, typeOf[i], w)
+		}
+	}
+}
+
+// TestPickBestTieBreak is the small-fix satellite: two candidates with
+// equal normalized scores must select the earlier enumeration index,
+// under every goal, and a later candidate must win only when strictly
+// better than the epsilon band.
+func TestPickBestTieBreak(t *testing.T) {
+	goals := []Goal{GoalEnergy, GoalPerformance, GoalBalanced}
+	tied := []candidate{
+		{idx: 0, time: 100, energy: 200},
+		{idx: 1, time: 100, energy: 200},
+	}
+	for _, g := range goals {
+		if got := pickBest(g, tied, 100, 200); got != 0 {
+			t.Errorf("alpha=%g: tied candidates picked %d, want earlier index 0", g.Alpha, got)
+		}
+	}
+	// A later, strictly dominating candidate wins.
+	better := []candidate{
+		{idx: 0, time: 100, energy: 200},
+		{idx: 1, time: 50, energy: 100},
+	}
+	for _, g := range goals {
+		if got := pickBest(g, better, 100, 200); got != 1 {
+			t.Errorf("alpha=%g: strictly better candidate not picked (got %d)", g.Alpha, got)
+		}
+	}
+	// A later candidate inside the epsilon band does not dethrone the
+	// incumbent: its normalized score differs by ~1e-14 < scoreEpsilon.
+	within := []candidate{
+		{idx: 0, time: 100, energy: 200},
+		{idx: 1, time: 100 * (1 - 1e-14), energy: 200 * (1 - 1e-14)},
+	}
+	for _, g := range goals {
+		if got := pickBest(g, within, 100, 200); got != 0 {
+			t.Errorf("alpha=%g: epsilon-tied candidate dethroned the incumbent (got %d)", g.Alpha, got)
+		}
+	}
+}
+
+// TestParetoFrontierKeepsWinner checks the pruning invariant directly:
+// for a random search the frontier the engine retains must contain the
+// winner the unpruned reference selects, for every goal.
+func TestParetoFrontierKeepsWinner(t *testing.T) {
+	a := mkAllocator(t)
+	r := rng.New(31)
+	servers := randomFleet(r, 5)
+	vms := randomVMs(t, r, 6)
+	for _, goal := range []Goal{GoalEnergy, GoalPerformance, GoalBalanced} {
+		want, err := a.AllocateReference(goal, servers, vms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := newSearchCtx(a, goal, servers, vms)
+		frontier, maxT, maxE, err := sc.search(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := pickBest(goal, frontier, maxT, maxE)
+		got := sc.materialize(frontier[best])
+		sameAllocation(t, "frontier", got, want)
+	}
+}

@@ -244,6 +244,13 @@ type evalCell struct {
 	migrationCost units.Seconds
 }
 
+// runCells simulates every cell × cloud combination of the evaluation
+// grid concurrently, one goroutine per simulation: the strategies, the
+// migration planner and the trace are all read-only during a run, and
+// each simulation owns its datacenter state. Results land at fixed
+// indices (cells outer, clouds inner) and the reported error is the
+// first in that order, so output and failure behavior are identical to
+// a serial double loop.
 func (c *Context) runCells(cells []evalCell) ([]EvalResult, error) {
 	reqs, _, err := c.Workload()
 	if err != nil {
@@ -256,26 +263,39 @@ func (c *Context) runCells(cells []evalCell) ([]EvalResult, error) {
 		{Smaller, c.Cfg.SmallServers},
 		{Larger, c.Cfg.LargeServers},
 	}
-	var out []EvalResult
-	for _, cell := range cells {
-		for _, cl := range clouds {
-			res, err := cloudsim.Run(cloudsim.Config{
-				DB:              c.DB,
-				Servers:         cl.servers,
-				Strategy:        cell.strategy,
-				IdleServerPower: c.Cfg.IdleServerPower,
-				Consolidator:    cell.consolidator,
-				MigrationCost:   cell.migrationCost,
-			}, reqs)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s on %s: %w", cell.name, cl.name, err)
-			}
-			out = append(out, EvalResult{
-				Strategy: cell.name,
-				Cloud:    cl.name,
-				Servers:  cl.servers,
-				Metrics:  res.Metrics,
-			})
+	out := make([]EvalResult, len(cells)*len(clouds))
+	errs := make([]error, len(out))
+	var wg sync.WaitGroup
+	for i, cell := range cells {
+		for j, cl := range clouds {
+			wg.Add(1)
+			go func(slot int, cell evalCell, name CloudName, servers int) {
+				defer wg.Done()
+				res, err := cloudsim.Run(cloudsim.Config{
+					DB:              c.DB,
+					Servers:         servers,
+					Strategy:        cell.strategy,
+					IdleServerPower: c.Cfg.IdleServerPower,
+					Consolidator:    cell.consolidator,
+					MigrationCost:   cell.migrationCost,
+				}, reqs)
+				if err != nil {
+					errs[slot] = fmt.Errorf("experiments: %s on %s: %w", cell.name, name, err)
+					return
+				}
+				out[slot] = EvalResult{
+					Strategy: cell.name,
+					Cloud:    name,
+					Servers:  servers,
+					Metrics:  res.Metrics,
+				}
+			}(i*len(clouds)+j, cell, cl.name, cl.servers)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return out, nil
@@ -361,22 +381,39 @@ func (c *Context) AlphaSweep(alphas []float64) ([]AlphaPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]AlphaPoint, 0, len(alphas))
-	for _, alpha := range alphas {
-		pa, err := strategy.NewProactive(c.DB, core.Goal{Alpha: alpha}, 0)
+	// Each α is an independent simulation over the shared read-only
+	// trace and database; sweep them concurrently, one goroutine per
+	// point, gathered in input order.
+	out := make([]AlphaPoint, len(alphas))
+	errs := make([]error, len(alphas))
+	var wg sync.WaitGroup
+	for i, alpha := range alphas {
+		wg.Add(1)
+		go func(i int, alpha float64) {
+			defer wg.Done()
+			pa, err := strategy.NewProactive(c.DB, core.Goal{Alpha: alpha}, 0)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			res, err := cloudsim.Run(cloudsim.Config{
+				DB:              c.DB,
+				Servers:         c.Cfg.SmallServers,
+				Strategy:        pa,
+				IdleServerPower: c.Cfg.IdleServerPower,
+			}, reqs)
+			if err != nil {
+				errs[i] = fmt.Errorf("experiments: alpha %g: %w", alpha, err)
+				return
+			}
+			out[i] = AlphaPoint{Alpha: alpha, Metrics: res.Metrics}
+		}(i, alpha)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		res, err := cloudsim.Run(cloudsim.Config{
-			DB:              c.DB,
-			Servers:         c.Cfg.SmallServers,
-			Strategy:        pa,
-			IdleServerPower: c.Cfg.IdleServerPower,
-		}, reqs)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: alpha %g: %w", alpha, err)
-		}
-		out = append(out, AlphaPoint{Alpha: alpha, Metrics: res.Metrics})
 	}
 	return out, nil
 }

@@ -1,0 +1,62 @@
+package model
+
+import (
+	"sync"
+)
+
+// EstimateCache memoizes DB.Estimate results. Estimate is pure for a
+// given database, but off-grid keys pay a linear nearest-record scan,
+// and the allocator's partition search prices the same few dozen
+// allocations thousands of times per decision. The cache is safe for
+// concurrent use; a hit returns exactly the record a direct Estimate
+// call would, so cached and uncached searches are bit-for-bit
+// equivalent.
+//
+// The cache holds an unbounded map and is meant to be scoped to one
+// search or simulation over one database, not held for a process
+// lifetime over many databases.
+type EstimateCache struct {
+	db *DB
+
+	mu sync.RWMutex
+	m  map[Key]estimateEntry
+}
+
+type estimateEntry struct {
+	rec Record
+	err error
+}
+
+// NewEstimateCache returns an empty cache over db.
+func NewEstimateCache(db *DB) *EstimateCache {
+	return &EstimateCache{db: db, m: make(map[Key]estimateEntry, 64)}
+}
+
+// DB returns the underlying database.
+func (c *EstimateCache) DB() *DB { return c.db }
+
+// Len returns the number of memoized keys.
+func (c *EstimateCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// Estimate returns db.Estimate(k), memoized. Errors are memoized too:
+// an unpriceable key stays unpriceable for the life of the database.
+func (c *EstimateCache) Estimate(k Key) (Record, error) {
+	c.mu.RLock()
+	e, ok := c.m[k]
+	c.mu.RUnlock()
+	if ok {
+		return e.rec, e.err
+	}
+	// Compute outside the lock; concurrent duplicate computations are
+	// benign because Estimate is deterministic, so last-write-wins
+	// stores an identical entry.
+	rec, err := c.db.Estimate(k)
+	c.mu.Lock()
+	c.m[k] = estimateEntry{rec: rec, err: err}
+	c.mu.Unlock()
+	return rec, err
+}

@@ -1,0 +1,67 @@
+package model
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestEstimateCacheMatchesDB(t *testing.T) {
+	db := gridDB(t, 6)
+	c := NewEstimateCache(db)
+	if c.DB() != db {
+		t.Fatal("DB() does not return the wrapped database")
+	}
+	keys := []Key{
+		{NCPU: 1}, {NMEM: 2}, {NIO: 3},
+		{NCPU: 2, NMEM: 2, NIO: 2},
+		{NCPU: 1, NMEM: 1, NIO: 1},
+		{NCPU: 6},          // grid edge
+		{NCPU: 9, NMEM: 9}, // off grid → extrapolation or error, either way memoized
+	}
+	// Query twice: the second pass must serve hits identical to the
+	// uncached database, errors included.
+	for pass := 0; pass < 2; pass++ {
+		for _, k := range keys {
+			want, wantErr := db.Estimate(k)
+			got, gotErr := c.Estimate(k)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("pass %d key %v: err %v, want %v", pass, k, gotErr, wantErr)
+			}
+			if gotErr == nil && got != want {
+				t.Errorf("pass %d key %v: rec %+v, want %+v", pass, k, got, want)
+			}
+		}
+	}
+	if c.Len() != len(keys) {
+		t.Errorf("cache holds %d entries, want %d", c.Len(), len(keys))
+	}
+}
+
+func TestEstimateCacheConcurrent(t *testing.T) {
+	db := gridDB(t, 6)
+	c := NewEstimateCache(db)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := Key{NCPU: i % 4, NMEM: (i + w) % 3, NIO: i % 2}
+				if k.IsZero() {
+					continue
+				}
+				got, err := c.Estimate(k)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				want, _ := db.Estimate(k)
+				if got != want {
+					t.Errorf("key %v: concurrent hit %+v != direct %+v", k, got, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -101,15 +101,24 @@ func (g *Generator) RGS() []int { return g.a }
 
 // Blocks materializes the current partition as a list of blocks, each a
 // sorted list of element indices, ordered by block index (first
-// occurrence order).
+// occurrence order). The blocks share one freshly allocated backing
+// array per call, so retaining the result across Next is safe.
 func (g *Generator) Blocks() [][]int {
 	nblocks := 0
+	var sizes [MaxN]int
 	for _, v := range g.a {
+		sizes[v]++
 		if v+1 > nblocks {
 			nblocks = v + 1
 		}
 	}
+	flat := make([]int, g.n)
 	blocks := make([][]int, nblocks)
+	off := 0
+	for b := 0; b < nblocks; b++ {
+		blocks[b] = flat[off : off : off+sizes[b]]
+		off += sizes[b]
+	}
 	for i, v := range g.a {
 		blocks[v] = append(blocks[v], i)
 	}
@@ -120,14 +129,26 @@ func (g *Generator) Blocks() [][]int {
 // the blocks (valid only during the call) and returns false to stop
 // early. ForEach reports the number of partitions visited.
 func ForEach(n int, fn func(blocks [][]int) bool) (int, error) {
+	return ForEachIndexed(n, func(_ int, blocks [][]int) bool { return fn(blocks) })
+}
+
+// ForEachIndexed visits every set partition of {0,…,n−1} together with
+// its 0-based position in the lexicographic RGS enumeration order. The
+// index is the deterministic identity of a partition within the search:
+// parallel consumers carry it through fan-out so first-of-the-list
+// tie-breaks survive an out-of-order reduce. The callback returns false
+// to stop early; ForEachIndexed reports the number of partitions
+// visited.
+func ForEachIndexed(n int, fn func(idx int, blocks [][]int) bool) (int, error) {
 	g, err := NewGenerator(n)
 	if err != nil {
 		return 0, err
 	}
 	count := 0
 	for g.Next() {
+		idx := count
 		count++
-		if !fn(g.Blocks()) {
+		if !fn(idx, g.Blocks()) {
 			break
 		}
 	}

@@ -287,3 +287,60 @@ func TestBlocksPropertyRandomN(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestForEachIndexedSequence(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		want := 0
+		count, err := ForEachIndexed(n, func(idx int, blocks [][]int) bool {
+			if idx != want {
+				t.Fatalf("n=%d: index %d, want %d", n, idx, want)
+			}
+			want++
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uint64(count) != Bell(n) || count != want {
+			t.Errorf("n=%d: count=%d visited=%d, want Bell=%d", n, count, want, Bell(n))
+		}
+	}
+}
+
+func TestForEachIndexedEarlyStop(t *testing.T) {
+	count, err := ForEachIndexed(5, func(idx int, blocks [][]int) bool {
+		return idx < 9 // stop once index 9 is seen
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Errorf("count=%d after stopping at index 9, want 10", count)
+	}
+}
+
+func TestBlocksAreIndependent(t *testing.T) {
+	// Blocks carves all blocks from one backing array; appending to any
+	// returned block must never bleed into a sibling.
+	g, err := NewGenerator(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g.Next() {
+		blocks := g.Blocks()
+		snapshot := make([][]int, len(blocks))
+		for i, b := range blocks {
+			snapshot[i] = append([]int(nil), b...)
+		}
+		for i := range blocks {
+			blocks[i] = append(blocks[i], 99)
+		}
+		for i, b := range snapshot {
+			for j, v := range b {
+				if blocks[i][j] != v {
+					t.Fatalf("append to one block corrupted block %d", i)
+				}
+			}
+		}
+	}
+}
