@@ -1,20 +1,26 @@
 GO ?= go
 
-.PHONY: all build verify test race vet bench bench-alloc cover clean
+.PHONY: all build verify test race race-sim vet bench bench-alloc bench-json cover clean
 
 all: verify
 
 build:
 	$(GO) build ./...
 
-# verify is the tier-1 gate: compile, static checks, full test suite.
-verify: build vet test
+# verify is the tier-1 gate: compile, static checks, full test suite,
+# and the race detector over the simulator hot-path packages.
+verify: build vet test race-sim
 
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# race-sim races just the event-loop packages the perf rewrite touches;
+# fast enough to gate every verify.
+race-sim:
+	$(GO) test -race ./internal/cloudsim ./internal/eventq
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +32,12 @@ bench:
 # retained pre-optimization reference on the same workloads.
 bench-alloc:
 	$(GO) test -run NONE -bench 'BenchmarkAllocate' -benchmem .
+
+# bench-json records the large-simulation benchmarks (optimized event
+# loop vs the retained reference) as BENCH_sim.json.
+bench-json:
+	$(GO) test -run NONE -bench 'BenchmarkSim' -benchtime 2x -benchmem ./internal/cloudsim \
+		| $(GO) run ./cmd/pacevm-benchjson -o BENCH_sim.json
 
 cover:
 	$(GO) test -cover ./...

@@ -1,0 +1,140 @@
+// Command pacevm-benchjson converts `go test -bench -benchmem` output
+// into a machine-readable JSON document, so benchmark results can be
+// committed and diffed (see `make bench-json`, which records the
+// large-simulation benchmarks in BENCH_sim.json).
+//
+// Usage:
+//
+//	go test -bench Sim -benchmem ./internal/cloudsim | pacevm-benchjson -o BENCH_sim.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line. Standard units get
+// dedicated fields; any custom b.ReportMetric units land in Metrics.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Runs        int64              `json:"runs"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// parse consumes go-test benchmark output and collects result lines and
+// the environment header.
+func parse(r io.Reader) (Report, error) {
+	var rep Report
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		b, err := parseLine(line)
+		if err != nil {
+			return rep, err
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// parseLine parses one result line:
+//
+//	BenchmarkName-8   12  34567 ns/op  89 B/op  1 allocs/op  2.5 req/s
+func parseLine(line string) (Benchmark, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("malformed benchmark line: %q", line)
+	}
+	runs, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("bad run count in %q: %v", line, err)
+	}
+	b := Benchmark{Name: f[0], Runs: runs}
+	for i := 2; i+1 < len(f); i += 2 {
+		val, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("bad value %q in %q: %v", f[i], line, err)
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = val
+		case "B/op":
+			b.BytesPerOp = val
+		case "allocs/op":
+			b.AllocsPerOp = val
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = val
+		}
+	}
+	return b, nil
+}
+
+func run(in io.Reader, outPath string) error {
+	rep, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark result lines found on input")
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath == "" || outPath == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(outPath, data, 0o644)
+}
+
+func main() {
+	out := flag.String("o", "-", "output file ('-' for stdout)")
+	flag.Parse()
+	if err := run(os.Stdin, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "pacevm-benchjson:", err)
+		os.Exit(1)
+	}
+}

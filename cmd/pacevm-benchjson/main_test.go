@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: pacevm/internal/cloudsim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSimLarge 	       5	 216695965 ns/op	    461482 req/s	 8023704 B/op	   18128 allocs/op
+BenchmarkSimLargeReference 	       1	8977090528 ns/op	     11139 req/s	16320939552 B/op	 5708833 allocs/op
+PASS
+ok  	pacevm/internal/cloudsim	9.042s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" || rep.Pkg != "pacevm/internal/cloudsim" {
+		t.Errorf("header misparsed: %+v", rep)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("cpu misparsed: %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkSimLarge" || b.Runs != 5 {
+		t.Errorf("first benchmark misparsed: %+v", b)
+	}
+	if b.NsPerOp != 216695965 || b.AllocsPerOp != 18128 || b.BytesPerOp != 8023704 {
+		t.Errorf("standard units misparsed: %+v", b)
+	}
+	if b.Metrics["req/s"] != 461482 {
+		t.Errorf("custom metric misparsed: %+v", b.Metrics)
+	}
+}
+
+func TestParseLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX",
+		"BenchmarkX 1 2",
+		"BenchmarkX abc 2 ns/op",
+		"BenchmarkX 1 xyz ns/op",
+	} {
+		if _, err := parseLine(line); err == nil {
+			t.Errorf("parseLine accepted %q", line)
+		}
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	if err := run(strings.NewReader("PASS\n"), "-"); err == nil {
+		t.Error("run accepted input with no benchmark lines")
+	}
+}

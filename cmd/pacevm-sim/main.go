@@ -13,6 +13,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"pacevm/internal/campaign"
 	"pacevm/internal/cloudsim"
@@ -33,15 +34,17 @@ func main() {
 	modelDir := flag.String("model", "", "directory with model.csv/aux.csv (default: run the campaign in-process)")
 	alwaysOn := flag.Bool("always-on", false, "bill 125 W for empty servers instead of powering them off")
 	consolidate := flag.Bool("consolidate", false, "enable reactive migration-based consolidation (30 s per move)")
+	backfill := flag.Int("backfill", 0, "backfill window depth behind a blocked queue head (0 = strict FCFS)")
+	reference := flag.Bool("reference", false, "run the preserved naive simulator instead of the optimized event loop")
 	flag.Parse()
 
-	if err := run(*stratName, *servers, *seed, *vms, *tracePath, *modelDir, *alwaysOn, *consolidate); err != nil {
+	if err := run(*stratName, *servers, *seed, *vms, *tracePath, *modelDir, *alwaysOn, *consolidate, *backfill, *reference); err != nil {
 		fmt.Fprintln(os.Stderr, "pacevm-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(stratName string, servers int, seed uint64, vms int, tracePath, modelDir string, alwaysOn, consolidate bool) error {
+func run(stratName string, servers int, seed uint64, vms int, tracePath, modelDir string, alwaysOn, consolidate bool, backfill int, reference bool) error {
 	db, err := loadModel(modelDir)
 	if err != nil {
 		return err
@@ -76,7 +79,7 @@ func run(stratName string, servers int, seed uint64, vms int, tracePath, modelDi
 	if err != nil {
 		return err
 	}
-	cfg := cloudsim.Config{DB: db, Servers: servers, Strategy: st, IdleServerPower: -1}
+	cfg := cloudsim.Config{DB: db, Servers: servers, Strategy: st, IdleServerPower: -1, BackfillDepth: backfill}
 	if alwaysOn {
 		cfg.IdleServerPower = 125
 	}
@@ -84,10 +87,16 @@ func run(stratName string, servers int, seed uint64, vms int, tracePath, modelDi
 		cfg.Consolidator = &migrate.Planner{DB: db, MigrationCost: 30}
 		cfg.MigrationCost = 30
 	}
-	res, err := cloudsim.Run(cfg, reqs)
+	simulate := cloudsim.Run
+	if reference {
+		simulate = cloudsim.RunReference
+	}
+	start := time.Now()
+	res, err := simulate(cfg, reqs)
 	if err != nil {
 		return err
 	}
+	wall := time.Since(start)
 	m := res.Metrics
 	fmt.Printf("strategy:     %s on %d servers\n", st.Name(), servers)
 	fmt.Printf("makespan:     %v\n", m.Makespan)
@@ -98,6 +107,8 @@ func run(stratName string, servers int, seed uint64, vms int, tracePath, modelDi
 	if consolidate {
 		fmt.Printf("migrations:   %d (%d servers drained)\n", m.Migrations, m.ServersDrained)
 	}
+	rate := float64(rep.Requests) / wall.Seconds()
+	fmt.Printf("simulated in: %v (%.0f requests/s)\n", wall.Round(time.Millisecond), rate)
 	return nil
 }
 

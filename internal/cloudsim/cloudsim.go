@@ -15,11 +15,20 @@
 // and the percentage of SLA violations (missed maximum-response-time
 // deadlines summed over all applications). Scheduling and provisioning
 // overheads are not modelled, as in the paper.
+//
+// Run is the scale-tuned event loop: typed slab-backed events, a
+// placement view and active-server count maintained incrementally,
+// pooled VM state, and — for strategies implementing
+// strategy.IndexedPlacer — O(1) capacity-indexed placement. RunReference
+// retains the naive transcription as the equivalence oracle; the golden
+// tests prove both produce byte-identical Metrics and VMRecord streams.
 package cloudsim
 
 import (
 	"errors"
 	"fmt"
+	"math"
+	"strconv"
 
 	"pacevm/internal/core"
 	"pacevm/internal/eventq"
@@ -44,7 +53,10 @@ type Config struct {
 	// Servers is the cloud size (the paper's SMALLER and LARGER clouds
 	// differ only here, by ~15 %).
 	Servers int
-	// Strategy decides placements.
+	// Strategy decides placements. Strategies that also implement
+	// strategy.IndexedPlacer place through a capacity index the
+	// simulator maintains incrementally instead of a per-call fleet
+	// scan.
 	Strategy strategy.Strategy
 	// MaxVMsPerServer is the physical admission limit (defaults to 16,
 	// the testbed's base-test ceiling).
@@ -131,9 +143,21 @@ type Result struct {
 	VMs []VMRecord
 }
 
+// maxJobVMs is the per-request VM ceiling enforced by trace.Request
+// validation; it bounds the fixed-size placement scratch.
+const maxJobVMs = 4
+
+// vmSlotIDs are the per-request VM identifiers handed to strategies.
+// Strategies treat IDs as opaque and only need uniqueness within one
+// Place call, so a static table avoids a fmt.Sprintf per VM per
+// placement attempt (the reference path keeps the legacy "j<job>-<i>"
+// form; the golden tests prove the outputs match).
+var vmSlotIDs = [maxJobVMs]string{"0", "1", "2", "3"}
+
 // simVM is one running VM.
 type simVM struct {
-	uid       string
+	id        int    // dense uid; the "vm<id>" string forms lazily
+	uid       string // cached string form, built only for migration snapshots
 	jobID     int
 	class     workload.Class
 	remaining float64 // nominal-seconds of work left
@@ -141,6 +165,14 @@ type simVM struct {
 	placed    units.Seconds
 	deadline  units.Seconds // absolute; 0 = unconstrained
 	nominal   units.Seconds
+}
+
+// uidString formats the VM's migration-snapshot identifier on first use.
+func (vm *simVM) uidString() string {
+	if vm.uid == "" {
+		vm.uid = "vm" + strconv.Itoa(vm.id)
+	}
+	return vm.uid
 }
 
 // simServer is one physical server's live state.
@@ -163,13 +195,34 @@ type allocInfo struct {
 	power units.Watts
 }
 
+// Event kinds on the simulator's future-event list.
+const (
+	evKindArrival eventq.Kind = iota
+	evKindCompletion
+)
+
 type sim struct {
 	cfg    Config
 	reqs   []trace.Request
 	events eventq.Queue
 	now    units.Seconds
 	srv    []*simServer
-	queue  []int // indices into reqs, FIFO
+	// queue is the FIFO of request indices awaiting placement; qhead is
+	// its logical start (popping slides the head instead of reslicing,
+	// with periodic compaction).
+	queue []int
+	qhead int
+	// views is the placement-time fleet view handed to linear
+	// strategies, kept in sync with srv allocations instead of being
+	// rebuilt on every tryPlace.
+	views []strategy.Server
+	// fleet/indexed are set when the strategy places through the
+	// capacity index.
+	fleet   *strategy.FleetIndex
+	indexed strategy.IndexedPlacer
+	// active is the incrementally-tracked count of servers currently
+	// hosting at least one VM.
+	active int
 	// dbs lists the distinct databases in use; caches and reference
 	// times are kept per database.
 	dbs   []*model.DB
@@ -177,6 +230,12 @@ type sim struct {
 	refT  [][workload.NumClasses]units.Seconds
 	// dbOf maps a server index to its database index.
 	dbOf []int
+
+	// Placement scratch, reused across tryPlace calls.
+	vmbuf     [maxJobVMs]core.VMRequest
+	assignBuf [maxJobVMs]int
+	// vmfree pools retired simVM structs.
+	vmfree []*simVM
 
 	uidSeq      int
 	records     []VMRecord
@@ -187,25 +246,23 @@ type sim struct {
 	lastFinish  units.Seconds
 }
 
-type evArrival struct{ req int }
-type evCompletion struct{ server int }
-
-// Run simulates the request stream under the configured strategy.
-func Run(cfg Config, reqs []trace.Request) (Result, error) {
+// validateConfig normalizes and checks the scalar configuration, shared
+// by the optimized and reference runs.
+func validateConfig(cfg Config, reqs []trace.Request) (Config, error) {
 	if cfg.DB == nil {
-		return Result{}, errors.New("cloudsim: nil model database")
+		return cfg, errors.New("cloudsim: nil model database")
 	}
 	if cfg.Servers < 1 {
-		return Result{}, errors.New("cloudsim: need at least one server")
+		return cfg, errors.New("cloudsim: need at least one server")
 	}
 	if cfg.Strategy == nil {
-		return Result{}, errors.New("cloudsim: nil strategy")
+		return cfg, errors.New("cloudsim: nil strategy")
 	}
 	if cfg.MaxVMsPerServer == 0 {
 		cfg.MaxVMsPerServer = 16
 	}
 	if cfg.MaxVMsPerServer < 1 {
-		return Result{}, errors.New("cloudsim: non-positive MaxVMsPerServer")
+		return cfg, errors.New("cloudsim: non-positive MaxVMsPerServer")
 	}
 	switch {
 	case cfg.IdleServerPower == 0:
@@ -214,17 +271,20 @@ func Run(cfg Config, reqs []trace.Request) (Result, error) {
 		cfg.IdleServerPower = 0
 	}
 	if len(reqs) == 0 {
-		return Result{}, errors.New("cloudsim: empty request stream")
+		return cfg, errors.New("cloudsim: empty request stream")
+	}
+	if len(reqs) > math.MaxInt32 {
+		return cfg, fmt.Errorf("cloudsim: %d requests exceed the event index range", len(reqs))
 	}
 	if cfg.ServerDBs != nil && len(cfg.ServerDBs) != cfg.Servers {
-		return Result{}, fmt.Errorf("cloudsim: %d ServerDBs for %d servers", len(cfg.ServerDBs), cfg.Servers)
+		return cfg, fmt.Errorf("cloudsim: %d ServerDBs for %d servers", len(cfg.ServerDBs), cfg.Servers)
 	}
-	s := &sim{
-		cfg:         cfg,
-		reqs:        reqs,
-		firstSubmit: reqs[0].Submit,
-	}
-	// Register the distinct databases and map servers onto them.
+	return cfg, nil
+}
+
+// registerDBs maps each server onto its model database, validating
+// reference times once per distinct database.
+func registerDBs(cfg Config) (dbs []*model.DB, refT [][workload.NumClasses]units.Seconds, dbOf []int, err error) {
 	dbIndex := map[*model.DB]int{}
 	register := func(db *model.DB) (int, error) {
 		if idx, ok := dbIndex[db]; ok {
@@ -237,36 +297,64 @@ func Run(cfg Config, reqs []trace.Request) (Result, error) {
 				return 0, fmt.Errorf("cloudsim: database has no reference time for %v", c)
 			}
 		}
-		dbIndex[db] = len(s.dbs)
-		s.dbs = append(s.dbs, db)
-		s.cache = append(s.cache, map[model.Key]allocInfo{})
-		s.refT = append(s.refT, ref)
+		dbIndex[db] = len(dbs)
+		dbs = append(dbs, db)
+		refT = append(refT, ref)
 		return dbIndex[db], nil
 	}
-	s.dbOf = make([]int, cfg.Servers)
-	for i := range s.dbOf {
+	dbOf = make([]int, cfg.Servers)
+	for i := range dbOf {
 		db := cfg.DB
 		if cfg.ServerDBs != nil && cfg.ServerDBs[i] != nil {
 			db = cfg.ServerDBs[i]
 		}
 		idx, err := register(db)
 		if err != nil {
-			return Result{}, err
+			return nil, nil, nil, err
 		}
-		s.dbOf[i] = idx
+		dbOf[i] = idx
+	}
+	return dbs, refT, dbOf, nil
+}
+
+// Run simulates the request stream under the configured strategy.
+func Run(cfg Config, reqs []trace.Request) (Result, error) {
+	cfg, err := validateConfig(cfg, reqs)
+	if err != nil {
+		return Result{}, err
+	}
+	s := &sim{
+		cfg:         cfg,
+		reqs:        reqs,
+		firstSubmit: reqs[0].Submit,
+	}
+	if s.dbs, s.refT, s.dbOf, err = registerDBs(cfg); err != nil {
+		return Result{}, err
+	}
+	s.cache = make([]map[model.Key]allocInfo, len(s.dbs))
+	for i := range s.cache {
+		s.cache[i] = map[model.Key]allocInfo{}
 	}
 	s.srv = make([]*simServer, cfg.Servers)
+	s.views = make([]strategy.Server, cfg.Servers)
 	for i := range s.srv {
 		s.srv[i] = &simServer{id: i, activeFrom: -1}
+		s.views[i] = strategy.Server{ID: i}
 	}
-	for i, r := range reqs {
+	if ip, ok := cfg.Strategy.(strategy.IndexedPlacer); ok {
+		s.indexed = ip
+		s.fleet = strategy.NewFleetIndex(cfg.Servers, cfg.MaxVMsPerServer)
+	}
+	s.events.Reserve(len(reqs) + cfg.Servers)
+	for i := range reqs {
+		r := &reqs[i]
 		if err := r.Validate(); err != nil {
 			return Result{}, err
 		}
 		if r.Submit < s.firstSubmit {
 			s.firstSubmit = r.Submit
 		}
-		s.events.Schedule(r.Submit, evArrival{req: i})
+		s.events.Schedule(r.Submit, eventq.Event{Kind: evKindArrival, Arg: int32(i)})
 		s.metrics.TotalJobs++
 		s.metrics.TotalVMs += r.VMs
 	}
@@ -277,24 +365,28 @@ func Run(cfg Config, reqs []trace.Request) (Result, error) {
 			break
 		}
 		s.now = at
-		switch e := ev.(type) {
-		case evArrival:
-			s.queue = append(s.queue, e.req)
-			s.drainQueue()
-		case evCompletion:
-			if err := s.complete(e.server); err != nil {
+		switch ev.Kind {
+		case evKindArrival:
+			s.queue = append(s.queue, int(ev.Arg))
+			if err := s.drainQueue(); err != nil {
+				return Result{}, err
+			}
+		case evKindCompletion:
+			if err := s.complete(int(ev.Arg)); err != nil {
 				return Result{}, err
 			}
 			if err := s.consolidate(); err != nil {
 				return Result{}, err
 			}
-			s.drainQueue()
+			if err := s.drainQueue(); err != nil {
+				return Result{}, err
+			}
 		default:
-			return Result{}, fmt.Errorf("cloudsim: unknown event %T", ev)
+			return Result{}, fmt.Errorf("cloudsim: unknown event kind %d", ev.Kind)
 		}
 	}
-	if len(s.queue) > 0 {
-		return Result{}, fmt.Errorf("cloudsim: %d jobs still queued at end of simulation (strategy starved them)", len(s.queue))
+	if n := s.qlen(); n > 0 {
+		return Result{}, fmt.Errorf("cloudsim: %d jobs still queued at end of simulation (strategy starved them)", n)
 	}
 
 	// Fold per-server energy and active time. Each provisioned server
@@ -318,6 +410,30 @@ func Run(cfg Config, reqs []trace.Request) (Result, error) {
 	}
 	s.metrics.Makespan = s.lastFinish - s.firstSubmit
 	return Result{Metrics: s.metrics, VMs: s.records}, nil
+}
+
+// qlen is the number of queued (not yet placed) requests.
+func (s *sim) qlen() int { return len(s.queue) - s.qhead }
+
+// qat returns the i-th queued request index (0 = head).
+func (s *sim) qat(i int) int { return s.queue[s.qhead+i] }
+
+// qpophead drops the head, compacting the backing slice once the dead
+// prefix dominates it.
+func (s *sim) qpophead() {
+	s.qhead++
+	if s.qhead >= 64 && s.qhead*2 >= len(s.queue) {
+		n := copy(s.queue, s.queue[s.qhead:])
+		s.queue = s.queue[:n]
+		s.qhead = 0
+	}
+}
+
+// qremove splices out the i-th queued request (i > 0).
+func (s *sim) qremove(i int) {
+	j := s.qhead + i
+	copy(s.queue[j:], s.queue[j+1:])
+	s.queue = s.queue[:len(s.queue)-1]
 }
 
 // info prices an allocation on a given server, caching database
@@ -345,6 +461,16 @@ func (s *sim) info(server int, k model.Key) (allocInfo, error) {
 	}
 	s.cache[di][k] = ai
 	return ai, nil
+}
+
+// applyAlloc shifts a server's allocation by delta VMs of class c,
+// keeping the placement view and the capacity index in sync.
+func (s *sim) applyAlloc(sv *simServer, c workload.Class, delta int) {
+	sv.alloc = sv.alloc.Add(model.KeyFor(c, delta))
+	s.views[sv.id].Alloc = sv.alloc
+	if s.fleet != nil {
+		s.fleet.Add(sv.id, delta)
+	}
 }
 
 // advance integrates a server's VM progress and energy up to now.
@@ -393,7 +519,7 @@ func (s *sim) reschedule(sv *simServer) error {
 			best = fin
 		}
 	}
-	sv.next = s.events.Schedule(s.now+units.Seconds(best), evCompletion{server: sv.id})
+	sv.next = s.events.Schedule(s.now+units.Seconds(best), eventq.Event{Kind: evKindCompletion, Arg: int32(sv.id)})
 	return nil
 }
 
@@ -405,21 +531,31 @@ func (s *sim) complete(serverIdx int) error {
 		return err
 	}
 	const eps = 1e-6
+	wasHosting := len(sv.vms) > 0
 	kept := sv.vms[:0]
 	for _, vm := range sv.vms {
 		if vm.remaining > eps {
 			kept = append(kept, vm)
 			continue
 		}
-		sv.alloc = sv.alloc.Add(model.KeyFor(vm.class, -1))
+		s.applyAlloc(sv, vm.class, -1)
 		s.retire(sv, vm)
+		s.recycle(vm)
+	}
+	for i := len(kept); i < len(sv.vms); i++ {
+		sv.vms[i] = nil
 	}
 	sv.vms = kept
-	if len(sv.vms) == 0 && sv.activeFrom >= 0 {
-		hosted := float64(s.now - sv.activeFrom)
-		s.metrics.ActiveServerSeconds += hosted
-		sv.hostedSeconds += hosted
-		sv.activeFrom = -1
+	if len(sv.vms) == 0 {
+		if sv.activeFrom >= 0 {
+			hosted := float64(s.now - sv.activeFrom)
+			s.metrics.ActiveServerSeconds += hosted
+			sv.hostedSeconds += hosted
+			sv.activeFrom = -1
+		}
+		if wasHosting {
+			s.active--
+		}
 	}
 	return s.reschedule(sv)
 }
@@ -450,6 +586,23 @@ func (s *sim) retire(sv *simServer, vm *simVM) {
 	}
 }
 
+// recycle returns a retired VM's struct to the pool.
+func (s *sim) recycle(vm *simVM) {
+	*vm = simVM{}
+	s.vmfree = append(s.vmfree, vm)
+}
+
+// newVM takes a VM struct from the pool, or allocates one.
+func (s *sim) newVM() *simVM {
+	if n := len(s.vmfree); n > 0 {
+		vm := s.vmfree[n-1]
+		s.vmfree[n-1] = nil
+		s.vmfree = s.vmfree[:n-1]
+		return vm
+	}
+	return &simVM{}
+}
+
 // consolidate snapshots the live cloud for the Consolidator and applies
 // the returned migration plan: each moved VM is advanced to now, moved,
 // and charged the migration cost as additional nominal work.
@@ -478,14 +631,15 @@ func (s *sim) consolidate() error {
 			if rem < 0 {
 				rem = 0
 			}
+			uid := vm.uidString()
 			snapshot = append(snapshot, migrate.VM{
-				ID:        vm.uid,
+				ID:        uid,
 				Class:     vm.class,
 				Server:    i,
 				Remaining: units.Seconds(rem),
 				Budget:    budget,
 			})
-			byUID[vm.uid] = vm
+			byUID[uid] = vm
 		}
 	}
 	if len(snapshot) == 0 {
@@ -516,13 +670,14 @@ func (s *sim) consolidate() error {
 			return fmt.Errorf("cloudsim: move %+v: VM not on source server", mv)
 		}
 		from.vms = append(from.vms[:idx], from.vms[idx+1:]...)
-		from.alloc = from.alloc.Add(model.KeyFor(vm.class, -1))
+		s.applyAlloc(from, vm.class, -1)
 		if len(to.vms) == 0 && to.activeFrom < 0 {
 			to.activeFrom = s.now
+			s.active++
 		}
 		vm.remaining += float64(s.cfg.MigrationCost)
 		to.vms = append(to.vms, vm)
-		to.alloc = to.alloc.Add(model.KeyFor(vm.class, 1))
+		s.applyAlloc(to, vm.class, 1)
 		touched[mv.From] = true
 		touched[mv.To] = true
 		s.metrics.Migrations++
@@ -540,6 +695,7 @@ func (s *sim) consolidate() error {
 			s.metrics.ActiveServerSeconds += hosted
 			sv.hostedSeconds += hosted
 			sv.activeFrom = -1
+			s.active--
 		}
 		if err := s.reschedule(sv); err != nil {
 			return err
@@ -551,39 +707,60 @@ func (s *sim) consolidate() error {
 // drainQueue attempts FIFO placement of waiting jobs, stopping at the
 // first job the strategy cannot place (FCFS without backfilling, so a
 // blocked head preserves submission order). With Config.BackfillDepth
-// set, up to that many jobs behind a blocked head are offered too.
-func (s *sim) drainQueue() {
-	for len(s.queue) > 0 {
-		idx := s.queue[0]
-		if s.tryPlace(idx) {
-			s.queue = s.queue[1:]
+// set, up to that many jobs behind a blocked head are offered too: the
+// window is scanned once in submission order — a successful backfill
+// splices the job out (the next candidate slides into its position) and
+// re-checks the head, rather than restarting the window from scratch.
+func (s *sim) drainQueue() error {
+	for s.qlen() > 0 {
+		ok, err := s.tryPlace(s.qat(0))
+		if err != nil {
+			return err
+		}
+		if ok {
+			s.qpophead()
 			continue
 		}
-		// Head blocked: backfill behind it if allowed.
-		placedAny := false
-		depth := s.cfg.BackfillDepth
-		for i := 1; i < len(s.queue) && i <= depth; i++ {
-			if s.tryPlace(s.queue[i]) {
-				s.queue = append(s.queue[:i], s.queue[i+1:]...)
-				placedAny = true
+		// Head blocked: one pass over the backfill window.
+		headPlaced := false
+		for i := 1; i < s.qlen() && i <= s.cfg.BackfillDepth; {
+			ok, err := s.tryPlace(s.qat(i))
+			if err != nil {
+				return err
+			}
+			if !ok {
+				i++
+				continue
+			}
+			s.qremove(i)
+			// Re-check the head right after a successful backfill: if it
+			// fits now, the FCFS drain resumes; otherwise keep scanning
+			// from the same position.
+			ok, err = s.tryPlace(s.qat(0))
+			if err != nil {
+				return err
+			}
+			if ok {
+				s.qpophead()
+				headPlaced = true
 				break
 			}
 		}
-		if !placedAny {
-			return
+		if !headPlaced {
+			return nil
 		}
 	}
+	return nil
 }
 
 // tryPlace asks the strategy to place one request and commits the
-// placement if accepted.
-func (s *sim) tryPlace(idx int) bool {
-	req := s.reqs[idx]
-	views := make([]strategy.Server, len(s.srv))
-	for i, sv := range s.srv {
-		views[i] = strategy.Server{ID: sv.id, Alloc: sv.alloc}
-	}
-	vms := make([]core.VMRequest, req.VMs)
+// placement if accepted. ok=false means the job waits; a non-nil error
+// means the simulation state is unrecoverable (a mid-commit accounting
+// failure must abort the run, not strand half-placed VMs while the job
+// stays queued).
+func (s *sim) tryPlace(idx int) (bool, error) {
+	req := &s.reqs[idx]
+	vms := s.vmbuf[:req.VMs]
 	for i := range vms {
 		// The allocator's QoS input is the request's maximum execution
 		// time — a static property of the request (Sect. III.D), which is
@@ -591,81 +768,96 @@ func (s *sim) tryPlace(idx int) bool {
 		// Whether the response-time deadline (submission + MaxResponse)
 		// was ultimately met is judged at completion.
 		vms[i] = core.VMRequest{
-			ID:          fmt.Sprintf("j%d-%d", req.ID, i),
+			ID:          vmSlotIDs[i],
 			Class:       req.Class,
 			NominalTime: req.NominalTime,
 			MaxTime:     req.MaxResponse,
 		}
 	}
-	assign, ok := s.cfg.Strategy.Place(views, vms)
+	var assign []int
+	var ok bool
+	if s.indexed != nil {
+		assign, ok = s.indexed.PlaceIndexed(s.fleet, vms, s.assignBuf[:])
+	} else {
+		assign, ok = s.cfg.Strategy.Place(s.views, vms)
+	}
 	if !ok {
-		return false
+		return false, nil
 	}
 	if len(assign) != len(vms) {
 		// A strategy bug; refuse the placement rather than corrupt state.
-		return false
+		return false, nil
 	}
-	// Validate before mutating.
-	added := map[int]int{}
+	// Validate before mutating: server bounds and the admission cap,
+	// with per-server add counts collected in fixed scratch.
+	var targets, counts [maxJobVMs]int
+	nt := 0
 	for _, a := range assign {
 		if a < 0 || a >= len(s.srv) {
-			return false
+			return false, nil
 		}
-		added[a]++
+		seen := false
+		for t := 0; t < nt; t++ {
+			if targets[t] == a {
+				counts[t]++
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			targets[nt], counts[nt] = a, 1
+			nt++
+		}
 	}
-	for a, n := range added {
-		if s.srv[a].alloc.Total()+n > s.cfg.MaxVMsPerServer {
-			return false
+	for t := 0; t < nt; t++ {
+		if s.srv[targets[t]].alloc.Total()+counts[t] > s.cfg.MaxVMsPerServer {
+			return false, nil
 		}
 	}
 	// Bring every target server's accounting up to now before mutating
 	// its allocation (the closing of a Fig.-4 interval). Iterate in
-	// server order, not map order: rescheduling enqueues events whose
-	// FIFO tie-break among equal timestamps must not depend on map
-	// iteration, or the simulation loses determinism.
-	targets := make([]int, 0, len(added))
-	for a := 0; a < len(s.srv); a++ {
-		if _, ok := added[a]; ok {
-			targets = append(targets, a)
+	// server order: rescheduling enqueues events whose FIFO tie-break
+	// among equal timestamps must not depend on iteration order, or the
+	// simulation loses determinism.
+	for i := 1; i < nt; i++ {
+		for j := i; j > 0 && targets[j] < targets[j-1]; j-- {
+			targets[j], targets[j-1] = targets[j-1], targets[j]
 		}
 	}
-	for _, a := range targets {
-		if err := s.advance(s.srv[a]); err != nil {
-			return false
+	for t := 0; t < nt; t++ {
+		if err := s.advance(s.srv[targets[t]]); err != nil {
+			return false, err
 		}
 	}
 	deadline := req.Submit + req.MaxResponse
 	for _, a := range assign {
 		sv := s.srv[a]
-		if len(sv.vms) == 0 && sv.activeFrom < 0 {
-			sv.activeFrom = s.now
+		if len(sv.vms) == 0 {
+			if sv.activeFrom < 0 {
+				sv.activeFrom = s.now
+			}
+			s.active++
 		}
 		s.uidSeq++
-		sv.vms = append(sv.vms, &simVM{
-			uid:       fmt.Sprintf("vm%d", s.uidSeq),
-			jobID:     req.ID,
-			class:     req.Class,
-			remaining: float64(req.NominalTime),
-			submit:    req.Submit,
-			placed:    s.now,
-			deadline:  deadline,
-			nominal:   req.NominalTime,
-		})
-		sv.alloc = sv.alloc.Add(model.KeyFor(req.Class, 1))
+		vm := s.newVM()
+		vm.id = s.uidSeq
+		vm.jobID = req.ID
+		vm.class = req.Class
+		vm.remaining = float64(req.NominalTime)
+		vm.submit = req.Submit
+		vm.placed = s.now
+		vm.deadline = deadline
+		vm.nominal = req.NominalTime
+		sv.vms = append(sv.vms, vm)
+		s.applyAlloc(sv, req.Class, 1)
 	}
-	for _, a := range targets {
-		if err := s.reschedule(s.srv[a]); err != nil {
-			return false
+	for t := 0; t < nt; t++ {
+		if err := s.reschedule(s.srv[targets[t]]); err != nil {
+			return false, err
 		}
 	}
-	active := 0
-	for _, sv := range s.srv {
-		if len(sv.vms) > 0 {
-			active++
-		}
+	if s.active > s.metrics.PeakActiveServers {
+		s.metrics.PeakActiveServers = s.active
 	}
-	if active > s.metrics.PeakActiveServers {
-		s.metrics.PeakActiveServers = active
-	}
-	return true
+	return true, nil
 }

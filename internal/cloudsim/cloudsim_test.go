@@ -19,7 +19,7 @@ var (
 	dbErr  error
 )
 
-func sharedDB(t *testing.T) *model.DB {
+func sharedDB(t testing.TB) *model.DB {
 	t.Helper()
 	dbOnce.Do(func() {
 		cfg := campaign.DefaultConfig()
@@ -33,7 +33,7 @@ func sharedDB(t *testing.T) *model.DB {
 	return testDB
 }
 
-func ff(t *testing.T, mult int) strategy.Strategy {
+func ff(t testing.TB, mult int) strategy.Strategy {
 	t.Helper()
 	s, err := strategy.NewFirstFit(mult)
 	if err != nil {
@@ -42,7 +42,7 @@ func ff(t *testing.T, mult int) strategy.Strategy {
 	return s
 }
 
-func pa(t *testing.T, goal core.Goal) strategy.Strategy {
+func pa(t testing.TB, goal core.Goal) strategy.Strategy {
 	t.Helper()
 	s, err := strategy.NewProactive(sharedDB(t), goal, 0)
 	if err != nil {

@@ -1,0 +1,79 @@
+package cloudsim
+
+// Large-simulation benchmarks: the ROADMAP-scale fleets the hot-path
+// rewrite targets. BenchmarkSimLarge* drive the optimized Run;
+// BenchmarkSimLargeReference drives the preserved naive transcription on
+// the identical workload, so the ratio of the two is the measured
+// speedup (and allocs/op ratio the allocation reduction) recorded in
+// BENCH_sim.json by `make bench-json`.
+
+import (
+	"testing"
+
+	"pacevm/internal/strategy"
+	"pacevm/internal/trace"
+	"pacevm/internal/units"
+)
+
+var benchSink units.Seconds
+
+// benchWorkload streams a seeded EGEE-shaped workload sized to keep a
+// fleet of the given slot count busy without starving the queue.
+func benchWorkload(b *testing.B, seed uint64, n int, gap units.Seconds) []trace.Request {
+	b.Helper()
+	cfg := trace.DefaultStreamConfig(seed)
+	cfg.MeanInterarrival = gap
+	s, err := trace.NewStream(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s.Take(n)
+}
+
+func benchSim(b *testing.B, servers, n int, gap units.Seconds,
+	run func(Config, []trace.Request) (Result, error)) {
+	db := sharedDB(b)
+	reqs := benchWorkload(b, 99, n, gap)
+	st, err := strategy.NewFirstFit(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{DB: db, Servers: servers, Strategy: st}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := run(cfg, reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = res.Makespan
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkSimLarge is the acceptance workload: 1k servers (12k FF-3
+// slots), 100k requests.
+func BenchmarkSimLarge(b *testing.B) {
+	benchSim(b, 1000, 100_000, 1.5, Run)
+}
+
+// BenchmarkSimLarge4k quadruples the fleet with a proportionally denser
+// arrival stream.
+func BenchmarkSimLarge4k(b *testing.B) {
+	benchSim(b, 4000, 100_000, 0.4, Run)
+}
+
+// BenchmarkSimLargeBackfill exercises the queue-window path under the
+// same load.
+func BenchmarkSimLargeBackfill(b *testing.B) {
+	benchSim(b, 1000, 100_000, 1.5, func(cfg Config, reqs []trace.Request) (Result, error) {
+		cfg.BackfillDepth = 8
+		return Run(cfg, reqs)
+	})
+}
+
+// BenchmarkSimLargeReference is the pre-rewrite baseline on the
+// BenchmarkSimLarge workload.
+func BenchmarkSimLargeReference(b *testing.B) {
+	benchSim(b, 1000, 100_000, 1.5, RunReference)
+}

@@ -1,94 +1,133 @@
 // Package eventq implements the future-event list used by the PACE-VM
-// discrete-event simulators: a binary min-heap of timestamped events with
-// stable FIFO ordering among simultaneous events and O(log n) cancellation
-// by handle.
+// discrete-event simulators: a slab-backed 4-ary min-heap of timestamped
+// events with stable FIFO ordering among simultaneous events and
+// O(log n) cancellation by handle.
 //
 // Stable ordering matters for reproducibility: when a job arrival and a
-// job completion carry the same timestamp the simulator must process them
-// in a deterministic order, otherwise placement decisions (and therefore
-// every downstream metric) vary between runs.
+// job completion carry the same timestamp the simulator must process
+// them in a deterministic order, otherwise placement decisions (and
+// therefore every downstream metric) vary between runs.
+//
+// The queue is allocation-free on the hot path. Events are a small
+// tagged value struct rather than boxed interfaces, pending events live
+// in a reusable slab indexed by the heap, and handles are
+// generation-checked slab indices: popping or cancelling an event bumps
+// its slot's generation, so a stale handle kept across slot reuse is
+// detected instead of silently cancelling an unrelated event. The 4-ary
+// layout halves the tree depth of a binary heap and keeps sift-down
+// children on one cache line of the index array.
 package eventq
 
-import (
-	"container/heap"
+import "pacevm/internal/units"
 
-	"pacevm/internal/units"
-)
+// Kind discriminates event payloads. The simulator that owns the queue
+// defines its own kind values; the queue never interprets them.
+type Kind uint8
 
-// Event is the payload scheduled on a Queue.
-type Event interface{}
+// Event is the payload scheduled on a Queue: a small tagged union whose
+// Arg indexes into simulator-owned state (a request, a server, ...).
+type Event struct {
+	Kind Kind
+	Arg  int32
+}
 
-// Handle identifies a scheduled event for cancellation. Handles are valid
-// until the event is popped or cancelled.
+// Handle identifies a scheduled event for cancellation. Handles are
+// valid until the event is popped or cancelled; a handle kept beyond
+// that is detected as stale even after its slab slot has been reused.
+// The zero Handle is never valid.
 type Handle struct {
-	item *item
+	slot int32 // slab index + 1; 0 is the zero handle
+	gen  uint32
 }
 
-// Valid reports whether the handle still refers to a pending event.
-func (h Handle) Valid() bool { return h.item != nil && h.item.index >= 0 }
-
-type item struct {
-	at    units.Seconds
-	seq   uint64
-	ev    Event
-	index int // heap index; -1 once removed
+// slot is one slab entry. A slot is live while pos >= 0; freeing it
+// bumps gen, invalidating any outstanding handles to the old event.
+type slot struct {
+	at  units.Seconds
+	seq uint64
+	ev  Event
+	gen uint32
+	pos int32 // index into Queue.heap; -1 when free
 }
 
-type itemHeap []*item
-
-func (h itemHeap) Len() int { return len(h) }
-func (h itemHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h itemHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *itemHeap) Push(x any) {
-	it := x.(*item)
-	it.index = len(*h)
-	*h = append(*h, it)
-}
-func (h *itemHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	it.index = -1
-	*h = old[:n-1]
-	return it
-}
-
-// Queue is a future-event list. The zero value is an empty queue ready to
-// use. Queue is not safe for concurrent use; the simulators are
+// Queue is a future-event list. The zero value is an empty queue ready
+// to use. Queue is not safe for concurrent use; the simulators are
 // single-threaded per replication and parallelize across replications.
 type Queue struct {
-	heap itemHeap
-	seq  uint64
+	slots []slot
+	heap  []int32 // heap of slab indices, 4-ary, min at heap[0]
+	free  []int32 // recycled slab indices
+	seq   uint64
 }
 
 // Len returns the number of pending events.
 func (q *Queue) Len() int { return len(q.heap) }
 
+// Reserve grows the slab and heap capacity to hold at least n pending
+// events without further allocation.
+func (q *Queue) Reserve(n int) {
+	if cap(q.slots) < n {
+		slots := make([]slot, len(q.slots), n)
+		copy(slots, q.slots)
+		q.slots = slots
+	}
+	if cap(q.heap) < n {
+		heap := make([]int32, len(q.heap), n)
+		copy(heap, q.heap)
+		q.heap = heap
+	}
+}
+
 // Schedule adds ev at virtual time at and returns a cancellation handle.
 func (q *Queue) Schedule(at units.Seconds, ev Event) Handle {
-	it := &item{at: at, seq: q.seq, ev: ev}
+	var idx int32
+	if n := len(q.free); n > 0 {
+		idx = q.free[n-1]
+		q.free = q.free[:n-1]
+	} else {
+		idx = int32(len(q.slots))
+		q.slots = append(q.slots, slot{})
+	}
+	sl := &q.slots[idx]
+	sl.at = at
+	sl.seq = q.seq
+	sl.ev = ev
 	q.seq++
-	heap.Push(&q.heap, it)
-	return Handle{item: it}
+	q.heap = append(q.heap, idx)
+	q.siftUp(len(q.heap) - 1)
+	return Handle{slot: idx + 1, gen: sl.gen}
+}
+
+// Valid reports whether h still refers to a pending event on this queue.
+func (q *Queue) Valid(h Handle) bool {
+	if h.slot == 0 || int(h.slot) > len(q.slots) {
+		return false
+	}
+	sl := &q.slots[h.slot-1]
+	return sl.gen == h.gen && sl.pos >= 0
 }
 
 // Cancel removes the event identified by h if it is still pending, and
-// reports whether anything was removed.
+// reports whether anything was removed. A stale handle — popped,
+// already cancelled, or outlived by a reuse of its slot — is rejected
+// by the generation check and cancels nothing.
 func (q *Queue) Cancel(h Handle) bool {
-	if !h.Valid() {
+	if !q.Valid(h) {
 		return false
 	}
-	heap.Remove(&q.heap, h.item.index)
+	idx := h.slot - 1
+	pos := int(q.slots[idx].pos)
+	q.release(idx)
+	last := len(q.heap) - 1
+	moved := q.heap[last]
+	q.heap = q.heap[:last]
+	if pos == last {
+		return true
+	}
+	q.heap[pos] = moved
+	q.slots[moved].pos = int32(pos)
+	q.siftDown(pos)
+	q.siftUp(int(q.slots[moved].pos))
 	return true
 }
 
@@ -98,16 +137,91 @@ func (q *Queue) Peek() (at units.Seconds, ok bool) {
 	if len(q.heap) == 0 {
 		return 0, false
 	}
-	return q.heap[0].at, true
+	return q.slots[q.heap[0]].at, true
 }
 
 // Pop removes and returns the earliest pending event and its timestamp.
-// ok is false when the queue is empty. Among equal timestamps, events pop
-// in the order they were scheduled.
+// ok is false when the queue is empty. Among equal timestamps, events
+// pop in the order they were scheduled.
 func (q *Queue) Pop() (at units.Seconds, ev Event, ok bool) {
 	if len(q.heap) == 0 {
-		return 0, nil, false
+		return 0, Event{}, false
 	}
-	it := heap.Pop(&q.heap).(*item)
-	return it.at, it.ev, true
+	idx := q.heap[0]
+	sl := &q.slots[idx]
+	at, ev = sl.at, sl.ev
+	q.release(idx)
+	last := len(q.heap) - 1
+	moved := q.heap[last]
+	q.heap = q.heap[:last]
+	if last > 0 {
+		q.heap[0] = moved
+		q.slots[moved].pos = 0
+		q.siftDown(0)
+	}
+	return at, ev, true
+}
+
+// release frees a slab slot: the generation bump invalidates any
+// outstanding handles before the slot is recycled.
+func (q *Queue) release(idx int32) {
+	sl := &q.slots[idx]
+	sl.pos = -1
+	sl.gen++
+	q.free = append(q.free, idx)
+}
+
+// less orders slab entries by (timestamp, scheduling sequence).
+func (q *Queue) less(a, b int32) bool {
+	sa, sb := &q.slots[a], &q.slots[b]
+	if sa.at != sb.at {
+		return sa.at < sb.at
+	}
+	return sa.seq < sb.seq
+}
+
+func (q *Queue) siftUp(pos int) {
+	idx := q.heap[pos]
+	for pos > 0 {
+		parent := (pos - 1) / 4
+		pidx := q.heap[parent]
+		if !q.less(idx, pidx) {
+			break
+		}
+		q.heap[pos] = pidx
+		q.slots[pidx].pos = int32(pos)
+		pos = parent
+	}
+	q.heap[pos] = idx
+	q.slots[idx].pos = int32(pos)
+}
+
+func (q *Queue) siftDown(pos int) {
+	n := len(q.heap)
+	idx := q.heap[pos]
+	for {
+		first := 4*pos + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if q.less(q.heap[c], q.heap[best]) {
+				best = c
+			}
+		}
+		if !q.less(q.heap[best], idx) {
+			break
+		}
+		bidx := q.heap[best]
+		q.heap[pos] = bidx
+		q.slots[bidx].pos = int32(pos)
+		pos = best
+	}
+	q.heap[pos] = idx
+	q.slots[idx].pos = int32(pos)
 }

@@ -9,6 +9,14 @@ import (
 	"pacevm/internal/units"
 )
 
+// Event kinds used by the tests; the queue itself never interprets them.
+const (
+	kindA Kind = iota
+	kindB
+)
+
+func ev(arg int) Event { return Event{Kind: kindA, Arg: int32(arg)} }
+
 func TestEmptyQueue(t *testing.T) {
 	var q Queue
 	if q.Len() != 0 {
@@ -24,15 +32,13 @@ func TestEmptyQueue(t *testing.T) {
 
 func TestOrdering(t *testing.T) {
 	var q Queue
-	q.Schedule(3, "c")
-	q.Schedule(1, "a")
-	q.Schedule(2, "b")
-	want := []string{"a", "b", "c"}
-	wantAt := []units.Seconds{1, 2, 3}
-	for i, w := range want {
-		at, ev, ok := q.Pop()
-		if !ok || ev.(string) != w || at != wantAt[i] {
-			t.Fatalf("pop %d = (%v,%v,%v), want (%v,%q,true)", i, at, ev, ok, wantAt[i], w)
+	q.Schedule(3, ev(3))
+	q.Schedule(1, ev(1))
+	q.Schedule(2, ev(2))
+	for i, want := range []int32{1, 2, 3} {
+		at, e, ok := q.Pop()
+		if !ok || e.Arg != want || at != units.Seconds(want) {
+			t.Fatalf("pop %d = (%v,%v,%v), want (%v,%v,true)", i, at, e, ok, want, want)
 		}
 	}
 }
@@ -40,19 +46,28 @@ func TestOrdering(t *testing.T) {
 func TestFIFOAmongTies(t *testing.T) {
 	var q Queue
 	for i := 0; i < 10; i++ {
-		q.Schedule(5, i)
+		q.Schedule(5, ev(i))
 	}
 	for i := 0; i < 10; i++ {
-		_, ev, ok := q.Pop()
-		if !ok || ev.(int) != i {
-			t.Fatalf("tie pop %d = %v", i, ev)
+		_, e, ok := q.Pop()
+		if !ok || int(e.Arg) != i {
+			t.Fatalf("tie pop %d = %v", i, e)
 		}
+	}
+}
+
+func TestKindRoundTrips(t *testing.T) {
+	var q Queue
+	q.Schedule(1, Event{Kind: kindB, Arg: 7})
+	_, e, ok := q.Pop()
+	if !ok || e.Kind != kindB || e.Arg != 7 {
+		t.Fatalf("popped %+v", e)
 	}
 }
 
 func TestPeekDoesNotRemove(t *testing.T) {
 	var q Queue
-	q.Schedule(7, "x")
+	q.Schedule(7, ev(0))
 	at, ok := q.Peek()
 	if !ok || at != 7 {
 		t.Fatalf("Peek = %v,%v", at, ok)
@@ -64,17 +79,17 @@ func TestPeekDoesNotRemove(t *testing.T) {
 
 func TestCancel(t *testing.T) {
 	var q Queue
-	h1 := q.Schedule(1, "a")
-	q.Schedule(2, "b")
+	h1 := q.Schedule(1, ev(1))
+	q.Schedule(2, ev(2))
 	if !q.Cancel(h1) {
 		t.Fatal("Cancel of pending event returned false")
 	}
 	if q.Cancel(h1) {
 		t.Fatal("double Cancel returned true")
 	}
-	_, ev, _ := q.Pop()
-	if ev.(string) != "b" {
-		t.Fatalf("after cancel popped %v", ev)
+	_, e, _ := q.Pop()
+	if e.Arg != 2 {
+		t.Fatalf("after cancel popped %v", e)
 	}
 	if q.Cancel(Handle{}) {
 		t.Error("Cancel of zero handle returned true")
@@ -85,7 +100,7 @@ func TestCancelMiddle(t *testing.T) {
 	var q Queue
 	var handles []Handle
 	for i := 0; i < 100; i++ {
-		handles = append(handles, q.Schedule(units.Seconds(i), i))
+		handles = append(handles, q.Schedule(units.Seconds(i), ev(i)))
 	}
 	// Cancel all odd events.
 	for i := 1; i < 100; i += 2 {
@@ -94,9 +109,9 @@ func TestCancelMiddle(t *testing.T) {
 		}
 	}
 	for i := 0; i < 100; i += 2 {
-		_, ev, ok := q.Pop()
-		if !ok || ev.(int) != i {
-			t.Fatalf("expected %d, got %v", i, ev)
+		_, e, ok := q.Pop()
+		if !ok || int(e.Arg) != i {
+			t.Fatalf("expected %d, got %v", i, e)
 		}
 	}
 	if q.Len() != 0 {
@@ -106,35 +121,130 @@ func TestCancelMiddle(t *testing.T) {
 
 func TestHandleValidLifecycle(t *testing.T) {
 	var q Queue
-	h := q.Schedule(1, "a")
-	if !h.Valid() {
+	h := q.Schedule(1, ev(0))
+	if !q.Valid(h) {
 		t.Error("fresh handle invalid")
 	}
 	q.Pop()
-	if h.Valid() {
+	if q.Valid(h) {
 		t.Error("handle still valid after pop")
+	}
+	if q.Valid(Handle{}) {
+		t.Error("zero handle valid")
+	}
+}
+
+// TestStaleHandleAfterSlotReuse is the regression the slab rewrite must
+// hold: popping an event frees its slot for reuse, and a handle to the
+// popped event must NOT cancel (or report valid for) whatever event
+// later lands in the same slot.
+func TestStaleHandleAfterSlotReuse(t *testing.T) {
+	var q Queue
+	hA := q.Schedule(1, ev(100))
+	if _, e, ok := q.Pop(); !ok || e.Arg != 100 {
+		t.Fatalf("popped %v", e)
+	}
+	// B reuses A's slab slot (single-slot slab at this point).
+	hB := q.Schedule(2, ev(200))
+	if q.Valid(hA) {
+		t.Error("stale handle reports valid after slot reuse")
+	}
+	if q.Cancel(hA) {
+		t.Fatal("stale handle cancelled a different event")
+	}
+	if q.Len() != 1 {
+		t.Fatalf("B was lost: Len = %d", q.Len())
+	}
+	if !q.Cancel(hB) {
+		t.Error("fresh handle to the reused slot failed to cancel")
+	}
+}
+
+// TestStaleHandlesAcrossManyPops churns the slab through many
+// schedule/pop cycles and checks every retired handle stays dead while
+// every live one works exactly once.
+func TestStaleHandlesAcrossManyPops(t *testing.T) {
+	var q Queue
+	var dead []Handle
+	for round := 0; round < 50; round++ {
+		live := make([]Handle, 10)
+		for i := range live {
+			live[i] = q.Schedule(units.Seconds(round*10+i), ev(round*10+i))
+		}
+		// Cancel half, pop the rest.
+		for i, h := range live {
+			if i%2 == 0 {
+				if !q.Cancel(h) {
+					t.Fatalf("round %d: cancel of live handle %d failed", round, i)
+				}
+			}
+		}
+		for q.Len() > 0 {
+			q.Pop()
+		}
+		dead = append(dead, live...)
+		for _, h := range dead {
+			if q.Valid(h) || q.Cancel(h) {
+				t.Fatalf("round %d: retired handle came back to life", round)
+			}
+		}
+	}
+}
+
+func TestCancelledSlotReuseKeepsOrdering(t *testing.T) {
+	var q Queue
+	h := q.Schedule(5, ev(1))
+	q.Schedule(1, ev(2))
+	q.Cancel(h)
+	q.Schedule(3, ev(3)) // reuses the cancelled slot
+	var got []int32
+	for {
+		_, e, ok := q.Pop()
+		if !ok {
+			break
+		}
+		got = append(got, e.Arg)
+	}
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("pop order %v, want [2 3]", got)
+	}
+}
+
+func TestReserve(t *testing.T) {
+	var q Queue
+	q.Reserve(1000)
+	allocsStart := testing.AllocsPerRun(1, func() {
+		for i := 0; i < 500; i++ {
+			q.Schedule(units.Seconds(i), ev(i))
+		}
+		for q.Len() > 0 {
+			q.Pop()
+		}
+	})
+	if allocsStart > 3 {
+		t.Errorf("reserved queue allocated %.0f times during churn", allocsStart)
 	}
 }
 
 func TestPopSortedProperty(t *testing.T) {
 	f := func(times []float64) bool {
 		var q Queue
-		clean := times[:0]
+		var clean []float64
 		for _, ts := range times {
 			if math.IsNaN(ts) || math.IsInf(ts, 0) {
 				continue
 			}
 			ts = math.Mod(ts, 1e9)
 			clean = append(clean, ts)
-			q.Schedule(units.Seconds(ts), ts)
+			q.Schedule(units.Seconds(ts), ev(len(clean)-1))
 		}
 		var popped []float64
 		for {
-			_, ev, ok := q.Pop()
+			at, _, ok := q.Pop()
 			if !ok {
 				break
 			}
-			popped = append(popped, ev.(float64))
+			popped = append(popped, float64(at))
 		}
 		if len(popped) != len(clean) {
 			return false
@@ -143,11 +253,7 @@ func TestPopSortedProperty(t *testing.T) {
 		sort.Float64s(sorted)
 		for i := range sorted {
 			if popped[i] != sorted[i] {
-				// Ties may reorder equal values, which is fine — values are
-				// equal, so only compare the numbers.
-				if popped[i] != sorted[i] {
-					return false
-				}
+				return false
 			}
 		}
 		return true
@@ -157,21 +263,104 @@ func TestPopSortedProperty(t *testing.T) {
 	}
 }
 
+// TestCancelRandomizedHeapIntegrity interleaves schedules, cancels and
+// pops and checks the popped sequence equals the sorted surviving set —
+// an oracle over the 4-ary heap's arbitrary-position removal.
+func TestCancelRandomizedHeapIntegrity(t *testing.T) {
+	f := func(ops []uint16) bool {
+		var q Queue
+		type pending struct {
+			h  Handle
+			at float64
+		}
+		var live []pending
+		var want []float64
+		next := 0
+		for _, op := range ops {
+			switch op % 3 {
+			case 0, 1: // schedule (biased: queues mostly grow)
+				at := float64(op) / 7
+				live = append(live, pending{q.Schedule(units.Seconds(at), ev(next)), at})
+				next++
+			case 2: // cancel a pseudo-random live event
+				if len(live) == 0 {
+					continue
+				}
+				i := int(op) % len(live)
+				if !q.Cancel(live[i].h) {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		for _, p := range live {
+			want = append(want, p.at)
+		}
+		sort.Float64s(want)
+		for i := 0; ; i++ {
+			at, _, ok := q.Pop()
+			if !ok {
+				return i == len(want)
+			}
+			if i >= len(want) || float64(at) != want[i] {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestInterleavedScheduleAndPop(t *testing.T) {
 	var q Queue
-	q.Schedule(10, "late")
-	q.Schedule(1, "early")
-	at, ev, _ := q.Pop()
-	if ev.(string) != "early" || at != 1 {
-		t.Fatalf("got %v at %v", ev, at)
+	q.Schedule(10, ev(10))
+	q.Schedule(1, ev(1))
+	at, e, _ := q.Pop()
+	if e.Arg != 1 || at != 1 {
+		t.Fatalf("got %v at %v", e, at)
 	}
-	q.Schedule(5, "mid")
-	_, ev, _ = q.Pop()
-	if ev.(string) != "mid" {
-		t.Fatalf("got %v", ev)
+	q.Schedule(5, ev(5))
+	_, e, _ = q.Pop()
+	if e.Arg != 5 {
+		t.Fatalf("got %v", e)
 	}
-	_, ev, _ = q.Pop()
-	if ev.(string) != "late" {
-		t.Fatalf("got %v", ev)
+	_, e, _ = q.Pop()
+	if e.Arg != 10 {
+		t.Fatalf("got %v", e)
+	}
+}
+
+// BenchmarkQueueChurn measures the steady-state schedule/pop cycle the
+// simulator event loop drives (one completion rescheduled per pop).
+func BenchmarkQueueChurn(b *testing.B) {
+	var q Queue
+	q.Reserve(1024)
+	for i := 0; i < 1024; i++ {
+		q.Schedule(units.Seconds(i), ev(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at, e, _ := q.Pop()
+		q.Schedule(at+1024, e)
+	}
+}
+
+// BenchmarkQueueCancel measures cancel+reschedule, the pattern every
+// server-state change triggers.
+func BenchmarkQueueCancel(b *testing.B) {
+	var q Queue
+	q.Reserve(1024)
+	handles := make([]Handle, 1024)
+	for i := range handles {
+		handles[i] = q.Schedule(units.Seconds(i), ev(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % 1024
+		q.Cancel(handles[j])
+		handles[j] = q.Schedule(units.Seconds(i+1024), ev(j))
 	}
 }

@@ -38,6 +38,10 @@ type Config struct {
 	// the paper's 125 W fixed dissipation for every provisioned server,
 	// negative powers empty servers off entirely.
 	IdleServerPower units.Watts
+	// BackfillDepth is forwarded to every simulation: 0 keeps the
+	// paper's strict FCFS queue, a positive depth lets jobs behind a
+	// blocked head be tried (see cloudsim.Config.BackfillDepth).
+	BackfillDepth int
 }
 
 // Default is the paper-scale configuration. The evaluation powers empty
@@ -276,6 +280,7 @@ func (c *Context) runCells(cells []evalCell) ([]EvalResult, error) {
 					Servers:         servers,
 					Strategy:        cell.strategy,
 					IdleServerPower: c.Cfg.IdleServerPower,
+					BackfillDepth:   c.Cfg.BackfillDepth,
 					Consolidator:    cell.consolidator,
 					MigrationCost:   cell.migrationCost,
 				}, reqs)
@@ -401,6 +406,7 @@ func (c *Context) AlphaSweep(alphas []float64) ([]AlphaPoint, error) {
 				Servers:         c.Cfg.SmallServers,
 				Strategy:        pa,
 				IdleServerPower: c.Cfg.IdleServerPower,
+				BackfillDepth:   c.Cfg.BackfillDepth,
 			}, reqs)
 			if err != nil {
 				errs[i] = fmt.Errorf("experiments: alpha %g: %w", alpha, err)

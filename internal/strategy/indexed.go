@@ -1,0 +1,229 @@
+package strategy
+
+// Capacity-indexed placement. The datacenter simulator owns the fleet
+// state, so scanning every server on every placement (the naive
+// first-fit transcription) costs O(servers) per VM and dominates large
+// simulations. FleetIndex is the simulator-maintained alternative: it
+// buckets servers by occupancy — Alloc.Total(), the residual-headroom
+// key every slot-arithmetic strategy decides on — behind a two-level
+// bitmap per occupancy threshold, so "lowest-id server with a free slot
+// under cap c" resolves in O(1) word operations (O(n/4096) worst case)
+// instead of a fleet scan, and every occupancy change updates exactly
+// one threshold set in O(1).
+//
+// Strategies opt in through IndexedPlacer; the linear Place scan is
+// retained on every strategy as the reference implementation, and the
+// golden tests in internal/cloudsim prove both paths place identically.
+
+import (
+	"math/bits"
+
+	"pacevm/internal/core"
+)
+
+// IndexedPlacer is implemented by strategies that can place through a
+// FleetIndex maintained incrementally by the caller. PlaceIndexed must
+// decide exactly as Place would on the equivalent server view: it reads
+// the index but never mutates it (the caller commits accepted
+// placements by updating the index afterwards). dst, when non-nil, is a
+// caller-owned scratch buffer the assignment may be built in — the
+// returned slice aliases it, so callers must consume the assignment
+// before the next PlaceIndexed call. Implementations must stay
+// stateless: one strategy value may serve several concurrent
+// simulations, each with its own index.
+type IndexedPlacer interface {
+	Strategy
+	PlaceIndexed(idx *FleetIndex, vms []core.VMRequest, dst []int) (assign []int, ok bool)
+}
+
+// FleetIndex buckets a fleet of servers by VM occupancy. Server ids are
+// dense indices 0..Len()-1, matching the simulator's server slice.
+type FleetIndex struct {
+	used []int
+	// levels[c-1] holds the servers with used < c, for c = 1..maxOcc+1.
+	// An occupancy step o -> o+1 leaves exactly levels[o]; a step
+	// o -> o-1 re-enters exactly levels[o-1]: O(1) per change.
+	levels []bitset
+	maxOcc int
+}
+
+// NewFleetIndex builds an index over n empty servers whose occupancy
+// never exceeds maxOcc (the simulator's per-server admission limit).
+func NewFleetIndex(n, maxOcc int) *FleetIndex {
+	if n < 0 || maxOcc < 1 {
+		return nil
+	}
+	f := &FleetIndex{used: make([]int, n), levels: make([]bitset, maxOcc+1), maxOcc: maxOcc}
+	for i := range f.levels {
+		f.levels[i] = newBitset(n)
+		f.levels[i].setAll()
+	}
+	return f
+}
+
+// Len returns the fleet size.
+func (f *FleetIndex) Len() int { return len(f.used) }
+
+// Used returns server i's current occupancy.
+func (f *FleetIndex) Used(i int) int { return f.used[i] }
+
+// Add applies an occupancy delta to server i. Occupancy may exceed
+// maxOcc (the simulator's consolidator can overfill a server past the
+// placement admission limit); such servers simply leave every threshold
+// set, which is the correct membership for any indexed cap. Negative
+// occupancy panics — it means the caller's bookkeeping is corrupt.
+func (f *FleetIndex) Add(i, delta int) {
+	o := f.used[i]
+	n := o + delta
+	if n < 0 {
+		panic("strategy: FleetIndex occupancy went negative")
+	}
+	f.used[i] = n
+	for ; o < n; o++ {
+		if o < len(f.levels) {
+			f.levels[o].clear(i) // left levels[c-1] for c = o+1
+		}
+	}
+	for ; o > n; o-- {
+		if o-1 < len(f.levels) {
+			f.levels[o-1].set(i) // rejoined levels[c-1] for c = o
+		}
+	}
+}
+
+// FirstBelow returns the lowest server id >= from whose occupancy is
+// strictly below cap, or -1 when no such server exists. Caps within the
+// indexed range resolve through the threshold bitmaps; a cap beyond
+// maxOcc+1 (a strategy multiplexing past the admission limit) falls
+// back to an exact linear scan so the answer always matches what a scan
+// of the view would report.
+func (f *FleetIndex) FirstBelow(cap, from int) int {
+	if cap < 1 || from >= len(f.used) {
+		return -1
+	}
+	if from < 0 {
+		from = 0
+	}
+	if cap > f.maxOcc+1 {
+		for i := from; i < len(f.used); i++ {
+			if f.used[i] < cap {
+				return i
+			}
+		}
+		return -1
+	}
+	return f.levels[cap-1].firstFrom(from)
+}
+
+// PlaceIndexed is the indexed first-fit: each VM goes to the lowest-id
+// server with a free slot, found through the occupancy index instead of
+// a fleet scan. Identical placements to Place, in O(1) per VM.
+func (f *FirstFit) PlaceIndexed(idx *FleetIndex, vms []core.VMRequest, dst []int) ([]int, bool) {
+	if len(vms) == 0 {
+		return nil, false
+	}
+	cap := f.Cap()
+	if len(dst) < len(vms) {
+		dst = make([]int, len(vms))
+	}
+	assign := dst[:len(vms)]
+	for v := range vms {
+		from := 0
+		for {
+			c := idx.FirstBelow(cap, from)
+			if c < 0 {
+				return nil, false
+			}
+			// Account for this job's earlier VMs tentatively placed on c
+			// (at most len(vms)-1 of them, never committed to the index).
+			extra := 0
+			for j := 0; j < v; j++ {
+				if assign[j] == c {
+					extra++
+				}
+			}
+			if idx.Used(c)+extra < cap {
+				assign[v] = c
+				break
+			}
+			from = c + 1
+		}
+	}
+	return assign, true
+}
+
+// bitset is a two-level bitmap over server ids: summary bit w is set
+// iff word w has any bit set, so firstFrom skips empty regions 4096
+// servers at a time.
+type bitset struct {
+	words   []uint64
+	summary []uint64
+	n       int
+}
+
+func newBitset(n int) bitset {
+	nw := (n + 63) / 64
+	return bitset{
+		words:   make([]uint64, nw),
+		summary: make([]uint64, (nw+63)/64),
+		n:       n,
+	}
+}
+
+// setAll marks every id in [0, n).
+func (b *bitset) setAll() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	if tail := b.n % 64; tail != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] = (1 << tail) - 1
+	}
+	for i := range b.summary {
+		b.summary[i] = 0
+	}
+	for w := range b.words {
+		if b.words[w] != 0 {
+			b.summary[w/64] |= 1 << (w % 64)
+		}
+	}
+}
+
+func (b *bitset) set(i int) {
+	w := i / 64
+	b.words[w] |= 1 << (i % 64)
+	b.summary[w/64] |= 1 << (w % 64)
+}
+
+func (b *bitset) clear(i int) {
+	w := i / 64
+	b.words[w] &^= 1 << (i % 64)
+	if b.words[w] == 0 {
+		b.summary[w/64] &^= 1 << (w % 64)
+	}
+}
+
+// firstFrom returns the lowest set id >= from, or -1.
+func (b *bitset) firstFrom(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	if from >= b.n {
+		return -1
+	}
+	w := from / 64
+	if rem := b.words[w] >> (from % 64); rem != 0 {
+		return from + bits.TrailingZeros64(rem)
+	}
+	// Climb to the summary level for the next non-empty word.
+	sw := (w + 1) / 64
+	shift := (w + 1) % 64
+	for ; sw < len(b.summary); sw++ {
+		s := b.summary[sw] >> shift
+		if s != 0 {
+			word := sw*64 + shift + bits.TrailingZeros64(s)
+			return word*64 + bits.TrailingZeros64(b.words[word])
+		}
+		shift = 0
+	}
+	return -1
+}

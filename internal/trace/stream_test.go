@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"testing"
+
+	"pacevm/internal/workload"
+)
+
+func TestStreamDeterminism(t *testing.T) {
+	a, err := NewStream(DefaultStreamConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewStream(DefaultStreamConfig(7))
+	ra, rb := a.Take(500), b.Take(500)
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("request %d diverges across identical seeds: %+v vs %+v", i, ra[i], rb[i])
+		}
+	}
+	c, _ := NewStream(DefaultStreamConfig(8))
+	diff := 0
+	for _, r := range c.Take(500) {
+		if r != ra[r.ID-1] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestStreamValidRequests(t *testing.T) {
+	s, err := NewStream(DefaultStreamConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxSubmit float64
+	classes := map[workload.Class]int{}
+	for i, r := range s.Take(5000) {
+		if err := r.Validate(); err != nil {
+			t.Fatalf("request %d invalid: %v", i, err)
+		}
+		if r.ID != i+1 {
+			t.Fatalf("request %d has ID %d", i, r.ID)
+		}
+		// Burst starts are monotone; intra-burst offsets (4 gaps of at
+		// most 20 s) bound how far a later request may precede the
+		// running maximum.
+		if float64(r.Submit) < maxSubmit-80 {
+			t.Fatalf("request %d submitted at %v, far before running max %v", i, r.Submit, maxSubmit)
+		}
+		if float64(r.Submit) > maxSubmit {
+			maxSubmit = float64(r.Submit)
+		}
+		classes[r.Class]++
+	}
+	if maxSubmit <= 0 {
+		t.Error("stream time never advanced")
+	}
+	if len(classes) != int(workload.NumClasses) {
+		t.Errorf("stream covered %d classes, want %d", len(classes), workload.NumClasses)
+	}
+}
+
+func TestStreamRejectsBadConfig(t *testing.T) {
+	bad := DefaultStreamConfig(1)
+	bad.MeanInterarrival = 0
+	if _, err := NewStream(bad); err == nil {
+		t.Error("accepted zero MeanInterarrival")
+	}
+	bad = DefaultStreamConfig(1)
+	bad.QoSFactor[workload.ClassCPU] = -1
+	if _, err := NewStream(bad); err == nil {
+		t.Error("accepted negative QoS factor")
+	}
+}
