@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build verify test race race-sim vet bench bench-alloc bench-json cover clean
+.PHONY: all build verify test race race-sim vet bench bench-alloc bench-json cover trace clean
 
 all: verify
 
@@ -17,10 +17,11 @@ test:
 race:
 	$(GO) test -race ./...
 
-# race-sim races just the event-loop packages the perf rewrite touches;
-# fast enough to gate every verify.
+# race-sim races the event-loop packages plus everything the telemetry
+# layer touches concurrently (search worker pool, estimate cache,
+# registry); fast enough to gate every verify.
 race-sim:
-	$(GO) test -race ./internal/cloudsim ./internal/eventq
+	$(GO) test -race ./internal/cloudsim ./internal/eventq ./internal/core ./internal/model ./internal/obs
 
 vet:
 	$(GO) vet ./...
@@ -34,13 +35,21 @@ bench-alloc:
 	$(GO) test -run NONE -bench 'BenchmarkAllocate' -benchmem .
 
 # bench-json records the large-simulation benchmarks (optimized event
-# loop vs the retained reference) as BENCH_sim.json.
+# loop vs the retained reference, plus the telemetry-on overhead pair)
+# as BENCH_sim.json.
 bench-json:
 	$(GO) test -run NONE -bench 'BenchmarkSim' -benchtime 2x -benchmem ./internal/cloudsim \
 		| $(GO) run ./cmd/pacevm-benchjson -o BENCH_sim.json
 
 cover:
-	$(GO) test -cover ./...
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+# trace records the Fig. 5 SMALLER/FF-3 scenario as a Perfetto-loadable
+# Chrome trace (trace.json + trace.json.manifest.json).
+trace:
+	$(GO) run ./cmd/pacevm-sim -strategy FF-3 -servers 66 -vms 10000 -trace trace.json
 
 clean:
 	$(GO) clean ./...
+	rm -f cover.out

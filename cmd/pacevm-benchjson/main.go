@@ -17,6 +17,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"pacevm/internal/obs"
 )
 
 // Benchmark is one parsed benchmark result line. Standard units get
@@ -132,7 +134,17 @@ func run(in io.Reader, outPath string) error {
 
 func main() {
 	out := flag.String("o", "-", "output file ('-' for stdout)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address (e.g. :6060)")
 	flag.Parse()
+	if *debugAddr != "" {
+		ds, err := obs.ServeDebug(*debugAddr, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pacevm-benchjson:", err)
+			os.Exit(1)
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "debug server: http://%s/debug/pprof/ and /debug/vars\n", ds.Addr())
+	}
 	if err := run(os.Stdin, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "pacevm-benchjson:", err)
 		os.Exit(1)

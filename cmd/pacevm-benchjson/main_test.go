@@ -59,3 +59,9 @@ func TestParseEmptyInput(t *testing.T) {
 		t.Error("run accepted input with no benchmark lines")
 	}
 }
+
+func TestRunRejectsUnwritableOutput(t *testing.T) {
+	if err := run(strings.NewReader(sample), "/proc/definitely/not/writable.json"); err == nil {
+		t.Error("unwritable output path should fail")
+	}
+}

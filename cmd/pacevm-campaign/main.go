@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 
 	"pacevm/internal/campaign"
+	"pacevm/internal/obs"
 	"pacevm/internal/rng"
 	"pacevm/internal/workload"
 )
@@ -26,7 +27,18 @@ func main() {
 	full := flag.Int("full", 0, "build the full pricing grid up to this total VM count (0 = paper-reduced grid)")
 	maxBase := flag.Int("maxbase", 16, "largest same-type VM count in base tests")
 	noise := flag.Uint64("noise", 0, "seed for power-meter noise (0 = ideal meter)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address (e.g. :6060)")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		ds, err := obs.ServeDebug(*debugAddr, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pacevm-campaign:", err)
+			os.Exit(1)
+		}
+		defer ds.Close()
+		fmt.Printf("debug server: http://%s/debug/pprof/ and /debug/vars\n", ds.Addr())
+	}
 
 	cfg := campaign.DefaultConfig()
 	cfg.MaxBase = *maxBase

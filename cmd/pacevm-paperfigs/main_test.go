@@ -1,0 +1,18 @@
+package main
+
+import (
+	"testing"
+
+	"pacevm/internal/experiments"
+)
+
+// selNone deselects every artifact, so run() exercises only the shared
+// setup path around it.
+func selNone(string) bool { return false }
+
+func TestRunRejectsUnwritableCSVDir(t *testing.T) {
+	cfg := experiments.Quick()
+	if err := run(cfg, selNone, false, "/proc/definitely/not/writable"); err == nil {
+		t.Error("unwritable -csv directory should fail")
+	}
+}

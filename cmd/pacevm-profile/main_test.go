@@ -1,0 +1,17 @@
+package main
+
+import "testing"
+
+func TestRunRejectsUnknownBenchmark(t *testing.T) {
+	if err := run("no-such-benchmark", 5, 4); err == nil {
+		t.Error("unknown benchmark name should fail")
+	}
+}
+
+func TestRunProfilesKnownBenchmark(t *testing.T) {
+	// A coarse window and aggressive thinning keep the console series
+	// short; the run itself is simulated time, not wall clock.
+	if err := run("fftw", 30, 100); err != nil {
+		t.Fatal(err)
+	}
+}

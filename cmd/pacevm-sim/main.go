@@ -3,8 +3,15 @@
 // servers, reporting makespan, energy and SLA violations.
 //
 //	pacevm-sim -strategy PA-0.5 -servers 66
-//	pacevm-sim -strategy FF-2 -trace trace.swf
+//	pacevm-sim -strategy FF-2 -swf trace.swf
 //	pacevm-sim -strategy PA-1 -model ./modeldir   # reuse a stored model
+//	pacevm-sim -strategy FF-3 -trace out.json -debug-addr :6060
+//
+// With -trace the run is recorded as Chrome trace-event JSON over
+// simulated time (load it at https://ui.perfetto.dev), alongside a
+// <out>.manifest.json run manifest; -debug-addr serves net/http/pprof
+// and expvar (including the live metrics registry) while the
+// simulation runs.
 package main
 
 import (
@@ -20,39 +27,77 @@ import (
 	"pacevm/internal/core"
 	"pacevm/internal/migrate"
 	"pacevm/internal/model"
+	"pacevm/internal/obs"
 	"pacevm/internal/strategy"
 	"pacevm/internal/swf"
 	"pacevm/internal/trace"
 )
 
+// options collects the CLI surface; one run() argument instead of a
+// dozen positional parameters.
+type options struct {
+	stratName   string
+	servers     int
+	seed        uint64
+	vms         int
+	swfPath     string
+	modelDir    string
+	tracePath   string
+	debugAddr   string
+	alwaysOn    bool
+	consolidate bool
+	backfill    int
+	reference   bool
+}
+
 func main() {
-	stratName := flag.String("strategy", "PA-0.5", "FF, FF-2, FF-3, BF-n, PA-1, PA-0, PA-0.5 or PA-<alpha>")
-	servers := flag.Int("servers", 66, "cloud size")
-	seed := flag.Uint64("seed", 42, "random seed for trace generation")
-	vms := flag.Int("vms", 10000, "target VM count for a generated trace")
-	tracePath := flag.String("trace", "", "SWF trace to replay (default: generate synthetically)")
-	modelDir := flag.String("model", "", "directory with model.csv/aux.csv (default: run the campaign in-process)")
-	alwaysOn := flag.Bool("always-on", false, "bill 125 W for empty servers instead of powering them off")
-	consolidate := flag.Bool("consolidate", false, "enable reactive migration-based consolidation (30 s per move)")
-	backfill := flag.Int("backfill", 0, "backfill window depth behind a blocked queue head (0 = strict FCFS)")
-	reference := flag.Bool("reference", false, "run the preserved naive simulator instead of the optimized event loop")
+	var opt options
+	flag.StringVar(&opt.stratName, "strategy", "PA-0.5", "FF, FF-2, FF-3, BF-n, PA-1, PA-0, PA-0.5 or PA-<alpha>")
+	flag.IntVar(&opt.servers, "servers", 66, "cloud size")
+	flag.Uint64Var(&opt.seed, "seed", 42, "random seed for trace generation")
+	flag.IntVar(&opt.vms, "vms", 10000, "target VM count for a generated trace")
+	flag.StringVar(&opt.swfPath, "swf", "", "SWF trace to replay (default: generate synthetically)")
+	flag.StringVar(&opt.modelDir, "model", "", "directory with model.csv/aux.csv (default: run the campaign in-process)")
+	flag.StringVar(&opt.tracePath, "trace", "", "write a Chrome trace-event JSON timeline of the run (plus <path>.manifest.json)")
+	flag.StringVar(&opt.debugAddr, "debug-addr", "", "serve /debug/pprof and /debug/vars on this address (e.g. :6060)")
+	flag.BoolVar(&opt.alwaysOn, "always-on", false, "bill 125 W for empty servers instead of powering them off")
+	flag.BoolVar(&opt.consolidate, "consolidate", false, "enable reactive migration-based consolidation (30 s per move)")
+	flag.IntVar(&opt.backfill, "backfill", 0, "backfill window depth behind a blocked queue head (0 = strict FCFS)")
+	flag.BoolVar(&opt.reference, "reference", false, "run the preserved naive simulator instead of the optimized event loop")
 	flag.Parse()
 
-	if err := run(*stratName, *servers, *seed, *vms, *tracePath, *modelDir, *alwaysOn, *consolidate, *backfill, *reference); err != nil {
+	if err := run(opt); err != nil {
 		fmt.Fprintln(os.Stderr, "pacevm-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(stratName string, servers int, seed uint64, vms int, tracePath, modelDir string, alwaysOn, consolidate bool, backfill int, reference bool) error {
-	db, err := loadModel(modelDir)
+func run(opt options) error {
+	if opt.reference && opt.tracePath != "" {
+		return fmt.Errorf("-trace needs the optimized simulator; drop -reference (the reference loop carries no telemetry hooks)")
+	}
+
+	var reg *obs.Registry
+	if opt.tracePath != "" || opt.debugAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	if opt.debugAddr != "" {
+		ds, err := obs.ServeDebug(opt.debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer ds.Close()
+		fmt.Printf("debug server: http://%s/debug/pprof/ and /debug/vars\n", ds.Addr())
+	}
+
+	db, err := loadModel(opt.modelDir)
 	if err != nil {
 		return err
 	}
 
 	var tr *swf.Trace
-	if tracePath != "" {
-		f, err := os.Open(tracePath)
+	if opt.swfPath != "" {
+		f, err := os.Open(opt.swfPath)
 		if err != nil {
 			return err
 		}
@@ -61,34 +106,37 @@ func run(stratName string, servers int, seed uint64, vms int, tracePath, modelDi
 			return err
 		}
 	} else {
-		gcfg := trace.DefaultGenConfig(seed)
-		gcfg.Jobs = vms/2 + 200
+		gcfg := trace.DefaultGenConfig(opt.seed)
+		gcfg.Jobs = opt.vms/2 + 200
 		if tr, err = trace.Generate(gcfg); err != nil {
 			return err
 		}
 	}
-	pcfg := trace.DefaultPrepConfig(seed)
-	pcfg.TargetVMs = vms
+	pcfg := trace.DefaultPrepConfig(opt.seed)
+	pcfg.TargetVMs = opt.vms
 	reqs, rep, err := trace.Prepare(tr, pcfg)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("trace: %d requests, %d VMs\n", rep.Requests, rep.TotalVMs)
 
-	st, err := parseStrategy(db, stratName)
+	st, err := parseStrategy(db, opt.stratName)
 	if err != nil {
 		return err
 	}
-	cfg := cloudsim.Config{DB: db, Servers: servers, Strategy: st, IdleServerPower: -1, BackfillDepth: backfill}
-	if alwaysOn {
+	cfg := cloudsim.Config{DB: db, Servers: opt.servers, Strategy: st, IdleServerPower: -1, BackfillDepth: opt.backfill, Obs: reg}
+	if opt.alwaysOn {
 		cfg.IdleServerPower = 125
 	}
-	if consolidate {
+	if opt.consolidate {
 		cfg.Consolidator = &migrate.Planner{DB: db, MigrationCost: 30}
 		cfg.MigrationCost = 30
 	}
+	if opt.tracePath != "" {
+		cfg.Tracer = obs.NewTracer()
+	}
 	simulate := cloudsim.Run
-	if reference {
+	if opt.reference {
 		simulate = cloudsim.RunReference
 	}
 	start := time.Now()
@@ -98,17 +146,69 @@ func run(stratName string, servers int, seed uint64, vms int, tracePath, modelDi
 	}
 	wall := time.Since(start)
 	m := res.Metrics
-	fmt.Printf("strategy:     %s on %d servers\n", st.Name(), servers)
+	fmt.Printf("strategy:     %s on %d servers\n", st.Name(), opt.servers)
 	fmt.Printf("makespan:     %v\n", m.Makespan)
 	fmt.Printf("energy:       %v\n", m.Energy)
 	fmt.Printf("SLA violated: %d/%d VMs (%.1f%%)\n", m.Violations, m.TotalVMs, m.SLAViolationPct())
 	fmt.Printf("avg response: %v   avg wait: %v\n", m.AvgResponse, m.AvgWait)
 	fmt.Printf("peak active servers: %d\n", m.PeakActiveServers)
-	if consolidate {
+	if opt.consolidate {
 		fmt.Printf("migrations:   %d (%d servers drained)\n", m.Migrations, m.ServersDrained)
 	}
 	rate := float64(rep.Requests) / wall.Seconds()
 	fmt.Printf("simulated in: %v (%.0f requests/s)\n", wall.Round(time.Millisecond), rate)
+
+	if opt.tracePath != "" {
+		if err := writeTrace(opt, cfg.Tracer, reg, m, wall); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeTrace dumps the Chrome trace timeline to opt.tracePath and a run
+// manifest (flags, seed, metrics, telemetry snapshot, wall clock) next
+// to it.
+func writeTrace(opt options, tr *obs.Tracer, reg *obs.Registry, m cloudsim.Metrics, wall time.Duration) error {
+	tf, err := os.Create(opt.tracePath)
+	if err != nil {
+		return err
+	}
+	other := map[string]any{"tool": "pacevm-sim", "strategy": opt.stratName, "servers": opt.servers}
+	if err := tr.WriteTo(tf, other); err != nil {
+		tf.Close()
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("trace: %d events -> %s (load at https://ui.perfetto.dev)\n", tr.Len(), opt.tracePath)
+
+	manifestPath := opt.tracePath + ".manifest.json"
+	mf, err := os.Create(manifestPath)
+	if err != nil {
+		return err
+	}
+	manifest := obs.Manifest{
+		Command: "pacevm-sim",
+		Config: map[string]any{
+			"strategy": opt.stratName, "servers": opt.servers, "vms": opt.vms,
+			"swf": opt.swfPath, "model": opt.modelDir, "backfill": opt.backfill,
+			"always_on": opt.alwaysOn, "consolidate": opt.consolidate,
+		},
+		Seed:             opt.seed,
+		WallClockSeconds: wall.Seconds(),
+		Metrics:          m,
+		Telemetry:        reg.Snapshot(),
+	}
+	if err := obs.WriteManifest(mf, manifest); err != nil {
+		mf.Close()
+		return err
+	}
+	if err := mf.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("manifest: %s\n", manifestPath)
 	return nil
 }
 

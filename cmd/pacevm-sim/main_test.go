@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"sync"
@@ -8,6 +9,7 @@ import (
 
 	"pacevm/internal/campaign"
 	"pacevm/internal/model"
+	"pacevm/internal/obs"
 )
 
 var (
@@ -97,5 +99,105 @@ func TestLoadModelFromDir(t *testing.T) {
 func TestLoadModelMissingDir(t *testing.T) {
 	if _, err := loadModel(filepath.Join(t.TempDir(), "nope")); err == nil {
 		t.Error("missing model directory should fail")
+	}
+}
+
+// modelDir writes the shared test model as CSV into a temp dir so run()
+// can load it without an in-process campaign per case.
+func modelDir(t *testing.T) string {
+	t.Helper()
+	db := sharedDB(t)
+	dir := t.TempDir()
+	mf, err := os.Create(filepath.Join(dir, "model.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.WriteCSV(mf); err != nil {
+		t.Fatal(err)
+	}
+	mf.Close()
+	af, err := os.Create(filepath.Join(dir, "aux.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.WriteAuxCSV(af); err != nil {
+		t.Fatal(err)
+	}
+	af.Close()
+	return dir
+}
+
+// TestRunErrorPaths drives run() through each failure mode a user can
+// hit from the command line; every one must surface as an error (main
+// then prints it to stderr and exits non-zero).
+func TestRunErrorPaths(t *testing.T) {
+	dir := modelDir(t)
+	base := options{stratName: "FF-3", servers: 4, seed: 1, vms: 50, modelDir: dir}
+	cases := []struct {
+		name string
+		mut  func(*options)
+	}{
+		{"unknown strategy", func(o *options) { o.stratName = "XX-9" }},
+		{"missing model dir", func(o *options) { o.modelDir = filepath.Join(dir, "nope") }},
+		{"missing swf input", func(o *options) { o.swfPath = filepath.Join(dir, "missing.swf") }},
+		{"unwritable trace output", func(o *options) { o.tracePath = filepath.Join(dir, "no", "such", "dir", "t.json") }},
+		{"trace with reference loop", func(o *options) { o.tracePath = filepath.Join(dir, "t.json"); o.reference = true }},
+		{"bad debug address", func(o *options) { o.debugAddr = "notanaddress:-1" }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			opt := base
+			c.mut(&opt)
+			if err := run(opt); err == nil {
+				t.Error("run() accepted a broken configuration")
+			}
+		})
+	}
+}
+
+// TestRunWritesTraceAndManifest is the CLI acceptance path: a traced run
+// must leave a schema-valid Chrome trace file and a manifest carrying
+// the metrics and the telemetry snapshot.
+func TestRunWritesTraceAndManifest(t *testing.T) {
+	dir := modelDir(t)
+	tracePath := filepath.Join(t.TempDir(), "out.json")
+	opt := options{stratName: "FF-3", servers: 4, seed: 1, vms: 60, modelDir: dir, tracePath: tracePath, backfill: 2}
+	if err := run(opt); err != nil {
+		t.Fatal(err)
+	}
+	tf, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	f, err := obs.ReadTraceFile(tf)
+	if err != nil {
+		t.Fatalf("trace output is not valid Chrome trace JSON: %v", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		t.Error("trace has no events")
+	}
+	if f.OtherData["tool"] != "pacevm-sim" {
+		t.Errorf("otherData = %v", f.OtherData)
+	}
+	raw, err := os.ReadFile(tracePath + ".manifest.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Command   string `json:"command"`
+		Seed      uint64 `json:"seed"`
+		Telemetry struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"telemetry"`
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	if m.Command != "pacevm-sim" || m.Seed != 1 {
+		t.Errorf("manifest header = %+v", m)
+	}
+	if m.Telemetry.Counters["sim_events_popped"] == 0 {
+		t.Error("manifest telemetry snapshot is empty")
 	}
 }

@@ -77,3 +77,9 @@ func TestCleanModeMissingInput(t *testing.T) {
 		t.Error("missing input should fail")
 	}
 }
+
+func TestRejectsUnwritableOutput(t *testing.T) {
+	if err := run("/proc/definitely/not/writable.swf", 10, 7, 3600, false, ""); err == nil {
+		t.Error("unwritable -out path should fail")
+	}
+}

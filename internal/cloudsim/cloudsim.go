@@ -34,6 +34,7 @@ import (
 	"pacevm/internal/eventq"
 	"pacevm/internal/migrate"
 	"pacevm/internal/model"
+	"pacevm/internal/obs"
 	"pacevm/internal/strategy"
 	"pacevm/internal/trace"
 	"pacevm/internal/units"
@@ -84,6 +85,21 @@ type Config struct {
 	BackfillDepth int
 	// RecordVMs retains the per-VM audit trail in the result.
 	RecordVMs bool
+	// Obs receives hot-path telemetry: events popped, placements
+	// attempted/rejected, queue-depth high-water, backfill splices,
+	// accounting intervals closed, pricing-cache hit rates, and the
+	// event queue's slab/cancellation counters (names in DESIGN.md §4).
+	// Nil — the default — disables it at zero cost: every handle is a
+	// nil no-op and the run is allocation- and byte-identical to an
+	// uninstrumented one. Observation never perturbs the simulation.
+	Obs *obs.Registry
+	// Tracer, when non-nil, records the run timeline over *simulated*
+	// time in Chrome trace-event form (Perfetto-loadable): per-server
+	// occupancy spans, per-VM execution slices with arrival→placement
+	// flow arrows, and a queue-depth counter track. Like Obs it is
+	// passive and free when nil. RunReference — the frozen pre-rewrite
+	// oracle — ignores both fields.
+	Tracer *obs.Tracer
 }
 
 // Consolidator proposes VM migrations for a live cloud snapshot.
@@ -237,6 +253,11 @@ type sim struct {
 	// vmfree pools retired simVM structs.
 	vmfree []*simVM
 
+	// stats/tr are the telemetry hooks; with Config.Obs and
+	// Config.Tracer nil every hook is a no-op (see obs.go).
+	stats simStats
+	tr    *obs.Tracer
+
 	uidSeq      int
 	records     []VMRecord
 	metrics     Metrics
@@ -327,7 +348,10 @@ func Run(cfg Config, reqs []trace.Request) (Result, error) {
 		cfg:         cfg,
 		reqs:        reqs,
 		firstSubmit: reqs[0].Submit,
+		tr:          cfg.Tracer,
 	}
+	s.stats.init(cfg.Obs)
+	s.events.Instrument(cfg.Obs)
 	if s.dbs, s.refT, s.dbOf, err = registerDBs(cfg); err != nil {
 		return Result{}, err
 	}
@@ -345,6 +369,7 @@ func Run(cfg Config, reqs []trace.Request) (Result, error) {
 		s.indexed = ip
 		s.fleet = strategy.NewFleetIndex(cfg.Servers, cfg.MaxVMsPerServer)
 	}
+	s.traceSetup()
 	s.events.Reserve(len(reqs) + cfg.Servers)
 	for i := range reqs {
 		r := &reqs[i]
@@ -365,9 +390,13 @@ func Run(cfg Config, reqs []trace.Request) (Result, error) {
 			break
 		}
 		s.now = at
+		s.stats.eventsPopped.Inc()
 		switch ev.Kind {
 		case evKindArrival:
 			s.queue = append(s.queue, int(ev.Arg))
+			s.stats.queueDepthHW.SetMax(int64(s.qlen()))
+			s.traceArrival(int(ev.Arg))
+			s.traceQueueDepth()
 			if err := s.drainQueue(); err != nil {
 				return Result{}, err
 			}
@@ -444,8 +473,10 @@ func (s *sim) info(server int, k model.Key) (allocInfo, error) {
 	}
 	di := s.dbOf[server]
 	if ai, ok := s.cache[di][k]; ok {
+		s.stats.pricingHits.Inc()
 		return ai, nil
 	}
+	s.stats.pricingMisses.Inc()
 	rec, err := s.dbs[di].Estimate(k)
 	if err != nil {
 		return allocInfo{}, fmt.Errorf("cloudsim: pricing %v: %w", k, err)
@@ -488,6 +519,9 @@ func (s *sim) advance(sv *simServer) error {
 			vm.remaining -= ai.rate[vm.class] * float64(dt)
 		}
 		sv.energy += ai.power.Times(dt)
+		// One Fig.-4 interval closed: the resident set was constant over
+		// [lastUpdate, now) and its progress/energy just integrated.
+		s.stats.intervalsClosed.Inc()
 	}
 	sv.lastUpdate = s.now
 	return nil
@@ -548,6 +582,7 @@ func (s *sim) complete(serverIdx int) error {
 	sv.vms = kept
 	if len(sv.vms) == 0 {
 		if sv.activeFrom >= 0 {
+			s.traceHosting(sv, sv.activeFrom)
 			hosted := float64(s.now - sv.activeFrom)
 			s.metrics.ActiveServerSeconds += hosted
 			sv.hostedSeconds += hosted
@@ -572,6 +607,7 @@ func (s *sim) retire(sv *simServer, vm *simVM) {
 	if violated {
 		s.metrics.Violations++
 	}
+	s.traceVMRetire(sv, vm, violated)
 	if s.cfg.RecordVMs {
 		s.records = append(s.records, VMRecord{
 			JobID:      vm.jobID,
@@ -691,6 +727,7 @@ func (s *sim) consolidate() error {
 		}
 		sv := s.srv[i]
 		if len(sv.vms) == 0 && sv.activeFrom >= 0 {
+			s.traceHosting(sv, sv.activeFrom)
 			hosted := float64(s.now - sv.activeFrom)
 			s.metrics.ActiveServerSeconds += hosted
 			sv.hostedSeconds += hosted
@@ -719,6 +756,7 @@ func (s *sim) drainQueue() error {
 		}
 		if ok {
 			s.qpophead()
+			s.traceQueueDepth()
 			continue
 		}
 		// Head blocked: one pass over the backfill window.
@@ -732,7 +770,9 @@ func (s *sim) drainQueue() error {
 				i++
 				continue
 			}
+			s.stats.backfillSplices.Inc()
 			s.qremove(i)
+			s.traceQueueDepth()
 			// Re-check the head right after a successful backfill: if it
 			// fits now, the FCFS drain resumes; otherwise keep scanning
 			// from the same position.
@@ -742,6 +782,7 @@ func (s *sim) drainQueue() error {
 			}
 			if ok {
 				s.qpophead()
+				s.traceQueueDepth()
 				headPlaced = true
 				break
 			}
@@ -759,6 +800,7 @@ func (s *sim) drainQueue() error {
 // failure must abort the run, not strand half-placed VMs while the job
 // stays queued).
 func (s *sim) tryPlace(idx int) (bool, error) {
+	s.stats.placeAttempts.Inc()
 	req := &s.reqs[idx]
 	vms := s.vmbuf[:req.VMs]
 	for i := range vms {
@@ -782,10 +824,12 @@ func (s *sim) tryPlace(idx int) (bool, error) {
 		assign, ok = s.cfg.Strategy.Place(s.views, vms)
 	}
 	if !ok {
+		s.stats.placeRejected.Inc()
 		return false, nil
 	}
 	if len(assign) != len(vms) {
 		// A strategy bug; refuse the placement rather than corrupt state.
+		s.stats.placeRejected.Inc()
 		return false, nil
 	}
 	// Validate before mutating: server bounds and the admission cap,
@@ -794,6 +838,7 @@ func (s *sim) tryPlace(idx int) (bool, error) {
 	nt := 0
 	for _, a := range assign {
 		if a < 0 || a >= len(s.srv) {
+			s.stats.placeRejected.Inc()
 			return false, nil
 		}
 		seen := false
@@ -811,6 +856,7 @@ func (s *sim) tryPlace(idx int) (bool, error) {
 	}
 	for t := 0; t < nt; t++ {
 		if s.srv[targets[t]].alloc.Total()+counts[t] > s.cfg.MaxVMsPerServer {
+			s.stats.placeRejected.Inc()
 			return false, nil
 		}
 	}
@@ -859,5 +905,6 @@ func (s *sim) tryPlace(idx int) (bool, error) {
 	if s.active > s.metrics.PeakActiveServers {
 		s.metrics.PeakActiveServers = s.active
 	}
+	s.tracePlaced(idx, assign[0])
 	return true, nil
 }

@@ -1,0 +1,122 @@
+package cloudsim
+
+// Telemetry for the optimized event loop: counter/gauge handles over
+// Config.Obs and the simulated-time trace recorder over Config.Tracer.
+// Everything here is observation only — no simulation state is read
+// back from it — and with both fields nil every hook is a nil-receiver
+// no-op, so the disabled path stays allocation-free (pinned by
+// TestObsDisabledAllocFree and the golden equivalence tests).
+
+import (
+	"strconv"
+
+	"pacevm/internal/obs"
+	"pacevm/internal/units"
+)
+
+// Trace track layout: pid 1 carries one thread per server (occupancy
+// spans with nested VM slices), pid 2 carries the workload (arrival
+// instants, the queue-depth counter track, and the tails of the
+// arrival→placement flow arrows).
+const (
+	tracePidServers  = 1
+	tracePidWorkload = 2
+)
+
+// simStats is the registry-backed counter set of one run.
+type simStats struct {
+	eventsPopped    *obs.Counter
+	placeAttempts   *obs.Counter
+	placeRejected   *obs.Counter
+	queueDepthHW    *obs.Gauge
+	backfillSplices *obs.Counter
+	intervalsClosed *obs.Counter
+	pricingHits     *obs.Counter
+	pricingMisses   *obs.Counter
+}
+
+// init resolves the handles; from a nil registry every handle is nil
+// and each hook costs exactly its nil check.
+func (st *simStats) init(reg *obs.Registry) {
+	st.eventsPopped = reg.Counter("sim_events_popped")
+	st.placeAttempts = reg.Counter("sim_place_attempts")
+	st.placeRejected = reg.Counter("sim_place_rejected")
+	st.queueDepthHW = reg.Gauge("sim_queue_depth_highwater")
+	st.backfillSplices = reg.Counter("sim_backfill_splices")
+	st.intervalsClosed = reg.Counter("sim_intervals_closed")
+	st.pricingHits = reg.Counter("sim_pricing_cache_hits")
+	st.pricingMisses = reg.Counter("sim_pricing_cache_misses")
+}
+
+// traceSetup names the trace tracks. Thread-name metadata is emitted
+// per server up front so a loaded trace reads "server N", not "tid N".
+func (s *sim) traceSetup() {
+	if s.tr == nil {
+		return
+	}
+	s.tr.NameProcess(tracePidServers, "servers")
+	s.tr.NameProcess(tracePidWorkload, "workload")
+	s.tr.NameThread(tracePidWorkload, 0, "queue")
+	for i := range s.srv {
+		s.tr.NameThread(tracePidServers, i, "server "+strconv.Itoa(i))
+	}
+}
+
+// traceArrival records a job's submission instant and opens its
+// arrival→placement flow arrow (id = request index).
+func (s *sim) traceArrival(idx int) {
+	if s.tr == nil {
+		return
+	}
+	r := &s.reqs[idx]
+	name := "job " + strconv.Itoa(r.ID)
+	s.tr.Instant(name, "arrival", tracePidWorkload, 0, float64(s.now), map[string]any{
+		"job":   r.ID,
+		"class": r.Class.String(),
+		"vms":   r.VMs,
+	})
+	s.tr.FlowStart(name, "placement", idx+1, tracePidWorkload, 0, float64(s.now))
+}
+
+// tracePlaced closes the job's flow arrow on the first hosting server's
+// track at placement time.
+func (s *sim) tracePlaced(idx, server int) {
+	if s.tr == nil {
+		return
+	}
+	r := &s.reqs[idx]
+	s.tr.FlowFinish("job "+strconv.Itoa(r.ID), "placement", idx+1, tracePidServers, server, float64(s.now))
+}
+
+// traceQueueDepth samples the queue-depth counter track.
+func (s *sim) traceQueueDepth() {
+	if s.tr == nil {
+		return
+	}
+	s.tr.Counter("queue", tracePidWorkload, 0, float64(s.now), "depth", float64(s.qlen()))
+}
+
+// traceVMRetire records one VM's execution slice on its server's track
+// (placement to completion, completion == now).
+func (s *sim) traceVMRetire(sv *simServer, vm *simVM, violated bool) {
+	if s.tr == nil {
+		return
+	}
+	s.tr.Span("vm"+strconv.Itoa(vm.id)+" job "+strconv.Itoa(vm.jobID), "vm",
+		tracePidServers, sv.id, float64(vm.placed), float64(s.now), map[string]any{
+			"job":      vm.jobID,
+			"class":    vm.class.String(),
+			"submit":   float64(vm.submit),
+			"wait":     float64(vm.placed - vm.submit),
+			"violated": violated,
+		})
+}
+
+// traceHosting records a server's closed occupancy span (it hosted at
+// least one VM from 'from' until now).
+func (s *sim) traceHosting(sv *simServer, from units.Seconds) {
+	if s.tr == nil {
+		return
+	}
+	s.tr.Span("hosting", "server", tracePidServers, sv.id, float64(from), float64(s.now), nil)
+}

@@ -10,6 +10,7 @@ package cloudsim
 import (
 	"testing"
 
+	"pacevm/internal/obs"
 	"pacevm/internal/strategy"
 	"pacevm/internal/trace"
 	"pacevm/internal/units"
@@ -76,4 +77,26 @@ func BenchmarkSimLargeBackfill(b *testing.B) {
 // BenchmarkSimLarge workload.
 func BenchmarkSimLargeReference(b *testing.B) {
 	benchSim(b, 1000, 100_000, 1.5, RunReference)
+}
+
+// BenchmarkSimLargeObs is BenchmarkSimLarge with a live metrics registry
+// attached; the delta against BenchmarkSimLarge is the enabled-telemetry
+// overhead (the disabled overhead is pinned to zero by
+// TestObsDisabledAllocFree).
+func BenchmarkSimLargeObs(b *testing.B) {
+	benchSim(b, 1000, 100_000, 1.5, func(cfg Config, reqs []trace.Request) (Result, error) {
+		cfg.Obs = obs.NewRegistry()
+		return Run(cfg, reqs)
+	})
+}
+
+// BenchmarkSimTrace adds the trace recorder on a smaller fleet (the
+// recorder buffers every span in memory, so the large workload would
+// measure the allocator, not the hooks).
+func BenchmarkSimTrace(b *testing.B) {
+	benchSim(b, 100, 10_000, 15, func(cfg Config, reqs []trace.Request) (Result, error) {
+		cfg.Obs = obs.NewRegistry()
+		cfg.Tracer = obs.NewTracer()
+		return Run(cfg, reqs)
+	})
 }

@@ -34,6 +34,7 @@ import (
 	"runtime"
 
 	"pacevm/internal/model"
+	"pacevm/internal/obs"
 	"pacevm/internal/units"
 	"pacevm/internal/workload"
 )
@@ -125,6 +126,13 @@ type Config struct {
 	// enumeration index through the reduce, so the paper's
 	// first-of-the-list tie-break is preserved.
 	SearchWorkers int
+	// Obs receives search telemetry (partitions enumerated/deduplicated,
+	// Pareto prunes, estimate-cache hit rates, worker-pool utilization).
+	// Nil — the default — disables it at zero cost: every instrument
+	// handle resolves to a nil no-op and the search neither allocates
+	// for nor branches into telemetry beyond a nil check. Counter names
+	// are documented in internal/obs and DESIGN.md §4.
+	Obs *obs.Registry
 }
 
 // Allocator runs the paper's allocation algorithm.

@@ -36,6 +36,7 @@ import (
 	"sync"
 
 	"pacevm/internal/model"
+	"pacevm/internal/obs"
 	"pacevm/internal/partition"
 	"pacevm/internal/units"
 	"pacevm/internal/workload"
@@ -162,6 +163,15 @@ type searchCtx struct {
 
 	est *model.EstimateCache
 
+	// Telemetry handles; all nil (no-op) when the allocator has no
+	// registry. Counters are atomic, so workers update them directly.
+	enumerated *obs.Counter // partitions produced by the generator
+	deduped    *obs.Counter // partitions skipped by the signature dedup
+	feasible   *obs.Counter // candidates every block of which placed
+	infeasible *obs.Counter // candidates with an unplaceable block
+	pruned     *obs.Counter // candidates dropped by Pareto domination
+	workerLoad *obs.Histogram
+
 	blockMu   sync.RWMutex
 	blockMemo map[blockMemoKey]blockMemoVal
 }
@@ -172,7 +182,7 @@ func newSearchCtx(a *Allocator, goal Goal, servers []ServerState, vms []VMReques
 	for t, rep := range types {
 		typeKey[t] = model.KeyFor(rep.Class, 1)
 	}
-	return &searchCtx{
+	sc := &searchCtx{
 		a:         a,
 		goal:      goal,
 		servers:   servers,
@@ -183,6 +193,20 @@ func newSearchCtx(a *Allocator, goal Goal, servers []ServerState, vms []VMReques
 		est:       model.NewEstimateCache(a.cfg.DB),
 		blockMemo: make(map[blockMemoKey]blockMemoVal, 256),
 	}
+	if reg := a.cfg.Obs; reg != nil {
+		sc.enumerated = reg.Counter("search_partitions_enumerated")
+		sc.deduped = reg.Counter("search_partitions_deduped")
+		sc.feasible = reg.Counter("search_candidates_feasible")
+		sc.infeasible = reg.Counter("search_candidates_infeasible")
+		sc.pruned = reg.Counter("search_pareto_pruned")
+		// Jobs per worker: a flat pool shows every worker near
+		// jobs/workers; a long tail of idle workers shows the serial
+		// producer is the bottleneck.
+		sc.workerLoad = reg.Histogram("search_jobs_per_worker",
+			1, 4, 16, 64, 256, 1024, 4096, 16384)
+		sc.est.Instrument(reg)
+	}
+	return sc
 }
 
 // priceBlock prices adding a block of composition sig (total key
@@ -308,6 +332,9 @@ type searchWorker struct {
 	frontier []candidate
 	maxT     units.Seconds
 	maxE     units.Joules
+	// jobs counts partitions this worker evaluated (pool-utilization
+	// telemetry; a plain int — each worker is single-goroutine state).
+	jobs int
 }
 
 type blockOption struct {
@@ -331,10 +358,13 @@ func (sc *searchCtx) newWorker() *searchWorker {
 // frontier. blocks must be owned by the caller if owned is true;
 // otherwise they are copied before retention.
 func (w *searchWorker) consider(idx int, blocks [][]int, owned bool) {
+	w.jobs++
 	ok := w.evalPartition(blocks)
 	if !ok {
+		w.sc.infeasible.Inc()
 		return
 	}
+	w.sc.feasible.Inc()
 	var candT units.Seconds
 	var candE units.Joules
 	for _, p := range w.places {
@@ -356,6 +386,7 @@ func (w *searchWorker) consider(idx int, blocks [][]int, owned bool) {
 	for i := range w.frontier {
 		f := &w.frontier[i]
 		if f.time <= candT && f.energy <= candE {
+			w.sc.pruned.Inc()
 			return
 		}
 	}
@@ -502,8 +533,10 @@ func (sc *searchCtx) searchSerial(n int) ([]candidate, units.Seconds, units.Joul
 	seen := make(map[partSig]struct{}, 64)
 	idx := 0
 	_, err := partition.ForEachIndexed(n, func(_ int, blocks [][]int) bool {
+		sc.enumerated.Inc()
 		ps := sigOfPartition(sc.typeOf, blocks)
 		if _, dup := seen[ps]; dup {
+			sc.deduped.Inc()
 			return true
 		}
 		seen[ps] = struct{}{}
@@ -514,6 +547,7 @@ func (sc *searchCtx) searchSerial(n int) ([]candidate, units.Seconds, units.Joul
 	if err != nil {
 		return nil, 0, 0, err
 	}
+	sc.workerLoad.Observe(float64(w.jobs))
 	return w.frontier, w.maxT, w.maxE, nil
 }
 
@@ -545,8 +579,10 @@ func (sc *searchCtx) searchParallel(n, workers int) ([]candidate, units.Seconds,
 	seen := make(map[partSig]struct{}, 256)
 	idx := 0
 	_, err := partition.ForEachIndexed(n, func(_ int, blocks [][]int) bool {
+		sc.enumerated.Inc()
 		ps := sigOfPartition(sc.typeOf, blocks)
 		if _, dup := seen[ps]; dup {
+			sc.deduped.Inc()
 			return true
 		}
 		seen[ps] = struct{}{}
@@ -558,6 +594,9 @@ func (sc *searchCtx) searchParallel(n, workers int) ([]candidate, units.Seconds,
 	wg.Wait()
 	if err != nil {
 		return nil, 0, 0, err
+	}
+	for _, w := range ws {
+		sc.workerLoad.Observe(float64(w.jobs))
 	}
 
 	var frontier []candidate
@@ -586,6 +625,8 @@ func (sc *searchCtx) searchParallel(n, workers int) ([]candidate, units.Seconds,
 		}
 		if !dominated {
 			kept = append(kept, c)
+		} else {
+			sc.pruned.Inc()
 		}
 	}
 	return kept, maxT, maxE, nil

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 
 	"pacevm/internal/model"
+	"pacevm/internal/obs"
 	"pacevm/internal/rng"
 	"pacevm/internal/units"
 	"pacevm/internal/workload"
@@ -275,5 +277,88 @@ func TestParetoFrontierKeepsWinner(t *testing.T) {
 		best := pickBest(goal, frontier, maxT, maxE)
 		got := sc.materialize(frontier[best])
 		sameAllocation(t, "frontier", got, want)
+	}
+}
+
+// TestSearchTelemetryInvariants runs an instrumented pooled search and
+// checks the bookkeeping identities that tie the counters to the
+// search's structure: every enumerated partition is either deduped or
+// evaluated, every evaluated candidate lands in exactly one of
+// feasible/infeasible, and the worker-load histogram accounts for every
+// evaluated job across the pool.
+func TestSearchTelemetryInvariants(t *testing.T) {
+	reg := obs.NewRegistry()
+	a, err := NewAllocator(Config{DB: sharedDB(t), SearchWorkers: 8, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(17)
+	servers := randomFleet(r, 6)
+	vms := randomVMs(t, r, 9) // Bell(9) = 21147 partitions: plenty of pool traffic
+	if _, err := a.Allocate(GoalBalanced, servers, vms); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	enumerated := snap.Counters["search_partitions_enumerated"]
+	deduped := snap.Counters["search_partitions_deduped"]
+	feasible := snap.Counters["search_candidates_feasible"]
+	infeasible := snap.Counters["search_candidates_infeasible"]
+	if enumerated == 0 || deduped == 0 || feasible == 0 {
+		t.Fatalf("counters not populated: %+v", snap.Counters)
+	}
+	if feasible+infeasible != enumerated-deduped {
+		t.Errorf("feasible (%d) + infeasible (%d) != enumerated (%d) - deduped (%d)",
+			feasible, infeasible, enumerated, deduped)
+	}
+	load := snap.Histograms["search_jobs_per_worker"]
+	if load.Count != 8 {
+		t.Errorf("worker-load histogram has %d samples, want one per worker (8)", load.Count)
+	}
+	if int64(load.Sum) != enumerated-deduped {
+		t.Errorf("worker-load sum = %.0f jobs, want evaluated count %d", load.Sum, enumerated-deduped)
+	}
+	if snap.Counters["model_cache_hits"] == 0 || snap.Counters["model_cache_misses"] == 0 {
+		t.Error("search did not exercise the instrumented estimate cache")
+	}
+}
+
+// TestSearchTelemetryConcurrentAllocations drives several pooled
+// searches at once against one shared registry (run under -race in
+// `make verify` and CI): worker goroutines from every pool update the
+// same counters concurrently, and the aggregate must still balance.
+func TestSearchTelemetryConcurrentAllocations(t *testing.T) {
+	reg := obs.NewRegistry()
+	a, err := NewAllocator(Config{DB: sharedDB(t), SearchWorkers: 4, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rng.New(100 + uint64(g))
+			for i := 0; i < 3; i++ {
+				servers := randomFleet(r, 5)
+				vms := randomVMs(t, r, 7)
+				if _, err := a.Allocate(GoalBalanced, servers, vms); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := reg.Snapshot()
+	enumerated := snap.Counters["search_partitions_enumerated"]
+	deduped := snap.Counters["search_partitions_deduped"]
+	feasible := snap.Counters["search_candidates_feasible"]
+	infeasible := snap.Counters["search_candidates_infeasible"]
+	if feasible+infeasible != enumerated-deduped {
+		t.Errorf("aggregate imbalance: feasible (%d) + infeasible (%d) != enumerated (%d) - deduped (%d)",
+			feasible, infeasible, enumerated, deduped)
+	}
+	if got := snap.Histograms["search_jobs_per_worker"].Count; got != 12*4 {
+		t.Errorf("worker-load samples = %d, want 48 (12 searches x 4 workers)", got)
 	}
 }

@@ -18,7 +18,10 @@
 // children on one cache line of the index array.
 package eventq
 
-import "pacevm/internal/units"
+import (
+	"pacevm/internal/obs"
+	"pacevm/internal/units"
+)
 
 // Kind discriminates event payloads. The simulator that owns the queue
 // defines its own kind values; the queue never interprets them.
@@ -58,6 +61,26 @@ type Queue struct {
 	heap  []int32 // heap of slab indices, 4-ary, min at heap[0]
 	free  []int32 // recycled slab indices
 	seq   uint64
+
+	// Telemetry handles (see Instrument). All nil by default, which is
+	// the zero-cost disabled path: each site pays one nil check.
+	slabGrown *obs.Counter
+	cancelled *obs.Counter
+	staleSeen *obs.Counter
+	depthHW   *obs.Gauge
+}
+
+// Instrument wires the queue's telemetry to reg: counters
+// eventq_slab_grown (slab slots allocated beyond the reserved
+// capacity), eventq_cancelled (successful cancellations) and
+// eventq_stale_handle (non-zero handles rejected by the generation
+// check), plus the eventq_depth_highwater gauge. A nil reg resolves
+// every handle to nil, keeping the disabled no-op path.
+func (q *Queue) Instrument(reg *obs.Registry) {
+	q.slabGrown = reg.Counter("eventq_slab_grown")
+	q.cancelled = reg.Counter("eventq_cancelled")
+	q.staleSeen = reg.Counter("eventq_stale_handle")
+	q.depthHW = reg.Gauge("eventq_depth_highwater")
 }
 
 // Len returns the number of pending events.
@@ -86,6 +109,9 @@ func (q *Queue) Schedule(at units.Seconds, ev Event) Handle {
 		q.free = q.free[:n-1]
 	} else {
 		idx = int32(len(q.slots))
+		if len(q.slots) == cap(q.slots) {
+			q.slabGrown.Inc()
+		}
 		q.slots = append(q.slots, slot{})
 	}
 	sl := &q.slots[idx]
@@ -95,6 +121,7 @@ func (q *Queue) Schedule(at units.Seconds, ev Event) Handle {
 	q.seq++
 	q.heap = append(q.heap, idx)
 	q.siftUp(len(q.heap) - 1)
+	q.depthHW.SetMax(int64(len(q.heap)))
 	return Handle{slot: idx + 1, gen: sl.gen}
 }
 
@@ -113,8 +140,15 @@ func (q *Queue) Valid(h Handle) bool {
 // by the generation check and cancels nothing.
 func (q *Queue) Cancel(h Handle) bool {
 	if !q.Valid(h) {
+		// Only a non-zero handle counts as a stale-handle detection: the
+		// zero Handle is the conventional "nothing scheduled" value and
+		// cancelling it is not a bug signal.
+		if h.slot != 0 {
+			q.staleSeen.Inc()
+		}
 		return false
 	}
+	q.cancelled.Inc()
 	idx := h.slot - 1
 	pos := int(q.slots[idx].pos)
 	q.release(idx)

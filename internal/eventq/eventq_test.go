@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"pacevm/internal/obs"
 	"pacevm/internal/units"
 )
 
@@ -362,5 +363,97 @@ func BenchmarkQueueCancel(b *testing.B) {
 		j := i % 1024
 		q.Cancel(handles[j])
 		handles[j] = q.Schedule(units.Seconds(i+1024), ev(j))
+	}
+}
+
+// TestInstrumentedCounters exercises every telemetry hook against a live
+// registry: slab growth past the reserved capacity, the depth high-water
+// gauge, successful cancellations, and stale-handle detections (with the
+// zero Handle explicitly exempt).
+func TestInstrumentedCounters(t *testing.T) {
+	var q Queue
+	reg := obs.NewRegistry()
+	q.Instrument(reg)
+	q.Reserve(4)
+
+	handles := make([]Handle, 0, 8)
+	for i := 0; i < 8; i++ {
+		handles = append(handles, q.Schedule(units.Seconds(i), ev(i)))
+	}
+	snap := reg.Snapshot()
+	if got := snap.Gauges["eventq_depth_highwater"]; got != 8 {
+		t.Errorf("depth high-water = %d, want 8", got)
+	}
+	if got := snap.Counters["eventq_slab_grown"]; got == 0 {
+		t.Error("scheduling past Reserve(4) did not count slab growth")
+	}
+	grownAt8 := snap.Counters["eventq_slab_grown"]
+
+	if !q.Cancel(handles[3]) {
+		t.Fatal("cancel of a pending event failed")
+	}
+	if q.Cancel(handles[3]) {
+		t.Fatal("double cancel succeeded")
+	}
+	if q.Cancel(Handle{}) {
+		t.Fatal("zero handle cancelled something")
+	}
+	q.Pop()
+	if q.Cancel(handles[0]) {
+		t.Fatal("cancel of a popped event succeeded")
+	}
+	snap = reg.Snapshot()
+	if got := snap.Counters["eventq_cancelled"]; got != 1 {
+		t.Errorf("eventq_cancelled = %d, want 1", got)
+	}
+	// Two stale detections (double cancel + popped handle); the zero
+	// Handle is the conventional "nothing scheduled" value, not a bug.
+	if got := snap.Counters["eventq_stale_handle"]; got != 2 {
+		t.Errorf("eventq_stale_handle = %d, want 2", got)
+	}
+
+	// Draining and refilling within the grown slab reuses free slots:
+	// no further growth, but the high-water keeps ratcheting.
+	for {
+		if _, _, ok := q.Pop(); !ok {
+			break
+		}
+	}
+	for i := 0; i < 10; i++ {
+		q.Schedule(units.Seconds(i), ev(i))
+	}
+	snap = reg.Snapshot()
+	if got := snap.Gauges["eventq_depth_highwater"]; got != 10 {
+		t.Errorf("depth high-water after refill = %d, want 10", got)
+	}
+	// 8 of the 10 events reuse freed slots; the 9th slot allocation hits
+	// the full slab once and grows it, the 10th fits the doubled slab.
+	if got := snap.Counters["eventq_slab_grown"]; got != grownAt8+1 {
+		t.Errorf("slab growth = %d, want %d (one regrowth past the 8-slot slab)", got, grownAt8+1)
+	}
+}
+
+// TestUninstrumentedQueueIsNoOp pins the zero-cost contract at the queue
+// level: a full schedule/cancel/pop cycle on an uninstrumented queue
+// with pre-reserved capacity performs no allocations.
+func TestUninstrumentedQueueAllocFree(t *testing.T) {
+	var q Queue
+	q.Reserve(64)
+	allocs := testing.AllocsPerRun(100, func() {
+		var hs [64]Handle
+		for i := 0; i < 64; i++ {
+			hs[i] = q.Schedule(units.Seconds(i%7), ev(i))
+		}
+		for i := 0; i < 64; i += 3 {
+			q.Cancel(hs[i])
+		}
+		for {
+			if _, _, ok := q.Pop(); !ok {
+				return
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("uninstrumented queue cycle allocates %.1f/run, want 0", allocs)
 	}
 }

@@ -2,6 +2,8 @@ package model
 
 import (
 	"sync"
+
+	"pacevm/internal/obs"
 )
 
 // EstimateCache memoizes DB.Estimate results. Estimate is pure for a
@@ -17,6 +19,12 @@ import (
 // lifetime over many databases.
 type EstimateCache struct {
 	db *DB
+
+	// Telemetry handles (see Instrument); nil by default, the zero-cost
+	// disabled path.
+	hits   *obs.Counter
+	misses *obs.Counter
+	size   *obs.Gauge
 
 	mu sync.RWMutex
 	m  map[Key]estimateEntry
@@ -35,6 +43,17 @@ func NewEstimateCache(db *DB) *EstimateCache {
 // DB returns the underlying database.
 func (c *EstimateCache) DB() *DB { return c.db }
 
+// Instrument wires the cache's telemetry to reg: counters
+// model_cache_hits and model_cache_misses plus the model_cache_size
+// gauge (memoized-key count). A nil reg resolves the handles to nil,
+// keeping the disabled no-op path. Multiple caches instrumented against
+// one registry share the instruments (the counts aggregate).
+func (c *EstimateCache) Instrument(reg *obs.Registry) {
+	c.hits = reg.Counter("model_cache_hits")
+	c.misses = reg.Counter("model_cache_misses")
+	c.size = reg.Gauge("model_cache_size")
+}
+
 // Len returns the number of memoized keys.
 func (c *EstimateCache) Len() int {
 	c.mu.RLock()
@@ -49,14 +68,17 @@ func (c *EstimateCache) Estimate(k Key) (Record, error) {
 	e, ok := c.m[k]
 	c.mu.RUnlock()
 	if ok {
+		c.hits.Inc()
 		return e.rec, e.err
 	}
+	c.misses.Inc()
 	// Compute outside the lock; concurrent duplicate computations are
 	// benign because Estimate is deterministic, so last-write-wins
 	// stores an identical entry.
 	rec, err := c.db.Estimate(k)
 	c.mu.Lock()
 	c.m[k] = estimateEntry{rec: rec, err: err}
+	c.size.Set(int64(len(c.m)))
 	c.mu.Unlock()
 	return rec, err
 }

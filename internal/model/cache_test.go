@@ -3,6 +3,8 @@ package model
 import (
 	"sync"
 	"testing"
+
+	"pacevm/internal/obs"
 )
 
 func TestEstimateCacheMatchesDB(t *testing.T) {
@@ -34,6 +36,49 @@ func TestEstimateCacheMatchesDB(t *testing.T) {
 	}
 	if c.Len() != len(keys) {
 		t.Errorf("cache holds %d entries, want %d", c.Len(), len(keys))
+	}
+}
+
+// TestEstimateCacheInstrumentedConcurrent hammers an instrumented cache
+// from 8 goroutines with a mixed hit/miss/insert workload (run under
+// -race in `make verify` and CI). Every lookup is exactly one hit or one
+// miss, so the counters must sum to the query count, and the size gauge
+// must settle on the final key count.
+func TestEstimateCacheInstrumentedConcurrent(t *testing.T) {
+	db := gridDB(t, 6)
+	c := NewEstimateCache(db)
+	reg := obs.NewRegistry()
+	c.Instrument(reg)
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Small key space → mostly hits; worker-skewed component
+				// → each goroutine also inserts fresh keys.
+				k := Key{NCPU: 1 + i%3, NMEM: (i * w) % 5, NIO: i % 2}
+				if _, err := c.Estimate(k); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := reg.Snapshot()
+	hits, misses := snap.Counters["model_cache_hits"], snap.Counters["model_cache_misses"]
+	if hits+misses != workers*perWorker {
+		t.Errorf("hits (%d) + misses (%d) = %d, want %d lookups", hits, misses, hits+misses, workers*perWorker)
+	}
+	if hits == 0 || misses == 0 {
+		t.Errorf("workload not mixed: hits=%d misses=%d", hits, misses)
+	}
+	// Duplicate concurrent computations store identical entries, so the
+	// final gauge value is exactly the distinct-key count.
+	if got, want := snap.Gauges["model_cache_size"], int64(c.Len()); got != want {
+		t.Errorf("model_cache_size gauge = %d, want Len() = %d", got, want)
 	}
 }
 

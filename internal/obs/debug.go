@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Manifest is the JSON run-manifest emitted beside a trace: everything
+// needed to reproduce and interpret the run — the command and its
+// configuration, the seed, the final metrics, the wall-clock cost, and
+// a snapshot of the telemetry registry.
+type Manifest struct {
+	Command          string   `json:"command"`
+	Config           any      `json:"config,omitempty"`
+	Seed             uint64   `json:"seed"`
+	WallClockSeconds float64  `json:"wall_clock_seconds"`
+	Metrics          any      `json:"metrics,omitempty"`
+	Telemetry        Snapshot `json:"telemetry"`
+}
+
+// WriteManifest serializes m as indented JSON.
+func WriteManifest(w io.Writer, m Manifest) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// DebugServer is a live-introspection HTTP server: /debug/pprof/* (the
+// full net/http/pprof suite) and /debug/vars (expvar, including any
+// registries published with Registry.Publish). It backs the CLIs'
+// shared -debug-addr flag.
+type DebugServer struct {
+	srv *http.Server
+	lis net.Listener
+}
+
+// ServeDebug publishes reg under the "pacevm" expvar name (when
+// non-nil), binds addr (":0" picks a free port), and serves in a
+// background goroutine until Close.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	reg.Publish("pacevm")
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server: %w", err)
+	}
+	d := &DebugServer{
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		lis: lis,
+	}
+	go d.srv.Serve(lis) //nolint:errcheck // ErrServerClosed after Close
+	return d, nil
+}
+
+// Addr returns the bound listen address.
+func (d *DebugServer) Addr() string { return d.lis.Addr().String() }
+
+// Close stops the server.
+func (d *DebugServer) Close() error { return d.srv.Close() }

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestServeDebug covers the CLIs' -debug-addr contract: /debug/pprof/
+// and /debug/vars must both answer, and /debug/vars must include the
+// published registry's live contents.
+func TestServeDebug(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sim_events_popped").Add(7)
+	d, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + d.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return string(body)
+	}
+
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index missing profiles: %.200s", body)
+	}
+	vars := get("/debug/vars")
+	var parsed map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(vars), &parsed); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(parsed["pacevm"], &snap); err != nil {
+		t.Fatalf("pacevm var is not a Snapshot: %v (%s)", err, parsed["pacevm"])
+	}
+	if snap.Counters["sim_events_popped"] != 7 {
+		t.Errorf("registry contents not served: %+v", snap)
+	}
+	// Live: later updates must be visible on the next scrape.
+	reg.Counter("sim_events_popped").Add(3)
+	if !strings.Contains(get("/debug/vars"), `"sim_events_popped": 10`) &&
+		!strings.Contains(get("/debug/vars"), `"sim_events_popped":10`) {
+		t.Error("/debug/vars not live")
+	}
+}
+
+func TestServeDebugBadAddr(t *testing.T) {
+	if _, err := ServeDebug("256.0.0.1:bad", nil); err == nil {
+		t.Error("bad address must fail")
+	}
+}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("events") != c {
+		t.Error("re-registering a counter must return the same handle")
+	}
+
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.SetMax(3)
+	if got := g.Value(); got != 7 {
+		t.Errorf("gauge after SetMax(3) = %d, want 7", got)
+	}
+	g.SetMax(11)
+	if got := g.Value(); got != 11 {
+		t.Errorf("gauge after SetMax(11) = %d, want 11", got)
+	}
+
+	h := r.Histogram("latency", 1, 10, 100)
+	for _, v := range []float64{0.5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Errorf("histogram count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 555.5 {
+		t.Errorf("histogram sum = %g, want 555.5", h.Sum())
+	}
+	snap := r.Snapshot()
+	hs := snap.Histograms["latency"]
+	want := []int64{1, 1, 1, 1}
+	for i, n := range want {
+		if hs.Counts[i] != n {
+			t.Errorf("bucket %d = %d, want %d (snapshot %+v)", i, hs.Counts[i], n, hs)
+		}
+	}
+	if snap.Counters["events"] != 5 || snap.Gauges["depth"] != 11 {
+		t.Errorf("snapshot scalars wrong: %+v", snap)
+	}
+}
+
+// TestNilHandlesAreNoOps pins the disabled path: every method on nil
+// handles must be callable and do nothing.
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x", 1, 2)
+	var tr *Tracer
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.SetMax(2)
+	h.Observe(1)
+	tr.Emit(TraceEvent{})
+	tr.Span("a", "b", 1, 2, 0, 1, nil)
+	tr.Instant("a", "b", 1, 2, 0, nil)
+	tr.Counter("a", 1, 0, 0, "v", 1)
+	tr.FlowStart("a", "b", 1, 1, 1, 0)
+	tr.FlowFinish("a", "b", 1, 1, 1, 0)
+	tr.NameProcess(1, "p")
+	tr.NameThread(1, 1, "t")
+	r.Publish("nil-reg")
+	if c != nil || g != nil || h != nil {
+		t.Error("nil registry must hand out nil handles")
+	}
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || tr.Len() != 0 {
+		t.Error("nil handles must read as zero")
+	}
+	if s := r.Snapshot(); s.Counters != nil || s.Gauges != nil || s.Histograms != nil {
+		t.Errorf("nil registry snapshot not empty: %+v", s)
+	}
+}
+
+// TestNilHandlesAllocFree is the zero-cost contract: the disabled
+// telemetry path must not allocate, per operation, ever.
+func TestNilHandlesAllocFree(t *testing.T) {
+	var r *Registry
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(9)
+		g.SetMax(10)
+		h.Observe(3.5)
+		tr.Span("span", "cat", 1, 2, 0, 1, nil)
+		tr.Counter("q", 1, 0, 1, "depth", 4)
+		tr.FlowStart("f", "cat", 7, 1, 1, 0)
+		_ = r.Counter("never")
+	})
+	if allocs != 0 {
+		t.Errorf("disabled telemetry path allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestRegistryConcurrentUpdates exercises mixed concurrent registration
+// and updates; run under -race by `make race-sim` and CI.
+func TestRegistryConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("shared")
+			g := r.Gauge("hw")
+			h := r.Histogram("obs", 10, 100)
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.SetMax(int64(w*1000 + i))
+				h.Observe(float64(i % 150))
+				if i%100 == 0 {
+					_ = r.Counter(fmt.Sprintf("w%d", w))
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 8000 {
+		t.Errorf("shared counter = %d, want 8000", got)
+	}
+	if got := r.Gauge("hw").Value(); got != 7999 {
+		t.Errorf("high-water gauge = %d, want 7999", got)
+	}
+	if got := r.Histogram("obs").Count(); got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestPublishReplacesRegistry(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Counter("a").Inc()
+	r1.Publish("test-publish")
+	r2 := NewRegistry()
+	r2.Counter("a").Add(42)
+	r2.Publish("test-publish") // must not panic, must replace r1
+	rec := httptest.NewRecorder()
+	req, _ := http.NewRequest("GET", "/debug/vars", nil)
+	expvar.Handler().ServeHTTP(rec, req)
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &vars); err != nil {
+		t.Fatalf("unmarshal /debug/vars: %v (body %q)", err, rec.Body.String())
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(vars["test-publish"], &snap); err != nil {
+		t.Fatalf("unmarshal published snapshot: %v", err)
+	}
+	if snap.Counters["a"] != 42 {
+		t.Errorf("published counter = %d, want 42 (replacement registry)", snap.Counters["a"])
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("edges", 10, 20)
+	h.Observe(10) // on the bound: counts in bucket 0 (v <= 10)
+	h.Observe(10.0001)
+	h.Observe(21)
+	hs := r.Snapshot().Histograms["edges"]
+	if hs.Counts[0] != 1 || hs.Counts[1] != 1 || hs.Counts[2] != 1 {
+		t.Errorf("bucket edge handling wrong: %+v", hs)
+	}
+	if !strings.Contains(fmt.Sprint(hs.Bounds), "10") {
+		t.Errorf("bounds not preserved: %+v", hs.Bounds)
+	}
+}

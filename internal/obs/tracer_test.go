@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestTraceRoundTrip is the schema round-trip: a recorded trace must
+// serialize to Chrome trace-event JSON that parses back into the same
+// events, and the envelope must carry traceEvents as a JSON array (the
+// shape Perfetto's JSON importer requires).
+func TestTraceRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	tr.NameProcess(1, "servers")
+	tr.NameThread(1, 0, "server 0")
+	tr.Span("hosting", "server", 1, 0, 10, 250, nil)
+	tr.Span("vm1 job3", "vm", 1, 0, 12, 240, map[string]any{"job": 3, "class": "CPU"})
+	tr.Instant("job 3 submit", "arrival", 2, 0, 5, map[string]any{"vms": 2})
+	tr.Counter("queue", 2, 0, 5, "depth", 1)
+	tr.FlowStart("wait vm1", "lifecycle", 1, 2, 0, 5)
+	tr.FlowFinish("wait vm1", "lifecycle", 1, 1, 0, 12)
+
+	var buf bytes.Buffer
+	if err := tr.WriteTo(&buf, map[string]any{"seed": 42}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Envelope-level schema checks on the raw JSON.
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatalf("not a JSON object: %v", err)
+	}
+	if _, ok := raw["traceEvents"]; !ok {
+		t.Fatal("envelope missing traceEvents")
+	}
+	var asArray []map[string]any
+	if err := json.Unmarshal(raw["traceEvents"], &asArray); err != nil {
+		t.Fatalf("traceEvents is not an array of objects: %v", err)
+	}
+
+	f, err := ReadTraceFile(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.TraceEvents) != tr.Len() {
+		t.Fatalf("round-tripped %d events, recorded %d", len(f.TraceEvents), tr.Len())
+	}
+	if f.OtherData["seed"] != float64(42) {
+		t.Errorf("otherData lost: %+v", f.OtherData)
+	}
+	phases := map[string]int{}
+	for _, ev := range f.TraceEvents {
+		phases[ev.Phase]++
+		if ev.Phase != PhaseMetadata && ev.Ts < 0 {
+			t.Errorf("event %q has negative ts", ev.Name)
+		}
+	}
+	for _, ph := range []string{PhaseComplete, PhaseInstant, PhaseCounter, PhaseMetadata, PhaseFlowStart, PhaseFlowFinish} {
+		if phases[ph] == 0 {
+			t.Errorf("no %q events survived the round trip (%v)", ph, phases)
+		}
+	}
+	// Simulated-seconds -> microseconds scaling.
+	var span *TraceEvent
+	for i := range f.TraceEvents {
+		if f.TraceEvents[i].Name == "hosting" {
+			span = &f.TraceEvents[i]
+		}
+	}
+	if span == nil {
+		t.Fatal("hosting span lost")
+	}
+	if span.Ts != 10e6 || span.Dur != 240e6 {
+		t.Errorf("span ts/dur = %g/%g, want 1e7/2.4e8 (µs)", span.Ts, span.Dur)
+	}
+}
+
+// TestNilTracerWritesValidEmptyTrace: even fully disabled, WriteTo must
+// produce a loadable document with an empty (not null) event array.
+func TestNilTracerWritesValidEmptyTrace(t *testing.T) {
+	var tr *Tracer
+	var buf bytes.Buffer
+	if err := tr.WriteTo(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents": []`) {
+		t.Errorf("nil trace not an empty array: %s", buf.String())
+	}
+	if _, err := ReadTraceFile(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracerConcurrentEmit(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Span("s", "c", 1, w, float64(i), float64(i+1), nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != 4000 {
+		t.Errorf("recorded %d events, want 4000", tr.Len())
+	}
+}
+
+func TestWriteManifest(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sim_events_popped").Add(123)
+	var buf bytes.Buffer
+	m := Manifest{
+		Command:          "pacevm-sim",
+		Config:           map[string]any{"servers": 66, "strategy": "FF-3"},
+		Seed:             42,
+		WallClockSeconds: 1.25,
+		Metrics:          map[string]any{"makespan": 1000.0},
+		Telemetry:        r.Snapshot(),
+	}
+	if err := WriteManifest(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Command != "pacevm-sim" || back.Seed != 42 || back.WallClockSeconds != 1.25 {
+		t.Errorf("manifest round trip lost fields: %+v", back)
+	}
+	if back.Telemetry.Counters["sim_events_popped"] != 123 {
+		t.Errorf("telemetry snapshot lost: %+v", back.Telemetry)
+	}
+}
