@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build verify test race race-sim vet bench bench-alloc bench-json cover trace clean
+.PHONY: all build verify test race race-sim race-faults fuzz-smoke vet bench bench-alloc bench-json cover trace clean
 
 all: verify
 
@@ -9,7 +9,7 @@ build:
 
 # verify is the tier-1 gate: compile, static checks, full test suite,
 # and the race detector over the simulator hot-path packages.
-verify: build vet test race-sim
+verify: build vet test race-sim race-faults
 
 test:
 	$(GO) test ./...
@@ -22,6 +22,20 @@ race:
 # registry); fast enough to gate every verify.
 race-sim:
 	$(GO) test -race ./internal/cloudsim ./internal/eventq ./internal/core ./internal/model ./internal/obs
+
+# race-faults races the fault-injection layer: the schedule generator
+# plus the fault-mode simulator and placement-index paths (crash/recover
+# events, re-queue, budgeted-search degradation).
+race-faults:
+	$(GO) test -race -run 'Fault|Crash|Checkpoint|DownUp|Degrade|Budget' \
+		./internal/faults ./internal/cloudsim ./internal/strategy ./internal/core
+
+# fuzz-smoke gives each text-input parser a short adversarial burst
+# (one package per invocation, as go test -fuzz requires).
+fuzz-smoke:
+	$(GO) test -fuzz FuzzParse -fuzztime 5s ./internal/swf
+	$(GO) test -fuzz FuzzReadSchedule -fuzztime 5s ./internal/faults
+	$(GO) test -fuzz FuzzReadCSV -fuzztime 5s ./internal/model
 
 vet:
 	$(GO) vet ./...

@@ -6,12 +6,20 @@
 //	pacevm-sim -strategy FF-2 -swf trace.swf
 //	pacevm-sim -strategy PA-1 -model ./modeldir   # reuse a stored model
 //	pacevm-sim -strategy FF-3 -trace out.json -debug-addr :6060
+//	pacevm-sim -strategy PA-0.5 -mtbf 86400 -mttr 600 -checkpoint periodic:900
+//	pacevm-sim -strategy PA-1 -faults outages.csv -search-budget 5000
 //
 // With -trace the run is recorded as Chrome trace-event JSON over
 // simulated time (load it at https://ui.perfetto.dev), alongside a
 // <out>.manifest.json run manifest; -debug-addr serves net/http/pprof
 // and expvar (including the live metrics registry) while the
 // simulation runs.
+//
+// With -mtbf (seeded generation) or -faults (a stored schedule) servers
+// crash and recover during the run: resident VMs are killed — losing
+// work per the -checkpoint policy — and re-queued, and the report gains
+// availability and goodput lines. -search-budget bounds the PA
+// allocation search, degrading to first-fit when exhausted.
 package main
 
 import (
@@ -19,18 +27,21 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
 	"pacevm/internal/campaign"
 	"pacevm/internal/cloudsim"
 	"pacevm/internal/core"
+	"pacevm/internal/faults"
 	"pacevm/internal/migrate"
 	"pacevm/internal/model"
 	"pacevm/internal/obs"
 	"pacevm/internal/strategy"
 	"pacevm/internal/swf"
 	"pacevm/internal/trace"
+	"pacevm/internal/units"
 )
 
 // options collects the CLI surface; one run() argument instead of a
@@ -48,6 +59,12 @@ type options struct {
 	consolidate bool
 	backfill    int
 	reference   bool
+
+	mtbf         float64
+	mttr         float64
+	faultsPath   string
+	checkpoint   string
+	searchBudget int
 }
 
 func main() {
@@ -64,6 +81,11 @@ func main() {
 	flag.BoolVar(&opt.consolidate, "consolidate", false, "enable reactive migration-based consolidation (30 s per move)")
 	flag.IntVar(&opt.backfill, "backfill", 0, "backfill window depth behind a blocked queue head (0 = strict FCFS)")
 	flag.BoolVar(&opt.reference, "reference", false, "run the preserved naive simulator instead of the optimized event loop")
+	flag.Float64Var(&opt.mtbf, "mtbf", 0, "mean seconds between failures per server; 0 disables fault injection")
+	flag.Float64Var(&opt.mttr, "mttr", 300, "mean outage seconds per failure (used with -mtbf)")
+	flag.StringVar(&opt.faultsPath, "faults", "", "fault schedule CSV to replay (server,down_s,up_s header); overrides -mtbf")
+	flag.StringVar(&opt.checkpoint, "checkpoint", "restart", `checkpoint policy for VMs killed by a crash: "restart" or "periodic:<seconds>"`)
+	flag.IntVar(&opt.searchBudget, "search-budget", 0, "cap on scored candidate placements per PA allocation, degrading to first-fit when exhausted; 0 = unlimited")
 	flag.Parse()
 
 	if err := run(opt); err != nil {
@@ -76,9 +98,16 @@ func run(opt options) error {
 	if opt.reference && opt.tracePath != "" {
 		return fmt.Errorf("-trace needs the optimized simulator; drop -reference (the reference loop carries no telemetry hooks)")
 	}
+	if opt.reference && (opt.faultsPath != "" || opt.mtbf > 0) {
+		return fmt.Errorf("fault injection needs the optimized simulator; drop -reference")
+	}
+	checkpoint, err := parseCheckpoint(opt.checkpoint)
+	if err != nil {
+		return err
+	}
 
 	var reg *obs.Registry
-	if opt.tracePath != "" || opt.debugAddr != "" {
+	if opt.tracePath != "" || opt.debugAddr != "" || opt.searchBudget > 0 {
 		reg = obs.NewRegistry()
 	}
 	if opt.debugAddr != "" {
@@ -120,7 +149,7 @@ func run(opt options) error {
 	}
 	fmt.Printf("trace: %d requests, %d VMs\n", rep.Requests, rep.TotalVMs)
 
-	st, err := parseStrategy(db, opt.stratName)
+	st, err := parseStrategy(db, opt.stratName, opt.searchBudget, reg)
 	if err != nil {
 		return err
 	}
@@ -131,6 +160,13 @@ func run(opt options) error {
 	if opt.consolidate {
 		cfg.Consolidator = &migrate.Planner{DB: db, MigrationCost: 30}
 		cfg.MigrationCost = 30
+	}
+	if cfg.Faults, err = loadFaults(opt, reqs); err != nil {
+		return err
+	}
+	if len(cfg.Faults) > 0 {
+		cfg.Checkpoint = checkpoint
+		fmt.Printf("faults: %d scheduled outages (checkpoint %s)\n", len(cfg.Faults), checkpoint.Name())
 	}
 	if opt.tracePath != "" {
 		cfg.Tracer = obs.NewTracer()
@@ -154,6 +190,16 @@ func run(opt options) error {
 	fmt.Printf("peak active servers: %d\n", m.PeakActiveServers)
 	if opt.consolidate {
 		fmt.Printf("migrations:   %d (%d servers drained)\n", m.Migrations, m.ServersDrained)
+	}
+	if len(cfg.Faults) > 0 {
+		fmt.Printf("faults:       %d injected, %d VMs killed, %d re-queued\n", m.FaultsInjected, m.VMsKilled, m.Requeues)
+		fmt.Printf("work lost:    %v   goodput: %.2f%%\n", m.WorkLost, m.GoodputPct())
+		fmt.Printf("availability: %.2f%% (%.0f server-seconds down)\n", m.AvailabilityPct(opt.servers), m.DownServerSeconds)
+	}
+	if opt.searchBudget > 0 {
+		snap := reg.Snapshot()
+		fmt.Printf("search budget: %d candidates/allocation (exhausted %d times, %d first-fit degradations)\n",
+			opt.searchBudget, snap.Counters["search_budget_exhausted"], snap.Counters["search_degraded_firstfit"])
 	}
 	rate := float64(rep.Requests) / wall.Seconds()
 	fmt.Printf("simulated in: %v (%.0f requests/s)\n", wall.Round(time.Millisecond), rate)
@@ -195,6 +241,8 @@ func writeTrace(opt options, tr *obs.Tracer, reg *obs.Registry, m cloudsim.Metri
 			"strategy": opt.stratName, "servers": opt.servers, "vms": opt.vms,
 			"swf": opt.swfPath, "model": opt.modelDir, "backfill": opt.backfill,
 			"always_on": opt.alwaysOn, "consolidate": opt.consolidate,
+			"mtbf": opt.mtbf, "mttr": opt.mttr, "faults": opt.faultsPath,
+			"checkpoint": opt.checkpoint, "search_budget": opt.searchBudget,
 		},
 		Seed:             opt.seed,
 		WallClockSeconds: wall.Seconds(),
@@ -232,7 +280,56 @@ func loadModel(dir string) (*model.DB, error) {
 	return model.ReadCSV(mf, af)
 }
 
-func parseStrategy(db *model.DB, name string) (strategy.Strategy, error) {
+// loadFaults resolves the fault schedule: an explicit CSV wins, else a
+// seeded MTBF/MTTR process over the trace's arrival span, else none.
+func loadFaults(opt options, reqs []trace.Request) (faults.Schedule, error) {
+	if opt.faultsPath != "" {
+		f, err := os.Open(opt.faultsPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return faults.ReadSchedule(f)
+	}
+	if opt.mtbf <= 0 {
+		return nil, nil
+	}
+	var horizon units.Seconds
+	for _, r := range reqs {
+		if r.Submit > horizon {
+			horizon = r.Submit
+		}
+	}
+	if horizon <= 0 {
+		horizon = 1 // all arrivals at t=0: still expose the fleet to faults
+	}
+	return faults.Generate(faults.GenConfig{
+		Seed:    opt.seed,
+		Servers: opt.servers,
+		MTBF:    units.Seconds(opt.mtbf),
+		MTTR:    units.Seconds(opt.mttr),
+		Horizon: horizon,
+	})
+}
+
+func parseCheckpoint(s string) (faults.CheckpointPolicy, error) {
+	if s == "" || s == "restart" {
+		return faults.Restart{}, nil
+	}
+	if rest, ok := strings.CutPrefix(s, "periodic:"); ok {
+		v, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad checkpoint interval %q: %w", rest, err)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("checkpoint interval %g must be positive", v)
+		}
+		return faults.Periodic{Interval: units.Seconds(v)}, nil
+	}
+	return nil, fmt.Errorf("unknown checkpoint policy %q (want restart or periodic:<seconds>)", s)
+}
+
+func parseStrategy(db *model.DB, name string, searchBudget int, reg *obs.Registry) (strategy.Strategy, error) {
 	switch strings.ToUpper(name) {
 	case "FF":
 		return strategy.NewFirstFit(1)
@@ -250,7 +347,7 @@ func parseStrategy(db *model.DB, name string) (strategy.Strategy, error) {
 		if alpha < 0 || alpha > 1 {
 			return nil, fmt.Errorf("PA alpha %g out of [0,1]", alpha)
 		}
-		return strategy.NewProactive(db, core.Goal{Alpha: alpha}, 0)
+		return strategy.NewProactiveConfig(core.Config{DB: db, SearchBudget: searchBudget, Obs: reg}, core.Goal{Alpha: alpha})
 	}
 	if nStr, ok := strings.CutPrefix(upper, "BF-"); ok {
 		var n int

@@ -47,7 +47,7 @@ func TestParseStrategy(t *testing.T) {
 		{"BF-2", "BF-2"},
 	}
 	for _, c := range cases {
-		st, err := parseStrategy(db, c.in)
+		st, err := parseStrategy(db, c.in, 0, nil)
 		if err != nil {
 			t.Errorf("parseStrategy(%q): %v", c.in, err)
 			continue
@@ -61,8 +61,31 @@ func TestParseStrategy(t *testing.T) {
 func TestParseStrategyErrors(t *testing.T) {
 	db := sharedDB(t)
 	for _, in := range []string{"", "XX", "PA-", "PA-x", "BF-", "BF-x", "PA-2"} {
-		if _, err := parseStrategy(db, in); err == nil {
+		if _, err := parseStrategy(db, in, 0, nil); err == nil {
 			t.Errorf("parseStrategy(%q) accepted bad input", in)
+		}
+	}
+}
+
+func TestParseCheckpoint(t *testing.T) {
+	for _, c := range []struct{ in, want string }{
+		{"", "restart"},
+		{"restart", "restart"},
+		{"periodic:300", "periodic:300"},
+		{"periodic:0.5", "periodic:0.5"},
+	} {
+		cp, err := parseCheckpoint(c.in)
+		if err != nil {
+			t.Errorf("parseCheckpoint(%q): %v", c.in, err)
+			continue
+		}
+		if cp.Name() != c.want {
+			t.Errorf("parseCheckpoint(%q).Name() = %q, want %q", c.in, cp.Name(), c.want)
+		}
+	}
+	for _, in := range []string{"never", "periodic:", "periodic:x", "periodic:-5", "periodic:0"} {
+		if _, err := parseCheckpoint(in); err == nil {
+			t.Errorf("parseCheckpoint(%q) accepted bad input", in)
 		}
 	}
 }
@@ -143,6 +166,10 @@ func TestRunErrorPaths(t *testing.T) {
 		{"unwritable trace output", func(o *options) { o.tracePath = filepath.Join(dir, "no", "such", "dir", "t.json") }},
 		{"trace with reference loop", func(o *options) { o.tracePath = filepath.Join(dir, "t.json"); o.reference = true }},
 		{"bad debug address", func(o *options) { o.debugAddr = "notanaddress:-1" }},
+		{"faults with reference loop", func(o *options) { o.mtbf = 5000; o.mttr = 300; o.reference = true }},
+		{"missing fault schedule", func(o *options) { o.faultsPath = filepath.Join(dir, "missing.csv") }},
+		{"mtbf without mttr", func(o *options) { o.mtbf = 5000 }},
+		{"bad checkpoint policy", func(o *options) { o.checkpoint = "sometimes" }},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -200,4 +227,43 @@ func TestRunWritesTraceAndManifest(t *testing.T) {
 	if m.Telemetry.Counters["sim_events_popped"] == 0 {
 		t.Error("manifest telemetry snapshot is empty")
 	}
+}
+
+// TestRunFaultModes drives run() end to end with fault injection on:
+// seeded MTBF/MTTR generation, a stored schedule file, and a budgeted
+// PA search with checkpointing. Output formatting is exercised; the
+// metrics themselves are pinned by the cloudsim tests.
+func TestRunFaultModes(t *testing.T) {
+	dir := modelDir(t)
+	base := options{stratName: "FF-3", servers: 4, seed: 1, vms: 50, modelDir: dir}
+
+	t.Run("generated schedule", func(t *testing.T) {
+		opt := base
+		opt.mtbf, opt.mttr = 2000, 200
+		if err := run(opt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("schedule file", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "outages.csv")
+		if err := os.WriteFile(path, []byte("server,down_s,up_s\n1,100,400\n2,500,900\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		opt := base
+		opt.faultsPath = path
+		opt.checkpoint = "periodic:300"
+		if err := run(opt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("budgeted PA search", func(t *testing.T) {
+		opt := base
+		opt.stratName = "PA-0.5"
+		opt.vms = 30
+		opt.mtbf, opt.mttr = 2000, 200
+		opt.searchBudget = 2
+		if err := run(opt); err != nil {
+			t.Fatal(err)
+		}
+	})
 }

@@ -32,6 +32,7 @@ import (
 
 	"pacevm/internal/core"
 	"pacevm/internal/eventq"
+	"pacevm/internal/faults"
 	"pacevm/internal/migrate"
 	"pacevm/internal/model"
 	"pacevm/internal/obs"
@@ -100,6 +101,19 @@ type Config struct {
 	// passive and free when nil. RunReference — the frozen pre-rewrite
 	// oracle — ignores both fields.
 	Tracer *obs.Tracer
+	// Faults is the deterministic crash/recovery schedule (see
+	// internal/faults). Each event takes one server down at Down — its
+	// resident VMs are killed per Checkpoint and re-queued through normal
+	// admission, the server draws 0 W and is excluded from placement —
+	// and brings it back at Up. Empty (the default) disables the fault
+	// layer entirely: the run is byte-identical to a pre-fault build, and
+	// that equivalence is what the golden tests pin. RunReference rejects
+	// non-empty schedules — the oracle predates the fault model.
+	Faults faults.Schedule
+	// Checkpoint decides how much of a killed VM's progress survives a
+	// crash (the remainder is re-done by the re-queued VM). Nil defaults
+	// to faults.Restart — all progress lost. Ignored without Faults.
+	Checkpoint faults.CheckpointPolicy
 }
 
 // Consolidator proposes VM migrations for a live cloud snapshot.
@@ -142,6 +156,21 @@ type Metrics struct {
 	// ServersDrained counts servers its plans emptied.
 	Migrations     int
 	ServersDrained int
+	// Fault-injection outcomes; all zero in a fault-free run.
+	// FaultsInjected counts crash events fired, VMsKilled the VMs those
+	// crashes evicted, Requeues the synthetic single-VM requests that
+	// re-entered admission, and WorkLost the nominal-seconds of progress
+	// the checkpoint policy could not save. DownServerSeconds integrates
+	// server downtime over the workload span.
+	FaultsInjected    int
+	VMsKilled         int
+	Requeues          int
+	WorkLost          units.Seconds
+	DownServerSeconds float64
+	// NominalWork is the workload's total demand in nominal-seconds
+	// (Σ NominalTime × VMs over the submitted requests, re-queued redo
+	// work excluded) — the goodput denominator's useful part.
+	NominalWork units.Seconds
 }
 
 // SLAViolationPct is the paper's Fig.-7 metric.
@@ -150,6 +179,32 @@ func (m Metrics) SLAViolationPct() float64 {
 		return 0
 	}
 	return 100 * float64(m.Violations) / float64(m.TotalVMs)
+}
+
+// AvailabilityPct is the fleet's availability over the workload span:
+// the fraction of server-seconds in [first submission, last completion]
+// during which the server was up, as a percentage.
+func (m Metrics) AvailabilityPct(servers int) float64 {
+	total := float64(servers) * float64(m.Makespan)
+	if total <= 0 {
+		return 100
+	}
+	pct := 100 * (1 - m.DownServerSeconds/total)
+	if pct < 0 {
+		return 0
+	}
+	return pct
+}
+
+// GoodputPct is the fraction of executed nominal-seconds that ended up
+// in completed VMs rather than discarded by crashes: useful work over
+// useful work plus work lost, as a percentage. 100 in a fault-free run.
+func (m Metrics) GoodputPct() float64 {
+	total := float64(m.NominalWork) + float64(m.WorkLost)
+	if total <= 0 {
+		return 100
+	}
+	return 100 * float64(m.NominalWork) / total
 }
 
 // Result is the simulation outcome.
@@ -211,10 +266,16 @@ type allocInfo struct {
 	power units.Watts
 }
 
-// Event kinds on the simulator's future-event list.
+// Event kinds on the simulator's future-event list. Crash and recover
+// events are scheduled up front from the sorted fault schedule, after
+// the arrivals — so at equal timestamps arrivals precede crashes, and a
+// back-to-back recover/crash pair on one server (Up == next Down)
+// resolves recover-first.
 const (
 	evKindArrival eventq.Kind = iota
 	evKindCompletion
+	evKindCrash
+	evKindRecover
 )
 
 type sim struct {
@@ -253,6 +314,20 @@ type sim struct {
 	// vmfree pools retired simVM structs.
 	vmfree []*simVM
 
+	// Fault-mode state (see faults.go); allocated only when the config
+	// carries a schedule, so fault-free runs pay exactly one bool check
+	// on the paths that consult it.
+	faulty     bool
+	checkpoint faults.CheckpointPolicy
+	downSince  []units.Seconds // per server; -1 while up
+	downLog    []downSpan
+	// upViews is the compacted placement view over up servers only,
+	// handed to linear strategies in fault mode instead of views and
+	// maintained incrementally (splice on crash/recover, alloc updates
+	// through viewPos). viewPos maps server id -> upViews index, -1 down.
+	upViews []strategy.Server
+	viewPos []int
+
 	// stats/tr are the telemetry hooks; with Config.Obs and
 	// Config.Tracer nil every hook is a no-op (see obs.go).
 	stats simStats
@@ -267,23 +342,43 @@ type sim struct {
 	lastFinish  units.Seconds
 }
 
-// validateConfig normalizes and checks the scalar configuration, shared
-// by the optimized and reference runs.
-func validateConfig(cfg Config, reqs []trace.Request) (Config, error) {
+// Validate checks the user-facing configuration without normalizing
+// defaults. Run and RunReference call it first (via validateConfig);
+// callers assembling configs programmatically can call it early to
+// surface wiring mistakes before building a workload.
+func (cfg Config) Validate() error {
 	if cfg.DB == nil {
-		return cfg, errors.New("cloudsim: nil model database")
+		return errors.New("cloudsim: nil model database")
 	}
 	if cfg.Servers < 1 {
-		return cfg, errors.New("cloudsim: need at least one server")
+		return errors.New("cloudsim: need at least one server")
 	}
 	if cfg.Strategy == nil {
-		return cfg, errors.New("cloudsim: nil strategy")
+		return errors.New("cloudsim: nil strategy")
+	}
+	if cfg.MaxVMsPerServer < 0 {
+		return errors.New("cloudsim: non-positive MaxVMsPerServer")
+	}
+	if cfg.MigrationCost < 0 {
+		return fmt.Errorf("cloudsim: negative MigrationCost %v", cfg.MigrationCost)
+	}
+	if cfg.ServerDBs != nil && len(cfg.ServerDBs) != cfg.Servers {
+		return fmt.Errorf("cloudsim: %d ServerDBs for %d servers", len(cfg.ServerDBs), cfg.Servers)
+	}
+	if err := cfg.Faults.Validate(cfg.Servers); err != nil {
+		return fmt.Errorf("cloudsim: fault schedule: %w", err)
+	}
+	return nil
+}
+
+// validateConfig checks (Config.Validate) and then normalizes the
+// configuration, shared by the optimized and reference runs.
+func validateConfig(cfg Config, reqs []trace.Request) (Config, error) {
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
 	}
 	if cfg.MaxVMsPerServer == 0 {
 		cfg.MaxVMsPerServer = 16
-	}
-	if cfg.MaxVMsPerServer < 1 {
-		return cfg, errors.New("cloudsim: non-positive MaxVMsPerServer")
 	}
 	switch {
 	case cfg.IdleServerPower == 0:
@@ -291,14 +386,14 @@ func validateConfig(cfg Config, reqs []trace.Request) (Config, error) {
 	case cfg.IdleServerPower < 0:
 		cfg.IdleServerPower = 0
 	}
+	if cfg.Checkpoint == nil {
+		cfg.Checkpoint = faults.Restart{}
+	}
 	if len(reqs) == 0 {
 		return cfg, errors.New("cloudsim: empty request stream")
 	}
 	if len(reqs) > math.MaxInt32 {
 		return cfg, fmt.Errorf("cloudsim: %d requests exceed the event index range", len(reqs))
-	}
-	if cfg.ServerDBs != nil && len(cfg.ServerDBs) != cfg.Servers {
-		return cfg, fmt.Errorf("cloudsim: %d ServerDBs for %d servers", len(cfg.ServerDBs), cfg.Servers)
 	}
 	return cfg, nil
 }
@@ -370,7 +465,7 @@ func Run(cfg Config, reqs []trace.Request) (Result, error) {
 		s.fleet = strategy.NewFleetIndex(cfg.Servers, cfg.MaxVMsPerServer)
 	}
 	s.traceSetup()
-	s.events.Reserve(len(reqs) + cfg.Servers)
+	s.events.Reserve(len(reqs) + cfg.Servers + 2*len(cfg.Faults))
 	for i := range reqs {
 		r := &reqs[i]
 		if err := r.Validate(); err != nil {
@@ -382,6 +477,10 @@ func Run(cfg Config, reqs []trace.Request) (Result, error) {
 		s.events.Schedule(r.Submit, eventq.Event{Kind: evKindArrival, Arg: int32(i)})
 		s.metrics.TotalJobs++
 		s.metrics.TotalVMs += r.VMs
+		s.metrics.NominalWork += r.NominalTime * units.Seconds(r.VMs)
+	}
+	if len(cfg.Faults) > 0 {
+		s.setupFaults()
 	}
 
 	for {
@@ -410,6 +509,20 @@ func Run(cfg Config, reqs []trace.Request) (Result, error) {
 			if err := s.drainQueue(); err != nil {
 				return Result{}, err
 			}
+		case evKindCrash:
+			if err := s.crash(int(ev.Arg)); err != nil {
+				return Result{}, err
+			}
+			if err := s.drainQueue(); err != nil {
+				return Result{}, err
+			}
+		case evKindRecover:
+			if err := s.recoverServer(int(ev.Arg)); err != nil {
+				return Result{}, err
+			}
+			if err := s.drainQueue(); err != nil {
+				return Result{}, err
+			}
 		default:
 			return Result{}, fmt.Errorf("cloudsim: unknown event kind %d", ev.Kind)
 		}
@@ -422,12 +535,18 @@ func Run(cfg Config, reqs []trace.Request) (Result, error) {
 	// draws the fixed idle power for every second of the workload span
 	// it spends hosting nothing (while hosting, the model record's
 	// average power — which includes the idle floor — was integrated).
+	// Downtime draws nothing: a crashed server is powered off, so its
+	// down-seconds within the span are carved out of the idle billing.
 	span := s.lastFinish - s.firstSubmit
+	downBySrv := s.foldDowntime()
 	for _, sv := range s.srv {
 		if len(sv.vms) != 0 {
 			return Result{}, fmt.Errorf("cloudsim: server %d still hosts %d VMs at end", sv.id, len(sv.vms))
 		}
 		idle := float64(span) - sv.hostedSeconds
+		if downBySrv != nil {
+			idle -= downBySrv[sv.id]
+		}
 		if idle > 0 {
 			sv.energy += cfg.IdleServerPower.Times(units.Seconds(idle))
 		}
@@ -495,10 +614,15 @@ func (s *sim) info(server int, k model.Key) (allocInfo, error) {
 }
 
 // applyAlloc shifts a server's allocation by delta VMs of class c,
-// keeping the placement view and the capacity index in sync.
+// keeping the placement views and the capacity index in sync.
 func (s *sim) applyAlloc(sv *simServer, c workload.Class, delta int) {
 	sv.alloc = sv.alloc.Add(model.KeyFor(c, delta))
 	s.views[sv.id].Alloc = sv.alloc
+	if s.faulty {
+		if p := s.viewPos[sv.id]; p >= 0 {
+			s.upViews[p].Alloc = sv.alloc
+		}
+	}
 	if s.fleet != nil {
 		s.fleet.Add(sv.id, delta)
 	}
@@ -694,6 +818,13 @@ func (s *sim) consolidate() error {
 		if vm == nil || mv.From < 0 || mv.From >= len(s.srv) || mv.To < 0 || mv.To >= len(s.srv) || mv.From == mv.To {
 			return fmt.Errorf("cloudsim: consolidator returned invalid move %+v", mv)
 		}
+		if s.faulty && s.downSince[mv.To] >= 0 {
+			// The consolidator's snapshot carries no liveness, so a plan
+			// may target a crashed server; skip the move (counted) rather
+			// than abort a healthy run.
+			s.stats.movesToDownSkipped.Inc()
+			continue
+		}
 		from, to := s.srv[mv.From], s.srv[mv.To]
 		idx := -1
 		for i, resident := range from.vms {
@@ -819,9 +950,16 @@ func (s *sim) tryPlace(idx int) (bool, error) {
 	var assign []int
 	var ok bool
 	if s.indexed != nil {
+		// The index itself excludes down servers (FleetIndex.SetDown).
 		assign, ok = s.indexed.PlaceIndexed(s.fleet, vms, s.assignBuf[:])
 	} else {
-		assign, ok = s.cfg.Strategy.Place(s.views, vms)
+		views := s.views
+		if s.faulty {
+			// Linear strategies see only the up servers; assignments are
+			// by server ID, so the compacted view needs no translation.
+			views = s.upViews
+		}
+		assign, ok = s.cfg.Strategy.Place(views, vms)
 	}
 	if !ok {
 		s.stats.placeRejected.Inc()
@@ -837,7 +975,8 @@ func (s *sim) tryPlace(idx int) (bool, error) {
 	var targets, counts [maxJobVMs]int
 	nt := 0
 	for _, a := range assign {
-		if a < 0 || a >= len(s.srv) {
+		if a < 0 || a >= len(s.srv) || (s.faulty && s.downSince[a] >= 0) {
+			// Out-of-range or down target: a strategy bug; refuse it.
 			s.stats.placeRejected.Inc()
 			return false, nil
 		}

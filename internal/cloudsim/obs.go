@@ -33,6 +33,12 @@ type simStats struct {
 	intervalsClosed *obs.Counter
 	pricingHits     *obs.Counter
 	pricingMisses   *obs.Counter
+	// Fault-layer counters; they only ever move in fault mode.
+	faultsInjected     *obs.Counter
+	vmsKilled          *obs.Counter
+	requeues           *obs.Counter
+	workLostSeconds    *obs.Counter // whole nominal-seconds (Metrics.WorkLost is exact)
+	movesToDownSkipped *obs.Counter
 }
 
 // init resolves the handles; from a nil registry every handle is nil
@@ -46,6 +52,11 @@ func (st *simStats) init(reg *obs.Registry) {
 	st.intervalsClosed = reg.Counter("sim_intervals_closed")
 	st.pricingHits = reg.Counter("sim_pricing_cache_hits")
 	st.pricingMisses = reg.Counter("sim_pricing_cache_misses")
+	st.faultsInjected = reg.Counter("sim_faults_injected")
+	st.vmsKilled = reg.Counter("sim_vms_killed")
+	st.requeues = reg.Counter("sim_requeues")
+	st.workLostSeconds = reg.Counter("sim_work_lost_seconds")
+	st.movesToDownSkipped = reg.Counter("sim_consolidator_moves_to_down_skipped")
 }
 
 // traceSetup names the trace tracks. Thread-name metadata is emitted
@@ -119,4 +130,27 @@ func (s *sim) traceHosting(sv *simServer, from units.Seconds) {
 		return
 	}
 	s.tr.Span("hosting", "server", tracePidServers, sv.id, float64(from), float64(s.now), nil)
+}
+
+// traceVMKill records a killed VM's truncated execution slice on its
+// server's track (placement to the crash instant).
+func (s *sim) traceVMKill(sv *simServer, vm *simVM) {
+	if s.tr == nil {
+		return
+	}
+	s.tr.Span("vm"+strconv.Itoa(vm.id)+" job "+strconv.Itoa(vm.jobID)+" killed", "vm",
+		tracePidServers, sv.id, float64(vm.placed), float64(s.now), map[string]any{
+			"job":    vm.jobID,
+			"class":  vm.class.String(),
+			"killed": true,
+		})
+}
+
+// traceDown records a server's outage span (crash to recovery, or to
+// the end of the run for servers still down).
+func (s *sim) traceDown(sv *simServer, from units.Seconds) {
+	if s.tr == nil {
+		return
+	}
+	s.tr.Span("down", "fault", tracePidServers, sv.id, float64(from), float64(s.now), nil)
 }

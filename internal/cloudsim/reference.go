@@ -137,6 +137,11 @@ type refSim struct {
 // optimized path against, and as the baseline the large-simulation
 // benchmarks measure speedups from.
 func RunReference(cfg Config, reqs []trace.Request) (Result, error) {
+	if len(cfg.Faults) > 0 {
+		// The oracle predates the fault model and is deliberately frozen;
+		// fault-injected runs have no naive twin to compare against.
+		return Result{}, fmt.Errorf("cloudsim: RunReference does not support fault injection (%d scheduled faults); use Run", len(cfg.Faults))
+	}
 	cfg, err := validateConfig(cfg, reqs)
 	if err != nil {
 		return Result{}, err
@@ -167,6 +172,7 @@ func RunReference(cfg Config, reqs []trace.Request) (Result, error) {
 		s.events.schedule(r.Submit, refArrival{req: i})
 		s.metrics.TotalJobs++
 		s.metrics.TotalVMs += r.VMs
+		s.metrics.NominalWork += r.NominalTime * units.Seconds(r.VMs)
 	}
 
 	for {

@@ -126,6 +126,18 @@ type Config struct {
 	// enumeration index through the reduce, so the paper's
 	// first-of-the-list tie-break is preserved.
 	SearchWorkers int
+	// SearchBudget bounds the exhaustive search: at most this many
+	// deduplicated partitions are scored per Allocate call. Zero (the
+	// default) or negative means unlimited — the paper's behaviour, and
+	// the setting under which Allocate stays bit-identical to
+	// AllocateReference. When the budget exhausts before the enumeration
+	// completes, Allocate abandons the partial search and degrades to a
+	// deterministic first-fit placement (Allocation.Degraded), so a
+	// budgeted allocator always answers in bounded work. The budget
+	// counts scored candidates, not wall clock, so budgeted runs stay
+	// exactly replayable at any worker count. AllocateReference, the
+	// frozen oracle, ignores the budget.
+	SearchBudget int
 	// Obs receives search telemetry (partitions enumerated/deduplicated,
 	// Pareto prunes, estimate-cache hit rates, worker-pool utilization).
 	// Nil — the default — disables it at zero cost: every instrument
@@ -201,6 +213,10 @@ type Allocation struct {
 	EstTime units.Seconds
 	// EstEnergy is the total marginal energy over placements.
 	EstEnergy units.Joules
+	// Degraded reports that the search budget exhausted and this
+	// allocation came from the first-fit fallback, not the full
+	// partition search (see Config.SearchBudget).
+	Degraded bool
 }
 
 // EstimateVM prices one VM of the given request under an allocation: the
@@ -244,14 +260,27 @@ func (a *Allocator) FitsAlone(vm VMRequest) bool {
 // pool. Every reduction preserves the enumeration-order tie-breaks, so
 // the result is bit-for-bit identical to AllocateReference, the
 // retained literal transcription of Sect. III.D.
+//
+// With a positive Config.SearchBudget the enumeration may stop early;
+// Allocate then degrades to the deterministic first-fit fallback and
+// marks the result Allocation.Degraded (see allocateFirstFit).
 func (a *Allocator) Allocate(goal Goal, servers []ServerState, vms []VMRequest) (Allocation, error) {
 	if err := a.validateRequest(goal, servers, vms); err != nil {
 		return Allocation{}, err
 	}
 	sc := newSearchCtx(a, goal, servers, vms)
-	frontier, maxT, maxE, err := sc.search(a.cfg.SearchWorkers)
+	frontier, maxT, maxE, exhausted, err := sc.search(a.cfg.SearchWorkers)
 	if err != nil {
 		return Allocation{}, err
+	}
+	if exhausted {
+		sc.exhausted.Inc()
+		out, err := a.allocateFirstFit(servers, vms)
+		if err != nil {
+			return Allocation{}, err
+		}
+		sc.degraded.Inc()
+		return out, nil
 	}
 	if len(frontier) == 0 {
 		return Allocation{}, ErrInfeasible

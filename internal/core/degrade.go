@@ -1,0 +1,66 @@
+package core
+
+// Graceful degradation of the partition search. A truncated exhaustive
+// search cannot simply return "the best candidate so far": the
+// normalization maxima and the first-of-the-list tie-break are defined
+// over the full enumeration, so a partial frontier is a different — and
+// scheduling-dependent — algorithm. Instead, when Config.SearchBudget
+// exhausts, Allocate falls back to this first-fit placement: each VM in
+// request order goes to the lowest-index server that admits it under
+// the same capacity, per-class and QoS checks the search applies. The
+// fallback is O(VMs × servers), allocation-order deterministic, and
+// shares the pricing primitive (evalBlock) with the search, so degraded
+// placements remain fully priced and QoS-checked — only the
+// energy/performance optimization is surrendered.
+
+import "pacevm/internal/model"
+
+// allocateFirstFit is the budget-exhaustion fallback behind Allocate.
+// It returns ErrInfeasible only when some VM fits no server at all —
+// the same condition under which the full search would have failed.
+func (a *Allocator) allocateFirstFit(servers []ServerState, vms []VMRequest) (Allocation, error) {
+	extra := make([]model.Key, len(servers)) // this request's tentative additions
+	placed := make([][]VMRequest, len(servers))
+	order := make([]int, 0, len(servers)) // servers in first-use order
+	one := make([]VMRequest, 1)
+	for _, vm := range vms {
+		fit := false
+		for si := range servers {
+			base := servers[si].Alloc.Add(extra[si])
+			one[0] = vm
+			// Admission probe: capacity and per-class bounds at the grown
+			// allocation, QoS of the newcomer and of the VMs this request
+			// already parked here.
+			if _, ok := a.evalBlock(base, model.KeyFor(vm.Class, 1), one, placed[si]); !ok {
+				continue
+			}
+			if len(placed[si]) == 0 {
+				order = append(order, si)
+			}
+			extra[si] = extra[si].Add(model.KeyFor(vm.Class, 1))
+			placed[si] = append(placed[si], vm)
+			fit = true
+			break
+		}
+		if !fit {
+			return Allocation{}, ErrInfeasible
+		}
+	}
+	// Price each used server's VMs as one block against its original
+	// allocation — the incremental probes already admitted exactly this
+	// final state, so the evaluation cannot fail.
+	out := Allocation{Degraded: true}
+	for _, si := range order {
+		pl, ok := a.evalBlock(servers[si].Alloc, extra[si], placed[si], nil)
+		if !ok {
+			return Allocation{}, ErrInfeasible
+		}
+		pl.ServerID = servers[si].ID
+		out.Placements = append(out.Placements, pl)
+		out.EstEnergy += pl.EstEnergy
+		if pl.EstTime > out.EstTime {
+			out.EstTime = pl.EstTime
+		}
+	}
+	return out, nil
+}

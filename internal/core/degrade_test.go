@@ -1,0 +1,171 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"pacevm/internal/obs"
+	"pacevm/internal/rng"
+	"pacevm/internal/units"
+	"pacevm/internal/workload"
+)
+
+func budgetAllocator(t *testing.T, budget, workers int, reg *obs.Registry) *Allocator {
+	t.Helper()
+	a, err := NewAllocator(Config{DB: sharedDB(t), SearchBudget: budget, SearchWorkers: workers, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestSearchBudgetUnlimitedMatchesReference pins the strictly-additive
+// contract: zero and negative budgets change nothing — Allocate stays
+// bit-identical to the frozen oracle.
+func TestSearchBudgetUnlimitedMatchesReference(t *testing.T) {
+	r := rng.New(99)
+	servers := randomFleet(r, 5)
+	vms := randomVMs(t, r, 6)
+	ref := mkAllocator(t)
+	for _, budget := range []int{0, -1} {
+		a := budgetAllocator(t, budget, 1, nil)
+		for _, goal := range []Goal{GoalEnergy, GoalPerformance, GoalBalanced} {
+			want, err := ref.AllocateReference(goal, servers, vms)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := a.Allocate(goal, servers, vms)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Degraded {
+				t.Fatalf("budget %d marked the allocation degraded", budget)
+			}
+			sameAllocation(t, "unlimited", got, want)
+		}
+	}
+}
+
+// TestSearchBudgetDegradesToFirstFit drives the budget to exhaustion
+// and checks the fallback's shape: degraded flag set, every VM placed
+// exactly once, placements on the lowest-index servers that admit them,
+// and the obs counters record the event.
+func TestSearchBudgetDegradesToFirstFit(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := budgetAllocator(t, 1, 1, reg) // B(6) >> 1: always exhausts
+	r := rng.New(7)
+	servers := randomFleet(r, 5)
+	vms := randomVMs(t, r, 6)
+	got, err := a.Allocate(GoalBalanced, servers, vms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Degraded {
+		t.Fatal("budget 1 over B(6) partitions did not degrade")
+	}
+	placedIDs := map[string]int{}
+	for _, p := range got.Placements {
+		for _, vm := range p.VMs {
+			placedIDs[vm.ID]++
+		}
+	}
+	for _, vm := range vms {
+		if placedIDs[vm.ID] != 1 {
+			t.Errorf("VM %q placed %d times", vm.ID, placedIDs[vm.ID])
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["search_budget_exhausted"] != 1 {
+		t.Errorf("search_budget_exhausted = %d, want 1", snap.Counters["search_budget_exhausted"])
+	}
+	if snap.Counters["search_degraded_firstfit"] != 1 {
+		t.Errorf("search_degraded_firstfit = %d, want 1", snap.Counters["search_degraded_firstfit"])
+	}
+}
+
+// TestSearchBudgetDeterministicAcrossWorkers pins the replayability
+// contract: the budget is spent producer-side, so a budgeted allocation
+// is identical at every worker count — including whether it degraded.
+func TestSearchBudgetDeterministicAcrossWorkers(t *testing.T) {
+	r := rng.New(17)
+	servers := randomFleet(r, 5)
+	vms := randomVMs(t, r, 7)
+	for _, budget := range []int{1, 3, 10, 50} {
+		base := budgetAllocator(t, budget, 1, nil)
+		want, werr := base.Allocate(GoalBalanced, servers, vms)
+		for _, workers := range []int{2, 4, 8} {
+			a := budgetAllocator(t, budget, workers, nil)
+			got, gerr := a.Allocate(GoalBalanced, servers, vms)
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("budget %d workers %d: err %v vs serial %v", budget, workers, gerr, werr)
+			}
+			if werr != nil {
+				continue
+			}
+			if got.Degraded != want.Degraded {
+				t.Fatalf("budget %d workers %d: degraded %v vs serial %v", budget, workers, got.Degraded, want.Degraded)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("budget %d workers %d: allocation differs from serial", budget, workers)
+			}
+		}
+	}
+}
+
+// TestSearchBudgetAboveSpaceNeverDegrades checks that a budget at least
+// as large as the deduplicated partition count behaves exactly like no
+// budget at all.
+func TestSearchBudgetAboveSpaceNeverDegrades(t *testing.T) {
+	r := rng.New(23)
+	servers := randomFleet(r, 4)
+	vms := randomVMs(t, r, 4) // B(4) = 15 partitions before dedup
+	ref := mkAllocator(t)
+	want, err := ref.Allocate(GoalEnergy, servers, vms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := budgetAllocator(t, 15, 1, nil)
+	got, err := a.Allocate(GoalEnergy, servers, vms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Degraded {
+		t.Fatal("budget covering the whole space degraded")
+	}
+	sameAllocation(t, "full budget", got, want)
+}
+
+// TestFirstFitFallbackRespectsConstraints exhausts the budget with a
+// QoS-tight request and checks the fallback still enforces the bounds:
+// a VM that can only run alone must land alone, and an impossible
+// request surfaces ErrInfeasible rather than a sloppy placement.
+func TestFirstFitFallbackRespectsConstraints(t *testing.T) {
+	db := sharedDB(t)
+	class := workload.ClassCPU
+	nominal := db.Aux().RefTime[class]
+	// Tight bound: solo estimate is exactly nominal, so MaxTime just
+	// above it admits only solo placement.
+	solo := nominal * units.Seconds(1.0001)
+	a := budgetAllocator(t, 1, 1, nil)
+	vms := []VMRequest{
+		vm("a", class, nominal, solo),
+		vm("b", class, nominal, solo),
+	}
+	got, err := a.Allocate(GoalBalanced, emptyServers(3), vms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Degraded {
+		t.Fatal("expected degraded placement")
+	}
+	if len(got.Placements) != 2 {
+		t.Fatalf("tight QoS VMs share a server: %+v", got.Placements)
+	}
+	// One server only: the second VM cannot co-locate and has nowhere
+	// else to go.
+	_, err = a.Allocate(GoalBalanced, emptyServers(1), vms)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("impossible request returned %v, want ErrInfeasible", err)
+	}
+}

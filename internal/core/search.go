@@ -170,6 +170,8 @@ type searchCtx struct {
 	feasible   *obs.Counter // candidates every block of which placed
 	infeasible *obs.Counter // candidates with an unplaceable block
 	pruned     *obs.Counter // candidates dropped by Pareto domination
+	exhausted  *obs.Counter // searches abandoned on budget exhaustion
+	degraded   *obs.Counter // allocations served by the first-fit fallback
 	workerLoad *obs.Histogram
 
 	blockMu   sync.RWMutex
@@ -199,6 +201,8 @@ func newSearchCtx(a *Allocator, goal Goal, servers []ServerState, vms []VMReques
 		sc.feasible = reg.Counter("search_candidates_feasible")
 		sc.infeasible = reg.Counter("search_candidates_infeasible")
 		sc.pruned = reg.Counter("search_pareto_pruned")
+		sc.exhausted = reg.Counter("search_budget_exhausted")
+		sc.degraded = reg.Counter("search_degraded_firstfit")
 		// Jobs per worker: a flat pool shows every worker near
 		// jobs/workers; a long tail of idle workers shows the serial
 		// producer is the bottleneck.
@@ -519,8 +523,17 @@ func (w *searchWorker) evalPartition(blocks [][]int) (ok bool) {
 
 // search enumerates the deduplicated partitions of the VM set and
 // reduces them to a Pareto frontier sorted by enumeration index, plus
-// the normalization maxima over all feasible candidates.
-func (sc *searchCtx) search(workers int) ([]candidate, units.Seconds, units.Joules, error) {
+// the normalization maxima over all feasible candidates. exhausted
+// reports that Config.SearchBudget ran out before the enumeration
+// completed — the partial frontier must then be discarded (a truncated
+// search breaks the normalization constants and the first-of-the-list
+// tie-break) and the caller degrades to the first-fit fallback.
+//
+// The budget counts deduplicated partitions admitted to scoring, and it
+// is spent by the sequential producer in both the serial and the
+// parallel engine, so exhaustion strikes at exactly the same partition
+// at every worker count: budgeted runs replay bit-for-bit.
+func (sc *searchCtx) search(workers int) (cands []candidate, maxT units.Seconds, maxE units.Joules, exhausted bool, err error) {
 	n := len(sc.vms)
 	if workers <= 1 || n < parallelWorkThreshold {
 		return sc.searchSerial(n)
@@ -528,9 +541,11 @@ func (sc *searchCtx) search(workers int) ([]candidate, units.Seconds, units.Joul
 	return sc.searchParallel(n, workers)
 }
 
-func (sc *searchCtx) searchSerial(n int) ([]candidate, units.Seconds, units.Joules, error) {
+func (sc *searchCtx) searchSerial(n int) ([]candidate, units.Seconds, units.Joules, bool, error) {
 	w := sc.newWorker()
 	seen := make(map[partSig]struct{}, 64)
+	budget := sc.a.cfg.SearchBudget
+	exhausted := false
 	idx := 0
 	_, err := partition.ForEachIndexed(n, func(_ int, blocks [][]int) bool {
 		sc.enumerated.Inc()
@@ -539,16 +554,20 @@ func (sc *searchCtx) searchSerial(n int) ([]candidate, units.Seconds, units.Joul
 			sc.deduped.Inc()
 			return true
 		}
+		if budget > 0 && idx >= budget {
+			exhausted = true
+			return false
+		}
 		seen[ps] = struct{}{}
 		w.consider(idx, blocks, false)
 		idx++
 		return true
 	})
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, 0, 0, false, err
 	}
 	sc.workerLoad.Observe(float64(w.jobs))
-	return w.frontier, w.maxT, w.maxE, nil
+	return w.frontier, w.maxT, w.maxE, exhausted, nil
 }
 
 // searchJob is one deduplicated partition shipped to a worker, tagged
@@ -558,7 +577,7 @@ type searchJob struct {
 	blocks [][]int
 }
 
-func (sc *searchCtx) searchParallel(n, workers int) ([]candidate, units.Seconds, units.Joules, error) {
+func (sc *searchCtx) searchParallel(n, workers int) ([]candidate, units.Seconds, units.Joules, bool, error) {
 	jobs := make(chan searchJob, 2*workers)
 	ws := make([]*searchWorker, workers)
 	var wg sync.WaitGroup
@@ -575,8 +594,12 @@ func (sc *searchCtx) searchParallel(n, workers int) ([]candidate, units.Seconds,
 
 	// The producer enumerates and deduplicates sequentially — the seen
 	// map stays single-goroutine, so "first occurrence is evaluated" is
-	// deterministic — while workers price partitions concurrently.
+	// deterministic — while workers price partitions concurrently. The
+	// budget is spent here too, never by the racing consumers, so the
+	// cut point is independent of worker scheduling.
 	seen := make(map[partSig]struct{}, 256)
+	budget := sc.a.cfg.SearchBudget
+	exhausted := false
 	idx := 0
 	_, err := partition.ForEachIndexed(n, func(_ int, blocks [][]int) bool {
 		sc.enumerated.Inc()
@@ -584,6 +607,10 @@ func (sc *searchCtx) searchParallel(n, workers int) ([]candidate, units.Seconds,
 		if _, dup := seen[ps]; dup {
 			sc.deduped.Inc()
 			return true
+		}
+		if budget > 0 && idx >= budget {
+			exhausted = true
+			return false
 		}
 		seen[ps] = struct{}{}
 		jobs <- searchJob{idx: idx, blocks: copyBlocks(blocks)}
@@ -593,7 +620,7 @@ func (sc *searchCtx) searchParallel(n, workers int) ([]candidate, units.Seconds,
 	close(jobs)
 	wg.Wait()
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, 0, 0, false, err
 	}
 	for _, w := range ws {
 		sc.workerLoad.Observe(float64(w.jobs))
@@ -629,7 +656,7 @@ func (sc *searchCtx) searchParallel(n, workers int) ([]candidate, units.Seconds,
 			sc.pruned.Inc()
 		}
 	}
-	return kept, maxT, maxE, nil
+	return kept, maxT, maxE, exhausted, nil
 }
 
 // materialize expands the winning candidate into the public Allocation

@@ -270,9 +270,12 @@ func TestParetoFrontierKeepsWinner(t *testing.T) {
 			t.Fatal(err)
 		}
 		sc := newSearchCtx(a, goal, servers, vms)
-		frontier, maxT, maxE, err := sc.search(1)
+		frontier, maxT, maxE, exhausted, err := sc.search(1)
 		if err != nil {
 			t.Fatal(err)
+		}
+		if exhausted {
+			t.Fatal("unbudgeted search reported exhaustion")
 		}
 		best := pickBest(goal, frontier, maxT, maxE)
 		got := sc.materialize(frontier[best])

@@ -12,6 +12,7 @@ import (
 	"pacevm/internal/campaign"
 	"pacevm/internal/cloudsim"
 	"pacevm/internal/core"
+	"pacevm/internal/faults"
 	"pacevm/internal/migrate"
 	"pacevm/internal/model"
 	"pacevm/internal/profiler"
@@ -42,6 +43,20 @@ type Config struct {
 	// paper's strict FCFS queue, a positive depth lets jobs behind a
 	// blocked head be tried (see cloudsim.Config.BackfillDepth).
 	BackfillDepth int
+	// MTBF/MTTR switch every simulation into fault-injection mode: each
+	// cloud draws a seeded crash/recovery schedule (mean up time MTBF,
+	// mean outage MTTR, over the trace's arrival span) shared by every
+	// strategy evaluated on that cloud, so a faulty evaluation stays a
+	// controlled comparison. Zero MTBF — the default — runs fault-free,
+	// which keeps the paper's published numbers byte-identical.
+	MTBF, MTTR units.Seconds
+	// Checkpoint decides how much progress a killed VM keeps (nil means
+	// restart from scratch; see faults.CheckpointPolicy).
+	Checkpoint faults.CheckpointPolicy
+	// SearchBudget bounds the PA-α allocation search (scored candidates
+	// per allocation, degrading to first-fit on exhaustion); 0 keeps the
+	// paper's unbounded exhaustive search.
+	SearchBudget int
 }
 
 // Default is the paper-scale configuration. The evaluation powers empty
@@ -81,6 +96,15 @@ func (c Config) validate() error {
 	}
 	if c.TargetVMs < 1 {
 		return fmt.Errorf("experiments: TargetVMs must be positive")
+	}
+	if c.MTBF > 0 && c.MTTR <= 0 {
+		return fmt.Errorf("experiments: MTBF %v needs a positive MTTR", c.MTBF)
+	}
+	if c.MTBF < 0 || c.MTTR < 0 {
+		return fmt.Errorf("experiments: negative MTBF/MTTR %v/%v", c.MTBF, c.MTTR)
+	}
+	if c.SearchBudget < 0 {
+		return fmt.Errorf("experiments: negative SearchBudget %d", c.SearchBudget)
 	}
 	return nil
 }
@@ -267,13 +291,24 @@ func (c *Context) runCells(cells []evalCell) ([]EvalResult, error) {
 		{Smaller, c.Cfg.SmallServers},
 		{Larger, c.Cfg.LargeServers},
 	}
+	// One seeded fault schedule per cloud, shared by every cell on it:
+	// comparing strategies under identical outages is the controlled
+	// experiment; per-cell schedules would confound placement with luck.
+	schedules := make([]faults.Schedule, len(clouds))
+	for j, cl := range clouds {
+		sch, err := c.faultSchedule(cl.servers, reqs)
+		if err != nil {
+			return nil, err
+		}
+		schedules[j] = sch
+	}
 	out := make([]EvalResult, len(cells)*len(clouds))
 	errs := make([]error, len(out))
 	var wg sync.WaitGroup
 	for i, cell := range cells {
 		for j, cl := range clouds {
 			wg.Add(1)
-			go func(slot int, cell evalCell, name CloudName, servers int) {
+			go func(slot int, cell evalCell, name CloudName, servers int, sch faults.Schedule) {
 				defer wg.Done()
 				res, err := cloudsim.Run(cloudsim.Config{
 					DB:              c.DB,
@@ -283,6 +318,8 @@ func (c *Context) runCells(cells []evalCell) ([]EvalResult, error) {
 					BackfillDepth:   c.Cfg.BackfillDepth,
 					Consolidator:    cell.consolidator,
 					MigrationCost:   cell.migrationCost,
+					Faults:          sch,
+					Checkpoint:      c.Cfg.Checkpoint,
 				}, reqs)
 				if err != nil {
 					errs[slot] = fmt.Errorf("experiments: %s on %s: %w", cell.name, name, err)
@@ -294,7 +331,7 @@ func (c *Context) runCells(cells []evalCell) ([]EvalResult, error) {
 					Servers:  servers,
 					Metrics:  res.Metrics,
 				}
-			}(i*len(clouds)+j, cell, cl.name, cl.servers)
+			}(i*len(clouds)+j, cell, cl.name, cl.servers, schedules[j])
 		}
 	}
 	wg.Wait()
@@ -337,6 +374,35 @@ func (c *Context) Extended() ([]EvalResult, error) {
 	return c.extRes, c.extErr
 }
 
+// faultSchedule draws the seeded crash/recovery schedule for one cloud
+// size over the trace's arrival span. Nil — and cost-free — when fault
+// injection is off (MTBF 0).
+func (c *Context) faultSchedule(servers int, reqs []trace.Request) (faults.Schedule, error) {
+	if c.Cfg.MTBF <= 0 {
+		return nil, nil
+	}
+	var horizon units.Seconds
+	for _, r := range reqs {
+		if r.Submit > horizon {
+			horizon = r.Submit
+		}
+	}
+	if horizon <= 0 {
+		horizon = 1
+	}
+	sch, err := faults.Generate(faults.GenConfig{
+		Seed:    c.Cfg.Seed,
+		Servers: servers,
+		MTBF:    c.Cfg.MTBF,
+		MTTR:    c.Cfg.MTTR,
+		Horizon: horizon,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fault schedule for %d servers: %w", servers, err)
+	}
+	return sch, nil
+}
+
 // Workload generates and preprocesses the evaluation trace.
 func (c *Context) Workload() ([]trace.Request, trace.PrepReport, error) {
 	gcfg := trace.DefaultGenConfig(c.Cfg.Seed)
@@ -363,7 +429,7 @@ func (c *Context) Strategies() ([]strategy.Strategy, error) {
 		out = append(out, ffs)
 	}
 	for _, g := range []core.Goal{core.GoalEnergy, core.GoalPerformance, core.GoalBalanced} {
-		pa, err := strategy.NewProactive(c.DB, g, 0)
+		pa, err := strategy.NewProactiveConfig(core.Config{DB: c.DB, SearchBudget: c.Cfg.SearchBudget}, g)
 		if err != nil {
 			return nil, err
 		}
@@ -386,6 +452,10 @@ func (c *Context) AlphaSweep(alphas []float64) ([]AlphaPoint, error) {
 	if err != nil {
 		return nil, err
 	}
+	sched, err := c.faultSchedule(c.Cfg.SmallServers, reqs)
+	if err != nil {
+		return nil, err
+	}
 	// Each α is an independent simulation over the shared read-only
 	// trace and database; sweep them concurrently, one goroutine per
 	// point, gathered in input order.
@@ -396,7 +466,7 @@ func (c *Context) AlphaSweep(alphas []float64) ([]AlphaPoint, error) {
 		wg.Add(1)
 		go func(i int, alpha float64) {
 			defer wg.Done()
-			pa, err := strategy.NewProactive(c.DB, core.Goal{Alpha: alpha}, 0)
+			pa, err := strategy.NewProactiveConfig(core.Config{DB: c.DB, SearchBudget: c.Cfg.SearchBudget}, core.Goal{Alpha: alpha})
 			if err != nil {
 				errs[i] = err
 				return
@@ -407,6 +477,8 @@ func (c *Context) AlphaSweep(alphas []float64) ([]AlphaPoint, error) {
 				Strategy:        pa,
 				IdleServerPower: c.Cfg.IdleServerPower,
 				BackfillDepth:   c.Cfg.BackfillDepth,
+				Faults:          sched,
+				Checkpoint:      c.Cfg.Checkpoint,
 			}, reqs)
 			if err != nil {
 				errs[i] = fmt.Errorf("experiments: alpha %g: %w", alpha, err)

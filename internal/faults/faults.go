@@ -1,0 +1,230 @@
+// Package faults models server failures for the datacenter simulator:
+// deterministic, reproducible fault schedules (when does each server
+// crash, when does it come back) and the checkpoint policies that decide
+// how much of a killed VM's work survives the crash.
+//
+// The paper's Sect. IV evaluation assumes perfectly reliable servers; a
+// production-scale allocator must keep placing well while machines die
+// and recover underneath it (consolidation studies such as
+// Esfandiarpoor et al. and Akhter et al. show placement quality changes
+// qualitatively once server state churns). Everything here is
+// deterministic by construction: a schedule is either generated from a
+// seed (exponential MTBF/MTTR per server, each server on its own named
+// rng substream so fleets of different sizes share prefixes) or loaded
+// from a plain-text file, and the same schedule always yields the same
+// simulation — there is no wall-clock anywhere.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pacevm/internal/rng"
+	"pacevm/internal/units"
+)
+
+// Event is one server outage: the server crashes at Down (losing its
+// resident VMs and dropping to 0 W) and recovers, empty, at Up.
+type Event struct {
+	Server int
+	Down   units.Seconds
+	Up     units.Seconds
+}
+
+// Schedule is a set of outages, conventionally sorted by (Down, Server).
+// The zero-length schedule means a perfectly reliable fleet — the
+// paper's original assumption.
+type Schedule []Event
+
+// Validate checks that every event names a server in [0, servers),
+// carries finite 0 <= Down < Up, and that no server's outages overlap.
+// Outages may touch (one ends exactly when the next begins): the
+// simulator schedules each event's recovery before any later crash, so
+// adjacent outages process in order.
+func (s Schedule) Validate(servers int) error {
+	for i, e := range s {
+		if e.Server < 0 || e.Server >= servers {
+			return fmt.Errorf("faults: event %d names server %d, want [0,%d)", i, e.Server, servers)
+		}
+		if !finite(float64(e.Down)) || !finite(float64(e.Up)) {
+			return fmt.Errorf("faults: event %d has non-finite times", i)
+		}
+		if e.Down < 0 {
+			return fmt.Errorf("faults: event %d crashes at negative time %v", i, e.Down)
+		}
+		if e.Up <= e.Down {
+			return fmt.Errorf("faults: event %d recovers at %v, not after its crash at %v", i, e.Up, e.Down)
+		}
+	}
+	byServer := append(Schedule(nil), s...)
+	sort.SliceStable(byServer, func(i, j int) bool {
+		if byServer[i].Server != byServer[j].Server {
+			return byServer[i].Server < byServer[j].Server
+		}
+		return byServer[i].Down < byServer[j].Down
+	})
+	for i := 1; i < len(byServer); i++ {
+		prev, cur := byServer[i-1], byServer[i]
+		if cur.Server == prev.Server && cur.Down < prev.Up {
+			return fmt.Errorf("faults: server %d outages overlap: [%v,%v) and [%v,%v)",
+				cur.Server, prev.Down, prev.Up, cur.Down, cur.Up)
+		}
+	}
+	return nil
+}
+
+// Sort orders the schedule chronologically by (Down, Server, Up) — the
+// order the simulator injects crashes in, making tie-breaks between
+// simultaneous crashes on different servers deterministic.
+func (s Schedule) Sort() {
+	sort.SliceStable(s, func(i, j int) bool {
+		if s[i].Down != s[j].Down {
+			return s[i].Down < s[j].Down
+		}
+		if s[i].Server != s[j].Server {
+			return s[i].Server < s[j].Server
+		}
+		return s[i].Up < s[j].Up
+	})
+}
+
+func finite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+
+// GenConfig parameterizes seeded schedule generation.
+type GenConfig struct {
+	// Seed drives every draw; the same seed always yields the same
+	// schedule.
+	Seed uint64
+	// Servers is the fleet size; every server draws its own outage
+	// process from its own named substream, so growing the fleet never
+	// reshuffles the outages of existing servers.
+	Servers int
+	// MTBF is the mean time between failures (exponential): the mean up
+	// time between a recovery and the next crash.
+	MTBF units.Seconds
+	// MTTR is the mean time to repair (exponential): the mean outage
+	// duration.
+	MTTR units.Seconds
+	// Horizon bounds crash instants to [0, Horizon); recoveries may land
+	// beyond it. Callers typically pass the workload's arrival span (or
+	// a multiple of it).
+	Horizon units.Seconds
+}
+
+func (cfg GenConfig) validate() error {
+	if cfg.Servers < 1 {
+		return fmt.Errorf("faults: need at least one server, got %d", cfg.Servers)
+	}
+	if cfg.MTBF <= 0 || !finite(float64(cfg.MTBF)) {
+		return fmt.Errorf("faults: MTBF %v must be positive and finite", cfg.MTBF)
+	}
+	if cfg.MTTR <= 0 || !finite(float64(cfg.MTTR)) {
+		return fmt.Errorf("faults: MTTR %v must be positive and finite", cfg.MTTR)
+	}
+	if cfg.Horizon <= 0 || !finite(float64(cfg.Horizon)) {
+		return fmt.Errorf("faults: horizon %v must be positive and finite", cfg.Horizon)
+	}
+	return nil
+}
+
+// Generate draws a reproducible fault schedule: each server alternates
+// exponential up times (mean MTBF) and outages (mean MTTR) starting from
+// time zero, crashing only within [0, Horizon). The result is sorted
+// chronologically and always passes Validate(cfg.Servers).
+func Generate(cfg GenConfig) (Schedule, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	src := rng.NewSource(cfg.Seed)
+	var out Schedule
+	for srv := 0; srv < cfg.Servers; srv++ {
+		stream := src.Stream("faults/server/" + strconv.Itoa(srv))
+		t := stream.Exp(float64(cfg.MTBF))
+		for units.Seconds(t) < cfg.Horizon {
+			repair := stream.Exp(float64(cfg.MTTR))
+			for repair <= 0 { // Exp can return exactly 0; Up must exceed Down
+				repair = stream.Exp(float64(cfg.MTTR))
+			}
+			out = append(out, Event{
+				Server: srv,
+				Down:   units.Seconds(t),
+				Up:     units.Seconds(t + repair),
+			})
+			t += repair + stream.Exp(float64(cfg.MTBF))
+		}
+	}
+	out.Sort()
+	return out, nil
+}
+
+// CheckpointPolicy decides how much of a killed VM's completed work
+// survives a server crash. Implementations must be pure functions of
+// their inputs — the simulator's determinism depends on it.
+type CheckpointPolicy interface {
+	Name() string
+	// Surviving returns the portion of done (nominal-seconds of work the
+	// VM had completed when its server crashed) that survives the crash.
+	// The result must lie in [0, done].
+	Surviving(done units.Seconds) units.Seconds
+}
+
+// Restart is the no-checkpoint policy: a killed VM restarts from
+// scratch, losing all completed work.
+type Restart struct{}
+
+// Name implements CheckpointPolicy.
+func (Restart) Name() string { return "restart" }
+
+// Surviving implements CheckpointPolicy: nothing survives.
+func (Restart) Surviving(units.Seconds) units.Seconds { return 0 }
+
+// Periodic models periodic checkpointing every Interval nominal-seconds
+// of progress: a crash loses only the tail of work since the last
+// checkpoint.
+type Periodic struct {
+	Interval units.Seconds
+}
+
+// Name implements CheckpointPolicy.
+func (p Periodic) Name() string {
+	return "periodic:" + strconv.FormatFloat(float64(p.Interval), 'g', -1, 64)
+}
+
+// Surviving implements CheckpointPolicy: the work up to the last
+// completed checkpoint boundary survives.
+func (p Periodic) Surviving(done units.Seconds) units.Seconds {
+	if p.Interval <= 0 || done <= 0 {
+		return 0
+	}
+	kept := units.Seconds(math.Floor(float64(done)/float64(p.Interval))) * p.Interval
+	if kept > done {
+		kept = done
+	}
+	if kept < 0 {
+		kept = 0
+	}
+	return kept
+}
+
+// ParsePolicy parses a CLI policy spec: "restart" (or "none", or the
+// empty string) for Restart, "periodic:<seconds>" for Periodic.
+func ParsePolicy(s string) (CheckpointPolicy, error) {
+	switch strings.ToLower(s) {
+	case "", "restart", "none":
+		return Restart{}, nil
+	}
+	if spec, ok := strings.CutPrefix(strings.ToLower(s), "periodic:"); ok {
+		iv, err := strconv.ParseFloat(spec, 64)
+		if err != nil {
+			return nil, fmt.Errorf("faults: bad checkpoint interval %q: %w", spec, err)
+		}
+		if iv <= 0 || !finite(iv) {
+			return nil, fmt.Errorf("faults: checkpoint interval %q must be positive and finite", spec)
+		}
+		return Periodic{Interval: units.Seconds(iv)}, nil
+	}
+	return nil, fmt.Errorf("faults: unknown checkpoint policy %q (want restart or periodic:<seconds>)", s)
+}

@@ -2,8 +2,10 @@ package model
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 
 	"pacevm/internal/units"
@@ -82,25 +84,47 @@ func ReadCSV(main, aux io.Reader) (*DB, error) {
 	return New(recs, a)
 }
 
+// readRecords streams the main file row by row so every rejection —
+// malformed field, non-finite or negative measurement, duplicate search
+// key — names the offending file line. The database is the contract
+// between the benchmarking campaign and every consumer downstream; a
+// NaN or a silently-shadowed duplicate row here would surface hours
+// later as a nonsense allocation, so the loader refuses them at the
+// door instead.
 func readRecords(r io.Reader) ([]Record, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = len(csvHeader)
-	rows, err := cr.ReadAll()
+
+	header, err := cr.Read()
 	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("model: empty records file")
+		}
 		return nil, fmt.Errorf("model: parsing records: %w", err)
 	}
-	if len(rows) == 0 {
-		return nil, fmt.Errorf("model: empty records file")
+	if !sameRow(header, csvHeader) {
+		return nil, fmt.Errorf("model: unexpected records header %v", header)
 	}
-	if !sameRow(rows[0], csvHeader) {
-		return nil, fmt.Errorf("model: unexpected records header %v", rows[0])
-	}
-	recs := make([]Record, 0, len(rows)-1)
-	for i, row := range rows[1:] {
+
+	var recs []Record
+	lineOf := make(map[Key]int)
+	for {
+		row, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("model: parsing records: %w", err)
+		}
+		line, _ := cr.FieldPos(0)
 		rec, err := parseRecord(row)
 		if err != nil {
-			return nil, fmt.Errorf("model: records row %d: %w", i+2, err)
+			return nil, fmt.Errorf("model: records line %d: %w", line, err)
 		}
+		if first, dup := lineOf[rec.Key]; dup {
+			return nil, fmt.Errorf("model: records line %d: duplicate key %v (first defined at line %d)", line, rec.Key, first)
+		}
+		lineOf[rec.Key] = line
 		recs = append(recs, rec)
 	}
 	return recs, nil
@@ -118,10 +142,19 @@ func parseRecord(row []string) (Record, error) {
 	if rec.NIO, err = strconv.Atoi(row[2]); err != nil {
 		return rec, fmt.Errorf("nio: %w", err)
 	}
+	if rec.NCPU < 0 || rec.NMEM < 0 || rec.NIO < 0 {
+		return rec, fmt.Errorf("negative VM count in key %v", rec.Key)
+	}
 	fs := make([]float64, 8)
 	for i := range fs {
 		if fs[i], err = strconv.ParseFloat(row[3+i], 64); err != nil {
 			return rec, fmt.Errorf("%s: %w", csvHeader[3+i], err)
+		}
+		if math.IsNaN(fs[i]) || math.IsInf(fs[i], 0) {
+			return rec, fmt.Errorf("%s: non-finite value %q", csvHeader[3+i], row[3+i])
+		}
+		if fs[i] < 0 {
+			return rec, fmt.Errorf("%s: negative value %v", csvHeader[3+i], fs[i])
 		}
 	}
 	rec.Time = units.Seconds(fs[0])
@@ -172,6 +205,12 @@ func readAux(r io.Reader) (Aux, error) {
 		var t float64
 		if t, err = strconv.ParseFloat(row[3], 64); err != nil {
 			return a, fmt.Errorf("model: aux row %d reftime: %w", i+2, err)
+		}
+		if math.IsNaN(t) || math.IsInf(t, 0) {
+			return a, fmt.Errorf("model: aux row %d reftime: non-finite value %q", i+2, row[3])
+		}
+		if t < 0 {
+			return a, fmt.Errorf("model: aux row %d reftime: negative value %v", i+2, t)
 		}
 		a.RefTime[c] = units.Seconds(t)
 	}

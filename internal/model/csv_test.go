@@ -77,6 +77,95 @@ func TestReadCSVRejectsMalformed(t *testing.T) {
 	}
 }
 
+// TestReadCSVHardening pins the loader's line-numbered rejections: every
+// NaN/Inf, negative measurement, and duplicate search key must be refused
+// with an error naming the offending file line.
+func TestReadCSVHardening(t *testing.T) {
+	var aux bytes.Buffer
+	if err := gridDB(t, 2).WriteAuxCSV(&aux); err != nil {
+		t.Fatal(err)
+	}
+	auxStr := aux.String()
+
+	header := strings.Join(csvHeader, ",")
+	// Hand-built rows that satisfy Record.Validate (AvgTimeVM = Time/Total,
+	// EDP = Energy × Time) for keys (1,0,0) and (2,0,0).
+	row1 := "1,0,0,100,100,5000,60,500000,100,0,0"
+	row2 := "2,0,0,200,100,10000,60,2000000,100,0,0"
+	lines := func(ls ...string) string { return strings.Join(ls, "\n") + "\n" }
+
+	if db, err := ReadCSV(strings.NewReader(lines(header, row1, row2)), strings.NewReader(auxStr)); err != nil {
+		t.Fatalf("valid input rejected: %v", err)
+	} else if db.Len() != 2 {
+		t.Fatalf("valid input loaded %d records, want 2", db.Len())
+	}
+
+	cases := []struct {
+		name    string
+		main    string
+		aux     string
+		wantErr string
+	}{
+		{
+			name:    "NaN energy",
+			main:    lines(header, row1, "2,0,0,200,100,NaN,60,2000000,100,0,0"),
+			wantErr: "records line 3: energy_j: non-finite value",
+		},
+		{
+			name:    "infinite time",
+			main:    lines(header, "1,0,0,+Inf,100,5000,60,500000,100,0,0"),
+			wantErr: "records line 2: time_s: non-finite value",
+		},
+		{
+			name:    "negative energy",
+			main:    lines(header, "1,0,0,100,100,-5000,60,500000,100,0,0"),
+			wantErr: "records line 2: energy_j: negative value",
+		},
+		{
+			name:    "negative class time",
+			main:    lines(header, "1,0,0,100,100,5000,60,500000,-100,0,0"),
+			wantErr: "records line 2: time_cpu_s: negative value",
+		},
+		{
+			name:    "negative VM count",
+			main:    lines(header, "-1,0,0,100,100,5000,60,500000,100,0,0"),
+			wantErr: "records line 2: negative VM count",
+		},
+		{
+			name:    "duplicate key",
+			main:    lines(header, row1, row2, "1,0,0,110,110,5500,60,605000,110,0,0"),
+			wantErr: "records line 4: duplicate key (1,0,0) (first defined at line 2)",
+		},
+		{
+			name:    "NaN aux reftime",
+			main:    lines(header, row1),
+			aux:     "class,osp,ose,reftime_s\ncpu,5,6,NaN\nmem,5,6,600\nio,5,6,600\n",
+			wantErr: "aux row 2 reftime: non-finite value",
+		},
+		{
+			name:    "negative aux reftime",
+			main:    lines(header, row1),
+			aux:     "class,osp,ose,reftime_s\ncpu,5,6,600\nmem,5,6,-600\nio,5,6,600\n",
+			wantErr: "aux row 3 reftime: negative value",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			auxIn := c.aux
+			if auxIn == "" {
+				auxIn = auxStr
+			}
+			_, err := ReadCSV(strings.NewReader(c.main), strings.NewReader(auxIn))
+			if err == nil {
+				t.Fatal("malformed input accepted")
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
 // corruptFirstDataField replaces the time_s field of the first data row
 // with a non-numeric token.
 func corruptFirstDataField(s string) string {

@@ -45,6 +45,10 @@ type FleetIndex struct {
 	// o -> o-1 re-enters exactly levels[o-1]: O(1) per change.
 	levels []bitset
 	maxOcc int
+	// down marks crashed servers. A down server is a member of no
+	// threshold set regardless of occupancy, so indexed placement skips
+	// it for free; SetUp restores membership from used without a rebuild.
+	down []bool
 }
 
 // NewFleetIndex builds an index over n empty servers whose occupancy
@@ -53,7 +57,7 @@ func NewFleetIndex(n, maxOcc int) *FleetIndex {
 	if n < 0 || maxOcc < 1 {
 		return nil
 	}
-	f := &FleetIndex{used: make([]int, n), levels: make([]bitset, maxOcc+1), maxOcc: maxOcc}
+	f := &FleetIndex{used: make([]int, n), levels: make([]bitset, maxOcc+1), maxOcc: maxOcc, down: make([]bool, n)}
 	for i := range f.levels {
 		f.levels[i] = newBitset(n)
 		f.levels[i].setAll()
@@ -79,6 +83,11 @@ func (f *FleetIndex) Add(i, delta int) {
 		panic("strategy: FleetIndex occupancy went negative")
 	}
 	f.used[i] = n
+	if f.down[i] {
+		// A down server is a member of no threshold set; SetUp restores
+		// membership from the tracked occupancy.
+		return
+	}
 	for ; o < n; o++ {
 		if o < len(f.levels) {
 			f.levels[o].clear(i) // left levels[c-1] for c = o+1
@@ -88,6 +97,36 @@ func (f *FleetIndex) Add(i, delta int) {
 		if o-1 < len(f.levels) {
 			f.levels[o-1].set(i) // rejoined levels[c-1] for c = o
 		}
+	}
+}
+
+// Down reports whether server i is marked down.
+func (f *FleetIndex) Down(i int) bool { return f.down[i] }
+
+// SetDown marks server i down: it leaves every threshold set, so no
+// indexed placement can choose it, in O(maxOcc) word operations — no
+// index rebuild. Marking a down server down again panics; it means the
+// caller's crash/recover bookkeeping is corrupt.
+func (f *FleetIndex) SetDown(i int) {
+	if f.down[i] {
+		panic("strategy: FleetIndex server already down")
+	}
+	f.down[i] = true
+	// Membership invariant while up: i ∈ levels[k] iff used[i] <= k.
+	for k := f.used[i]; k < len(f.levels); k++ {
+		f.levels[k].clear(i)
+	}
+}
+
+// SetUp marks server i up again, restoring its threshold-set membership
+// from its tracked occupancy. Marking an up server up panics.
+func (f *FleetIndex) SetUp(i int) {
+	if !f.down[i] {
+		panic("strategy: FleetIndex server already up")
+	}
+	f.down[i] = false
+	for k := f.used[i]; k < len(f.levels); k++ {
+		f.levels[k].set(i)
 	}
 }
 
@@ -106,7 +145,7 @@ func (f *FleetIndex) FirstBelow(cap, from int) int {
 	}
 	if cap > f.maxOcc+1 {
 		for i := from; i < len(f.used); i++ {
-			if f.used[i] < cap {
+			if !f.down[i] && f.used[i] < cap {
 				return i
 			}
 		}
