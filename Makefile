@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build verify test race race-sim race-faults fuzz-smoke vet bench bench-alloc bench-json cover trace clean
+.PHONY: all build verify test race race-sim race-faults audit-smoke fuzz-smoke vet bench bench-alloc bench-json cover trace clean
 
 all: verify
 
@@ -8,8 +8,9 @@ build:
 	$(GO) build ./...
 
 # verify is the tier-1 gate: compile, static checks, full test suite,
-# and the race detector over the simulator hot-path packages.
-verify: build vet test race-sim race-faults
+# the race detector over the simulator hot-path packages, and the
+# observability smoke.
+verify: build vet test race-sim race-faults audit-smoke
 
 test:
 	$(GO) test ./...
@@ -30,6 +31,12 @@ race-faults:
 	$(GO) test -race -run 'Fault|Crash|Checkpoint|DownUp|Degrade|Budget' \
 		./internal/faults ./internal/cloudsim ./internal/strategy ./internal/core
 
+# audit-smoke runs a tiny faulted simulation with the VM audit, fleet
+# series and trace enabled and asserts every exported CSV parses and is
+# non-empty (the cmd-level acceptance path for -vm-audit/-series).
+audit-smoke:
+	$(GO) test -count=1 -run 'TestRunAuditSeries' ./cmd/pacevm-sim
+
 # fuzz-smoke gives each text-input parser a short adversarial burst
 # (one package per invocation, as go test -fuzz requires).
 fuzz-smoke:
@@ -49,8 +56,8 @@ bench-alloc:
 	$(GO) test -run NONE -bench 'BenchmarkAllocate' -benchmem .
 
 # bench-json records the large-simulation benchmarks (optimized event
-# loop vs the retained reference, plus the telemetry-on overhead pair)
-# as BENCH_sim.json.
+# loop vs the retained reference, plus the telemetry-on and sampler-on
+# overhead pairs) as BENCH_sim.json.
 bench-json:
 	$(GO) test -run NONE -bench 'BenchmarkSim' -benchtime 2x -benchmem ./internal/cloudsim \
 		| $(GO) run ./cmd/pacevm-benchjson -o BENCH_sim.json

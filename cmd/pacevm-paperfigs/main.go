@@ -5,6 +5,7 @@
 //	pacevm-paperfigs -quick           # reduced scale (~1,000 VMs)
 //	pacevm-paperfigs -only fig2,fig5  # a subset
 //	pacevm-paperfigs -seed 7          # different random seed
+//	pacevm-paperfigs -power-series series.csv  # Fig.-4-style figure from a pacevm-sim -series export
 package main
 
 import (
@@ -26,7 +27,16 @@ func main() {
 	csvDir := flag.String("csv", "", "also export each artifact's data as CSV into this directory")
 	seed := flag.Uint64("seed", 42, "master random seed")
 	servers := flag.Int("servers", 0, "override SMALLER cloud size (LARGER scales by +15%)")
+	powerSeriesPath := flag.String("power-series", "", "render a Fig.-4-style power-over-time figure from a pacevm-sim -series CSV instead of running experiments")
 	flag.Parse()
+
+	if *powerSeriesPath != "" {
+		if err := powerSeries(*powerSeriesPath, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "pacevm-paperfigs:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := experiments.Default()
 	if *quick {

@@ -1,0 +1,111 @@
+package main
+
+// The -power-series mode: regenerate a Fig.-4-style power-over-time
+// figure from a fleet series CSV exported by `pacevm-sim -series`. The
+// CSV is the simulator's interval-close sample stream (see
+// internal/cloudsim/sampler.go); here it becomes a console time-series
+// plot of fleet power, active servers and queue depth, with the
+// run-level summary (span, peak draw, integrated energy) beneath.
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"pacevm/internal/report"
+)
+
+// powerSeriesThin caps the rendered rows so an un-downsampled CSV stays
+// readable on a console.
+const powerSeriesThin = 48
+
+// powerSeries reads a pacevm-sim series CSV and renders the figure.
+func powerSeries(path string, w io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return fmt.Errorf("power series %s: %w", path, err)
+	}
+	if len(rows) < 2 {
+		return fmt.Errorf("power series %s: no data rows", path)
+	}
+	col := map[string]int{}
+	for i, name := range rows[0] {
+		col[name] = i
+	}
+	idx := func(name string) (int, error) {
+		i, ok := col[name]
+		if !ok {
+			return 0, fmt.Errorf("power series %s: missing column %q (want a pacevm-sim -series export)", path, name)
+		}
+		return i, nil
+	}
+	var cT, cW, cA, cQ, cE int
+	for name, dst := range map[string]*int{
+		"t_s": &cT, "fleet_watts": &cW, "active_servers": &cA,
+		"queue_depth": &cQ, "cum_energy_j": &cE,
+	} {
+		if *dst, err = idx(name); err != nil {
+			return err
+		}
+	}
+
+	data := rows[1:]
+	s := report.NewSeries("Fig. 4: fleet power over time (from "+path+")",
+		"t(s)", "fleetW", "active", "queued")
+	stride := (len(data) + powerSeriesThin - 1) / powerSeriesThin
+	var peakW, lastT, firstT, lastE float64
+	for i, row := range data {
+		g := func(c int) (float64, error) {
+			v, err := strconv.ParseFloat(row[c], 64)
+			if err != nil {
+				return 0, fmt.Errorf("power series %s row %d: %w", path, i+2, err)
+			}
+			return v, nil
+		}
+		t, err := g(cT)
+		if err != nil {
+			return err
+		}
+		watts, err := g(cW)
+		if err != nil {
+			return err
+		}
+		active, err := g(cA)
+		if err != nil {
+			return err
+		}
+		queued, err := g(cQ)
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			firstT = t
+		}
+		if watts > peakW {
+			peakW = watts
+		}
+		lastT = t
+		if lastE, err = g(cE); err != nil {
+			return err
+		}
+		if i%stride != 0 && i != len(data)-1 {
+			continue
+		}
+		if err := s.Add(t, watts, active, queued); err != nil {
+			return err
+		}
+	}
+	if err := s.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%d samples over %.0f s; peak fleet draw %.0f W; busy energy integral %.4g J\n",
+		len(data), lastT-firstT, peakW, lastE)
+	return nil
+}

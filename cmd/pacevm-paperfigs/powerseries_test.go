@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pacevm/internal/campaign"
+	"pacevm/internal/cloudsim"
+	"pacevm/internal/strategy"
+	"pacevm/internal/trace"
+	"pacevm/internal/units"
+	"pacevm/internal/workload"
+)
+
+// sampleSeriesCSV runs a small simulation with the fleet sampler
+// attached and exports its series, so the figure consumes exactly what
+// `pacevm-sim -series` would write.
+func sampleSeriesCSV(t *testing.T) string {
+	t.Helper()
+	ccfg := campaign.DefaultConfig()
+	ccfg.FullGridTotal = 8
+	db, _, err := campaign.Run(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := db.Aux().RefTime[workload.ClassCPU]
+	reqs := make([]trace.Request, 12)
+	for i := range reqs {
+		reqs[i] = trace.Request{
+			ID: i + 1, Submit: ref / 4 * units.Seconds(i), Class: workload.ClassCPU,
+			VMs: 1, NominalTime: ref, MaxResponse: ref * 5,
+		}
+	}
+	st, err := strategy.NewFirstFit(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := cloudsim.NewFleetSampler(0)
+	if _, err := cloudsim.Run(cloudsim.Config{
+		DB: db, Servers: 4, Strategy: st, Sampler: fs,
+	}, reqs); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "series.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestPowerSeriesRenders drives the -power-series mode end to end on a
+// real sampler export.
+func TestPowerSeriesRenders(t *testing.T) {
+	path := sampleSeriesCSV(t)
+	var buf bytes.Buffer
+	if err := powerSeries(path, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig. 4", "fleetW", "peak fleet draw", "busy energy integral"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPowerSeriesErrors pins the failure modes a user can hit.
+func TestPowerSeriesErrors(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := []struct {
+		name, path, wantErr string
+	}{
+		{"missing file", filepath.Join(dir, "nope.csv"), "no such file"},
+		{"empty file", write("empty.csv", "t_s,fleet_watts\n"), "no data rows"},
+		{"wrong header", write("hdr.csv", "a,b\n1,2\n"), "missing column"},
+		{"bad number", write("num.csv",
+			"t_s,server,server_watts,server_vms,fleet_watts,active_servers,queue_depth,down_servers,running_vms,cum_energy_j\n"+
+				"1,0,10,1,oops,1,0,0,1,5\n"), "row 2"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			err := powerSeries(c.path, &buf)
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("powerSeries(%s) = %v, want error containing %q", c.path, err, c.wantErr)
+			}
+		})
+	}
+}

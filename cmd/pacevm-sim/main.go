@@ -8,12 +8,16 @@
 //	pacevm-sim -strategy FF-3 -trace out.json -debug-addr :6060
 //	pacevm-sim -strategy PA-0.5 -mtbf 86400 -mttr 600 -checkpoint periodic:900
 //	pacevm-sim -strategy PA-1 -faults outages.csv -search-budget 5000
+//	pacevm-sim -strategy PA-0.5 -vm-audit audit.csv -series series.csv
 //
 // With -trace the run is recorded as Chrome trace-event JSON over
 // simulated time (load it at https://ui.perfetto.dev), alongside a
-// <out>.manifest.json run manifest; -debug-addr serves net/http/pprof
-// and expvar (including the live metrics registry) while the
-// simulation runs.
+// <out>.manifest.json run manifest listing every sibling artifact;
+// -vm-audit exports one lifecycle span per VM attempt (wait, service,
+// stretch, requeue chain, deadline-miss attribution) and -series the
+// fleet power/occupancy time series, both as CSV; -debug-addr serves
+// net/http/pprof, expvar (including the live metrics registry) and the
+// /debug/dash live HTML dashboard while the simulation runs.
 //
 // With -mtbf (seeded generation) or -faults (a stored schedule) servers
 // crash and recover during the run: resident VMs are killed — losing
@@ -25,6 +29,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -65,6 +70,10 @@ type options struct {
 	faultsPath   string
 	checkpoint   string
 	searchBudget int
+
+	vmAuditPath string
+	seriesPath  string
+	seriesCap   int
 }
 
 func main() {
@@ -76,7 +85,7 @@ func main() {
 	flag.StringVar(&opt.swfPath, "swf", "", "SWF trace to replay (default: generate synthetically)")
 	flag.StringVar(&opt.modelDir, "model", "", "directory with model.csv/aux.csv (default: run the campaign in-process)")
 	flag.StringVar(&opt.tracePath, "trace", "", "write a Chrome trace-event JSON timeline of the run (plus <path>.manifest.json)")
-	flag.StringVar(&opt.debugAddr, "debug-addr", "", "serve /debug/pprof and /debug/vars on this address (e.g. :6060)")
+	flag.StringVar(&opt.debugAddr, "debug-addr", "", "serve /debug/pprof, /debug/vars and the /debug/dash dashboard on this address (e.g. :6060)")
 	flag.BoolVar(&opt.alwaysOn, "always-on", false, "bill 125 W for empty servers instead of powering them off")
 	flag.BoolVar(&opt.consolidate, "consolidate", false, "enable reactive migration-based consolidation (30 s per move)")
 	flag.IntVar(&opt.backfill, "backfill", 0, "backfill window depth behind a blocked queue head (0 = strict FCFS)")
@@ -86,6 +95,9 @@ func main() {
 	flag.StringVar(&opt.faultsPath, "faults", "", "fault schedule CSV to replay (server,down_s,up_s header); overrides -mtbf")
 	flag.StringVar(&opt.checkpoint, "checkpoint", "restart", `checkpoint policy for VMs killed by a crash: "restart" or "periodic:<seconds>"`)
 	flag.IntVar(&opt.searchBudget, "search-budget", 0, "cap on scored candidate placements per PA allocation, degrading to first-fit when exhausted; 0 = unlimited")
+	flag.StringVar(&opt.vmAuditPath, "vm-audit", "", "write the per-attempt VM lifecycle audit as CSV (submit/place/finish spans with wait, stretch and deadline-miss attribution)")
+	flag.StringVar(&opt.seriesPath, "series", "", "write the fleet power/occupancy time series as CSV (one row per sampled accounting interval)")
+	flag.IntVar(&opt.seriesCap, "series-cap", 0, "bound on retained series samples before deterministic downsampling halves resolution; 0 = default 4096")
 	flag.Parse()
 
 	if err := run(opt); err != nil {
@@ -101,6 +113,12 @@ func run(opt options) error {
 	if opt.reference && (opt.faultsPath != "" || opt.mtbf > 0) {
 		return fmt.Errorf("fault injection needs the optimized simulator; drop -reference")
 	}
+	if opt.reference && (opt.vmAuditPath != "" || opt.seriesPath != "") {
+		return fmt.Errorf("-vm-audit/-series need the optimized simulator; drop -reference (the reference loop carries no observation hooks)")
+	}
+	if opt.seriesCap < 0 {
+		return fmt.Errorf("-series-cap %d must be non-negative", opt.seriesCap)
+	}
 	checkpoint, err := parseCheckpoint(opt.checkpoint)
 	if err != nil {
 		return err
@@ -110,13 +128,20 @@ func run(opt options) error {
 	if opt.tracePath != "" || opt.debugAddr != "" || opt.searchBudget > 0 {
 		reg = obs.NewRegistry()
 	}
+	// The sampler feeds both the -series CSV and the live dashboard, so a
+	// debug server alone is enough to turn it on.
+	var sampler *cloudsim.FleetSampler
+	if opt.seriesPath != "" || opt.debugAddr != "" {
+		sampler = cloudsim.NewFleetSampler(opt.seriesCap)
+	}
 	if opt.debugAddr != "" {
 		ds, err := obs.ServeDebug(opt.debugAddr, reg)
 		if err != nil {
 			return err
 		}
 		defer ds.Close()
-		fmt.Printf("debug server: http://%s/debug/pprof/ and /debug/vars\n", ds.Addr())
+		ds.AddSeries(sampler.Series)
+		fmt.Printf("debug server: http://%s/debug/dash (also /debug/pprof/ and /debug/vars)\n", ds.Addr())
 	}
 
 	db, err := loadModel(opt.modelDir)
@@ -171,6 +196,10 @@ func run(opt options) error {
 	if opt.tracePath != "" {
 		cfg.Tracer = obs.NewTracer()
 	}
+	cfg.Sampler = sampler
+	if opt.vmAuditPath != "" {
+		cfg.Audit = cloudsim.NewVMAudit()
+	}
 	simulate := cloudsim.Run
 	if opt.reference {
 		simulate = cloudsim.RunReference
@@ -204,12 +233,37 @@ func run(opt options) error {
 	rate := float64(rep.Requests) / wall.Seconds()
 	fmt.Printf("simulated in: %v (%.0f requests/s)\n", wall.Round(time.Millisecond), rate)
 
+	if opt.vmAuditPath != "" {
+		if err := writeCSVFile(opt.vmAuditPath, cfg.Audit.WriteCSV); err != nil {
+			return err
+		}
+		fmt.Printf("vm audit: %d spans -> %s\n", cfg.Audit.Len(), opt.vmAuditPath)
+	}
+	if opt.seriesPath != "" {
+		if err := writeCSVFile(opt.seriesPath, sampler.WriteCSV); err != nil {
+			return err
+		}
+		fmt.Printf("series: %d samples (stride %d) -> %s\n", sampler.Len(), sampler.Stride(), opt.seriesPath)
+	}
 	if opt.tracePath != "" {
 		if err := writeTrace(opt, cfg.Tracer, reg, m, wall); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// writeCSVFile creates path and streams one of the CSV exporters into it.
+func writeCSVFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeTrace dumps the Chrome trace timeline to opt.tracePath and a run
@@ -235,6 +289,13 @@ func writeTrace(opt options, tr *obs.Tracer, reg *obs.Registry, m cloudsim.Metri
 	if err != nil {
 		return err
 	}
+	artifacts := map[string]string{"trace": opt.tracePath}
+	if opt.vmAuditPath != "" {
+		artifacts["vm_audit"] = opt.vmAuditPath
+	}
+	if opt.seriesPath != "" {
+		artifacts["series"] = opt.seriesPath
+	}
 	manifest := obs.Manifest{
 		Command: "pacevm-sim",
 		Config: map[string]any{
@@ -247,6 +308,7 @@ func writeTrace(opt options, tr *obs.Tracer, reg *obs.Registry, m cloudsim.Metri
 		Seed:             opt.seed,
 		WallClockSeconds: wall.Seconds(),
 		Metrics:          m,
+		Artifacts:        artifacts,
 		Telemetry:        reg.Snapshot(),
 	}
 	if err := obs.WriteManifest(mf, manifest); err != nil {

@@ -1,9 +1,13 @@
 package main
 
 import (
+	"encoding/csv"
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -170,6 +174,11 @@ func TestRunErrorPaths(t *testing.T) {
 		{"missing fault schedule", func(o *options) { o.faultsPath = filepath.Join(dir, "missing.csv") }},
 		{"mtbf without mttr", func(o *options) { o.mtbf = 5000 }},
 		{"bad checkpoint policy", func(o *options) { o.checkpoint = "sometimes" }},
+		{"vm-audit with reference loop", func(o *options) { o.vmAuditPath = filepath.Join(dir, "a.csv"); o.reference = true }},
+		{"series with reference loop", func(o *options) { o.seriesPath = filepath.Join(dir, "s.csv"); o.reference = true }},
+		{"unwritable vm-audit output", func(o *options) { o.vmAuditPath = filepath.Join(dir, "no", "such", "dir", "a.csv") }},
+		{"unwritable series output", func(o *options) { o.seriesPath = filepath.Join(dir, "no", "such", "dir", "s.csv") }},
+		{"negative series cap", func(o *options) { o.seriesPath = filepath.Join(dir, "s.csv"); o.seriesCap = -1 }},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -226,6 +235,113 @@ func TestRunWritesTraceAndManifest(t *testing.T) {
 	}
 	if m.Telemetry.Counters["sim_events_popped"] == 0 {
 		t.Error("manifest telemetry snapshot is empty")
+	}
+}
+
+// TestRunAuditSeries is the audit smoke (make audit-smoke): a small
+// faulted run with -vm-audit, -series and -trace enabled must leave
+// parseable, non-empty CSVs, a trace, and a manifest whose artifacts
+// map points at all of them.
+func TestRunAuditSeries(t *testing.T) {
+	dir := modelDir(t)
+	out := t.TempDir()
+	opt := options{
+		stratName: "FF-3", servers: 4, seed: 1, vms: 60, modelDir: dir,
+		mtbf: 2000, mttr: 200, checkpoint: "periodic:300",
+		vmAuditPath: filepath.Join(out, "audit.csv"),
+		seriesPath:  filepath.Join(out, "series.csv"),
+		tracePath:   filepath.Join(out, "trace.json"),
+	}
+	if err := run(opt); err != nil {
+		t.Fatal(err)
+	}
+	readCSV := func(path, wantFirstCol string) [][]string {
+		t.Helper()
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		rows, err := csv.NewReader(f).ReadAll()
+		if err != nil {
+			t.Fatalf("%s does not parse as CSV: %v", path, err)
+		}
+		if len(rows) < 2 {
+			t.Fatalf("%s has no data rows", path)
+		}
+		if rows[0][0] != wantFirstCol {
+			t.Fatalf("%s header starts with %q, want %q", path, rows[0][0], wantFirstCol)
+		}
+		return rows
+	}
+	audit := readCSV(opt.vmAuditPath, "vm")
+	finished := 0
+	for _, row := range audit[1:] {
+		if row[11] == "finished" {
+			finished++
+		}
+	}
+	if finished == 0 {
+		t.Error("audit CSV records no finished spans")
+	}
+	readCSV(opt.seriesPath, "t_s")
+
+	raw, err := os.ReadFile(opt.tracePath + ".manifest.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		SchemaVersion int               `json:"schema_version"`
+		Artifacts     map[string]string `json:"artifacts"`
+		Telemetry     struct {
+			Quantiles map[string]struct {
+				Count int64 `json:"count"`
+			} `json:"quantiles"`
+		} `json:"telemetry"`
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	if m.SchemaVersion != obs.ManifestSchemaVersion {
+		t.Errorf("manifest schema_version = %d, want %d", m.SchemaVersion, obs.ManifestSchemaVersion)
+	}
+	for _, key := range []string{"trace", "vm_audit", "series"} {
+		if m.Artifacts[key] == "" {
+			t.Errorf("manifest artifacts missing %q: %v", key, m.Artifacts)
+		}
+	}
+	if m.Telemetry.Quantiles["sim_vm_wait_seconds"].Count == 0 {
+		t.Error("manifest telemetry carries no wait-quantile observations")
+	}
+}
+
+// TestRunDashboardLive starts run() with a debug server and no series
+// file: the dashboard must answer 200 during/after the run with the
+// live quantile digests rendered.
+func TestRunDashboardLive(t *testing.T) {
+	// run() closes its own debug server on return, so serve one here the
+	// same way run does and probe it — the handler path is identical.
+	reg := obs.NewRegistry()
+	reg.Quantile("sim_vm_wait_seconds").Observe(3)
+	ds, err := obs.ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	resp, err := http.Get("http://" + ds.Addr() + "/debug/dash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/dash status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "sim_vm_wait_seconds") {
+		t.Error("/debug/dash does not render the quantile digest")
 	}
 }
 

@@ -1,0 +1,221 @@
+package cloudsim
+
+// The VM lifecycle audit: one span record per VM *attempt*, tracing
+// submit → queue → place(server) → run → {crash → requeue}* → finish
+// with the derived quantities the paper's time-resolved evaluation needs
+// (wait, service time, stretch) and deadline-miss attribution. A VM
+// killed by a server crash closes a "killed" span and — because its
+// remaining work re-enters admission as a synthetic single-VM request —
+// the redo opens the chain's next attempt, so a crash→requeue→finish
+// chain reads as attempt 1 (killed, requeued) followed by attempt 2
+// (finished). Span counts and sums reconcile exactly with Metrics:
+// finished spans == TotalVMs, killed spans == VMsKilled, requeued spans
+// == Requeues, and Σ WorkLost over killed spans == Metrics.WorkLost.
+//
+// Like the tracer, the audit is observation-only and free when off:
+// every hook is gated on a single nil check, Config.Audit defaults to
+// nil, and the golden/alloc tests pin that a nil-audit run stays
+// byte-identical to RunReference at the pinned allocation baseline.
+// RunReference ignores the field — the oracle stays frozen.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"pacevm/internal/units"
+	"pacevm/internal/workload"
+)
+
+// Audit span outcomes.
+const (
+	// AuditFinished marks an attempt that ran to completion.
+	AuditFinished = "finished"
+	// AuditKilled marks an attempt evicted by a server crash.
+	AuditKilled = "killed"
+)
+
+// Deadline-miss attribution values (AuditSpan.MissAttribution).
+const (
+	// MissNone: the deadline was met (or the attempt was killed, so the
+	// verdict belongs to a later attempt of the chain).
+	MissNone = "none"
+	// MissCapacity: the deadline was missed on a chain that never
+	// crashed — queueing delay and co-location interference alone.
+	MissCapacity = "capacity"
+	// MissFault: the deadline was missed on a retry attempt — at least
+	// one crash inflated the chain, so the outage is implicated.
+	MissFault = "fault"
+)
+
+// AuditSpan is one attempt of one VM's lifecycle.
+type AuditSpan struct {
+	// VMID is the simulator's dense VM uid ("vm<id>" in traces); each
+	// attempt gets a fresh uid. JobID ties siblings and retries back to
+	// the submitted request.
+	VMID  int
+	JobID int
+	Class workload.Class
+	// Attempt numbers the requeue chain, 1-based: attempt n+1 redoes the
+	// work attempt n lost to a crash.
+	Attempt int
+	// Server hosted the attempt when it ended (migrations move VMs
+	// between servers; the span keeps the final host).
+	Server int
+	// Submit is the chain's original submission instant — requeued
+	// attempts inherit it, so Wait and Stretch account the whole
+	// outage-inflated lifetime. Placed/End bracket this attempt's run.
+	Submit units.Seconds
+	Placed units.Seconds
+	End    units.Seconds
+	// Wait is Placed − Submit; Service is End − Placed; Stretch is
+	// (End − Submit) / the attempt's nominal work — how many times its
+	// ideal solo runtime the VM's outcome took.
+	Wait    units.Seconds
+	Service units.Seconds
+	Stretch float64
+	// Outcome is AuditFinished or AuditKilled. A killed attempt with
+	// Requeued set re-entered admission; WorkLost is the progress the
+	// checkpoint policy could not save.
+	Outcome  string
+	Requeued bool
+	WorkLost units.Seconds
+	// DeadlineMiss marks a finished attempt that ended after the
+	// response-time deadline; MissAttribution classifies it (see the
+	// Miss* constants).
+	DeadlineMiss    bool
+	MissAttribution string
+}
+
+// VMAudit collects lifecycle spans for one run. Attach with
+// Config.Audit; reuse across runs is safe (Run resets it). The zero
+// value is not ready — use NewVMAudit.
+type VMAudit struct {
+	spans []AuditSpan
+	// attempts maps a re-queued request's index in the grown request
+	// slice to its attempt number; absent means attempt 1 (an original
+	// submission).
+	attempts map[int]int
+}
+
+// NewVMAudit returns an empty audit collector.
+func NewVMAudit() *VMAudit {
+	return &VMAudit{attempts: map[int]int{}}
+}
+
+// reset clears state from a previous run.
+func (a *VMAudit) reset() {
+	a.spans = a.spans[:0]
+	clear(a.attempts)
+}
+
+// attemptOf resolves a request index to its chain attempt number.
+func (a *VMAudit) attemptOf(reqIdx int) int {
+	if n, ok := a.attempts[reqIdx]; ok {
+		return n
+	}
+	return 1
+}
+
+// finish closes a completed attempt's span.
+func (a *VMAudit) finish(vm *simVM, server int, now units.Seconds, violated bool) {
+	attrib := MissNone
+	if violated {
+		if vm.attempt > 1 {
+			attrib = MissFault
+		} else {
+			attrib = MissCapacity
+		}
+	}
+	a.spans = append(a.spans, AuditSpan{
+		VMID:            vm.id,
+		JobID:           vm.jobID,
+		Class:           vm.class,
+		Attempt:         vm.attempt,
+		Server:          server,
+		Submit:          vm.submit,
+		Placed:          vm.placed,
+		End:             now,
+		Wait:            vm.placed - vm.submit,
+		Service:         now - vm.placed,
+		Stretch:         stretchOf(vm, now),
+		Outcome:         AuditFinished,
+		DeadlineMiss:    violated,
+		MissAttribution: attrib,
+	})
+}
+
+// kill closes a crash-evicted attempt's span and numbers the redo
+// request (at index reqIdx) as the chain's next attempt.
+func (a *VMAudit) kill(vm *simVM, server int, now units.Seconds, lost units.Seconds, reqIdx int) {
+	a.spans = append(a.spans, AuditSpan{
+		VMID:            vm.id,
+		JobID:           vm.jobID,
+		Class:           vm.class,
+		Attempt:         vm.attempt,
+		Server:          server,
+		Submit:          vm.submit,
+		Placed:          vm.placed,
+		End:             now,
+		Wait:            vm.placed - vm.submit,
+		Service:         now - vm.placed,
+		Stretch:         stretchOf(vm, now),
+		Outcome:         AuditKilled,
+		Requeued:        true,
+		WorkLost:        lost,
+		MissAttribution: MissNone,
+	})
+	a.attempts[reqIdx] = vm.attempt + 1
+}
+
+// stretchOf is (end − submit) / nominal for one attempt.
+func stretchOf(vm *simVM, end units.Seconds) float64 {
+	if vm.nominal <= 0 {
+		return 0
+	}
+	return float64(end-vm.submit) / float64(vm.nominal)
+}
+
+// Len returns the number of recorded spans.
+func (a *VMAudit) Len() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.spans)
+}
+
+// Spans returns a copy of the recorded spans in event order (the order
+// attempts ended), which is deterministic for a deterministic run.
+func (a *VMAudit) Spans() []AuditSpan {
+	if a == nil {
+		return nil
+	}
+	return append([]AuditSpan(nil), a.spans...)
+}
+
+// auditCSVHeader is the exported column set, stable for downstream
+// tooling (documented in README).
+const auditCSVHeader = "vm,job,class,attempt,server,submit_s,placed_s,end_s,wait_s,service_s,stretch,outcome,requeued,work_lost_s,deadline_miss,miss_attribution"
+
+// WriteCSV exports the spans as CSV, one row per attempt, floats in
+// shortest round-trip form so identical runs export identical bytes.
+func (a *VMAudit) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, auditCSVHeader); err != nil {
+		return err
+	}
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for i := range a.spans {
+		sp := &a.spans[i]
+		if _, err := fmt.Fprintf(bw, "%d,%d,%s,%d,%d,%s,%s,%s,%s,%s,%s,%s,%t,%s,%t,%s\n",
+			sp.VMID, sp.JobID, sp.Class, sp.Attempt, sp.Server,
+			g(float64(sp.Submit)), g(float64(sp.Placed)), g(float64(sp.End)),
+			g(float64(sp.Wait)), g(float64(sp.Service)), g(sp.Stretch),
+			sp.Outcome, sp.Requeued, g(float64(sp.WorkLost)),
+			sp.DeadlineMiss, sp.MissAttribution); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -101,6 +101,18 @@ type Config struct {
 	// passive and free when nil. RunReference — the frozen pre-rewrite
 	// oracle — ignores both fields.
 	Tracer *obs.Tracer
+	// Audit, when non-nil, collects one lifecycle span per VM attempt —
+	// submit → queue → place(server) → run → {crash → requeue}* → finish
+	// — with derived wait, service time, stretch, and deadline-miss
+	// attribution (see audit.go). Passive and free when nil; ignored by
+	// RunReference.
+	Audit *VMAudit
+	// Sampler, when non-nil, records the fleet's power/occupancy time
+	// series at each closed accounting interval into a bounded,
+	// deterministically-downsampled ring (see sampler.go) — the data
+	// behind a Fig.-4-style power-over-time figure. Passive and free when
+	// nil; ignored by RunReference.
+	Sampler *FleetSampler
 	// Faults is the deterministic crash/recovery schedule (see
 	// internal/faults). Each event takes one server down at Down — its
 	// resident VMs are killed per Checkpoint and re-queued through normal
@@ -236,6 +248,9 @@ type simVM struct {
 	placed    units.Seconds
 	deadline  units.Seconds // absolute; 0 = unconstrained
 	nominal   units.Seconds
+	// attempt is the VM's 1-based requeue-chain number; only maintained
+	// when Config.Audit is attached (zero otherwise, and unread).
+	attempt int
 }
 
 // uidString formats the VM's migration-snapshot identifier on first use.
@@ -328,10 +343,13 @@ type sim struct {
 	upViews []strategy.Server
 	viewPos []int
 
-	// stats/tr are the telemetry hooks; with Config.Obs and
-	// Config.Tracer nil every hook is a no-op (see obs.go).
-	stats simStats
-	tr    *obs.Tracer
+	// stats/tr/audit/sampler are the telemetry hooks; with Config.Obs,
+	// Config.Tracer, Config.Audit and Config.Sampler nil every hook is a
+	// no-op (see obs.go, audit.go, sampler.go).
+	stats   simStats
+	tr      *obs.Tracer
+	audit   *VMAudit
+	sampler *FleetSampler
 
 	uidSeq      int
 	records     []VMRecord
@@ -447,6 +465,12 @@ func Run(cfg Config, reqs []trace.Request) (Result, error) {
 	}
 	s.stats.init(cfg.Obs)
 	s.events.Instrument(cfg.Obs)
+	if s.audit = cfg.Audit; s.audit != nil {
+		s.audit.reset()
+	}
+	if s.sampler = cfg.Sampler; s.sampler != nil {
+		s.sampler.reset(cfg.Servers)
+	}
 	if s.dbs, s.refT, s.dbOf, err = registerDBs(cfg); err != nil {
 		return Result{}, err
 	}
@@ -548,7 +572,11 @@ func Run(cfg Config, reqs []trace.Request) (Result, error) {
 			idle -= downBySrv[sv.id]
 		}
 		if idle > 0 {
-			sv.energy += cfg.IdleServerPower.Times(units.Seconds(idle))
+			e := cfg.IdleServerPower.Times(units.Seconds(idle))
+			sv.energy += e
+			if s.sampler != nil {
+				s.sampler.addIdle(e)
+			}
 		}
 		s.metrics.Energy += sv.energy
 	}
@@ -646,6 +674,9 @@ func (s *sim) advance(sv *simServer) error {
 		// One Fig.-4 interval closed: the resident set was constant over
 		// [lastUpdate, now) and its progress/energy just integrated.
 		s.stats.intervalsClosed.Inc()
+		if s.sampler != nil {
+			s.sampler.interval(s.now, sv.id, ai.power, len(sv.vms), dt, s.active, s.qlen())
+		}
 	}
 	sv.lastUpdate = s.now
 	return nil
@@ -714,6 +745,9 @@ func (s *sim) complete(serverIdx int) error {
 		}
 		if wasHosting {
 			s.active--
+			if s.sampler != nil {
+				s.sampler.serverIdle(sv.id)
+			}
 		}
 	}
 	return s.reschedule(sv)
@@ -730,6 +764,11 @@ func (s *sim) retire(sv *simServer, vm *simVM) {
 	violated := vm.deadline > 0 && s.now > vm.deadline
 	if violated {
 		s.metrics.Violations++
+	}
+	s.stats.vmWait.Observe(float64(vm.placed - vm.submit))
+	s.stats.vmStretch.Observe(stretchOf(vm, s.now))
+	if s.audit != nil {
+		s.audit.finish(vm, sv.id, s.now, violated)
 	}
 	s.traceVMRetire(sv, vm, violated)
 	if s.cfg.RecordVMs {
@@ -864,6 +903,9 @@ func (s *sim) consolidate() error {
 			sv.hostedSeconds += hosted
 			sv.activeFrom = -1
 			s.active--
+			if s.sampler != nil {
+				s.sampler.serverIdle(sv.id)
+			}
 		}
 		if err := s.reschedule(sv); err != nil {
 			return err
@@ -1033,6 +1075,9 @@ func (s *sim) tryPlace(idx int) (bool, error) {
 		vm.placed = s.now
 		vm.deadline = deadline
 		vm.nominal = req.NominalTime
+		if s.audit != nil {
+			vm.attempt = s.audit.attemptOf(idx)
+		}
 		sv.vms = append(sv.vms, vm)
 		s.applyAlloc(sv, req.Class, 1)
 	}

@@ -114,6 +114,10 @@ func (s *sim) crash(serverIdx int) error {
 		return err
 	}
 	s.downSince[serverIdx] = s.now
+	if s.sampler != nil {
+		s.sampler.serverIdle(serverIdx)
+		s.sampler.serverDown()
+	}
 	if s.fleet != nil {
 		s.fleet.SetDown(serverIdx)
 	}
@@ -164,6 +168,9 @@ func (s *sim) kill(sv *simServer, vm *simVM) {
 	s.stats.requeues.Inc()
 	s.queue = append(s.queue, ridx)
 	s.stats.queueDepthHW.SetMax(int64(s.qlen()))
+	if s.audit != nil {
+		s.audit.kill(vm, sv.id, s.now, units.Seconds(done-surviving), ridx)
+	}
 }
 
 // recoverServer brings a crashed server back: the outage is logged, the
@@ -179,6 +186,9 @@ func (s *sim) recoverServer(serverIdx int) error {
 	s.downLog = append(s.downLog, downSpan{server: serverIdx, from: from, to: s.now})
 	s.downSince[serverIdx] = -1
 	sv.lastUpdate = s.now
+	if s.sampler != nil {
+		s.sampler.serverUp()
+	}
 	if s.fleet != nil {
 		s.fleet.SetUp(serverIdx)
 	}

@@ -39,6 +39,10 @@ type simStats struct {
 	requeues           *obs.Counter
 	workLostSeconds    *obs.Counter // whole nominal-seconds (Metrics.WorkLost is exact)
 	movesToDownSkipped *obs.Counter
+	// Per-VM outcome digests, observed at retire: wait (placed − submit)
+	// and stretch ((end − submit) / nominal).
+	vmWait    *obs.Quantile
+	vmStretch *obs.Quantile
 }
 
 // init resolves the handles; from a nil registry every handle is nil
@@ -57,6 +61,8 @@ func (st *simStats) init(reg *obs.Registry) {
 	st.requeues = reg.Counter("sim_requeues")
 	st.workLostSeconds = reg.Counter("sim_work_lost_seconds")
 	st.movesToDownSkipped = reg.Counter("sim_consolidator_moves_to_down_skipped")
+	st.vmWait = reg.Quantile("sim_vm_wait_seconds")
+	st.vmStretch = reg.Quantile("sim_vm_stretch")
 }
 
 // traceSetup names the trace tracks. Thread-name metadata is emitted

@@ -90,6 +90,18 @@ func BenchmarkSimLargeObs(b *testing.B) {
 	})
 }
 
+// BenchmarkSimLargeSampler is BenchmarkSimLarge with the fleet sampler
+// attached at the default ring capacity; the delta against
+// BenchmarkSimLarge is the sampler-on overhead (the sampler-off path is
+// pinned allocation-free by TestObsDisabledAllocFree).
+func BenchmarkSimLargeSampler(b *testing.B) {
+	fs := NewFleetSampler(0)
+	benchSim(b, 1000, 100_000, 1.5, func(cfg Config, reqs []trace.Request) (Result, error) {
+		cfg.Sampler = fs
+		return Run(cfg, reqs)
+	})
+}
+
 // BenchmarkSimTrace adds the trace recorder on a smaller fleet (the
 // recorder buffers every span in memory, so the large workload would
 // measure the allocator, not the hooks).

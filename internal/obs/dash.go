@@ -1,0 +1,153 @@
+package obs
+
+// The /debug/dash live dashboard: one self-contained HTML page (no
+// external assets, no scripts beyond a meta refresh) rendering the
+// published registry's current snapshot — counters, gauges, quantile
+// digests — and any time series the hosting CLI registers, drawn as
+// inline SVG sparklines. The page re-renders on every request, so a
+// browser pointed at a running simulation watches the metrics move.
+
+import (
+	"fmt"
+	"html"
+	"math"
+	"net/http"
+	"strings"
+)
+
+// SeriesPoint is one (time, value) sample of a dashboard series.
+type SeriesPoint struct {
+	T float64 // simulated seconds
+	V float64
+}
+
+// Series is one named time series for the dashboard.
+type Series struct {
+	Name   string
+	Unit   string
+	Points []SeriesPoint
+}
+
+// SeriesFunc supplies the current series set on each dashboard render;
+// implementations must be safe to call concurrently with the producer.
+type SeriesFunc func() []Series
+
+// AddSeries registers a series supplier with the dashboard. Safe to call
+// after the server is serving; suppliers render in registration order.
+func (d *DebugServer) AddSeries(fn SeriesFunc) {
+	if d == nil || fn == nil {
+		return
+	}
+	d.mu.Lock()
+	d.series = append(d.series, fn)
+	d.mu.Unlock()
+}
+
+// handleDash renders the dashboard page.
+func (d *DebugServer) handleDash(w http.ResponseWriter, _ *http.Request) {
+	var snap Snapshot
+	if d.reg != nil {
+		snap = d.reg.Snapshot()
+	}
+	d.mu.Lock()
+	fns := append([]SeriesFunc(nil), d.series...)
+	d.mu.Unlock()
+
+	var b strings.Builder
+	b.WriteString(`<!DOCTYPE html><html><head><meta charset="utf-8">` +
+		`<meta http-equiv="refresh" content="2"><title>pacevm dashboard</title><style>` +
+		`body{font:14px/1.5 monospace;margin:2em;background:#fafafa;color:#222}` +
+		`h1{font-size:1.2em}h2{font-size:1em;margin:1.5em 0 .3em}` +
+		`table{border-collapse:collapse}td,th{padding:.15em .8em;text-align:right;border-bottom:1px solid #ddd}` +
+		`th{text-align:left}td:first-child{text-align:left}` +
+		`svg{background:#fff;border:1px solid #ddd;vertical-align:middle}` +
+		`.spark{margin:.3em 0}.spark span{display:inline-block;min-width:22em}` +
+		`</style></head><body><h1>pacevm live dashboard</h1>` +
+		`<p><a href="/debug/vars">/debug/vars</a> · <a href="/debug/pprof/">/debug/pprof</a></p>`)
+
+	if len(snap.Quantiles) > 0 {
+		b.WriteString(`<h2>quantiles</h2><table><tr><th>digest</th><th>count</th><th>min</th><th>p50</th><th>p90</th><th>p99</th><th>max</th></tr>`)
+		for _, name := range SortedNames(snap.Quantiles) {
+			q := snap.Quantiles[name]
+			fmt.Fprintf(&b, `<tr><td>%s</td><td>%d</td><td>%.4g</td><td>%.4g</td><td>%.4g</td><td>%.4g</td><td>%.4g</td></tr>`,
+				html.EscapeString(name), q.Count, q.Min, q.P50, q.P90, q.P99, q.Max)
+		}
+		b.WriteString(`</table>`)
+	}
+
+	for _, fn := range fns {
+		for _, s := range fn() {
+			b.WriteString(`<div class="spark"><span>`)
+			b.WriteString(html.EscapeString(s.Name))
+			if len(s.Points) > 0 {
+				last := s.Points[len(s.Points)-1]
+				fmt.Fprintf(&b, " = %.4g%s @ t=%.0fs", last.V, html.EscapeString(s.Unit), last.T)
+			}
+			b.WriteString(`</span> `)
+			b.WriteString(sparklineSVG(s.Points, 360, 48))
+			b.WriteString(`</div>`)
+		}
+	}
+
+	if len(snap.Counters) > 0 {
+		b.WriteString(`<h2>counters</h2><table><tr><th>counter</th><th>value</th></tr>`)
+		for _, name := range SortedNames(snap.Counters) {
+			fmt.Fprintf(&b, `<tr><td>%s</td><td>%d</td></tr>`, html.EscapeString(name), snap.Counters[name])
+		}
+		b.WriteString(`</table>`)
+	}
+	if len(snap.Gauges) > 0 {
+		b.WriteString(`<h2>gauges</h2><table><tr><th>gauge</th><th>value</th></tr>`)
+		for _, name := range SortedNames(snap.Gauges) {
+			fmt.Fprintf(&b, `<tr><td>%s</td><td>%d</td></tr>`, html.EscapeString(name), snap.Gauges[name])
+		}
+		b.WriteString(`</table>`)
+	}
+	if len(snap.Histograms) > 0 {
+		b.WriteString(`<h2>histograms</h2><table><tr><th>histogram</th><th>count</th><th>sum</th></tr>`)
+		for _, name := range SortedNames(snap.Histograms) {
+			h := snap.Histograms[name]
+			fmt.Fprintf(&b, `<tr><td>%s</td><td>%d</td><td>%.4g</td></tr>`, html.EscapeString(name), h.Count, h.Sum)
+		}
+		b.WriteString(`</table>`)
+	}
+	b.WriteString(`</body></html>`)
+
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, b.String())
+}
+
+// sparklineSVG renders a series as a fixed-size inline SVG polyline,
+// normalized to the series' own [min, max] range (a flat series draws a
+// midline). Returns an empty-plot SVG for fewer than two points.
+func sparklineSVG(pts []SeriesPoint, w, h int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg width="%d" height="%d" xmlns="http://www.w3.org/2000/svg">`, w, h)
+	if len(pts) >= 2 {
+		minT, maxT := pts[0].T, pts[len(pts)-1].T
+		minV, maxV := math.Inf(1), math.Inf(-1)
+		for _, p := range pts {
+			minV = math.Min(minV, p.V)
+			maxV = math.Max(maxV, p.V)
+		}
+		spanT, spanV := maxT-minT, maxV-minV
+		var poly strings.Builder
+		for i, p := range pts {
+			x := 1.0
+			if spanT > 0 {
+				x = 1 + (p.T-minT)/spanT*float64(w-2)
+			}
+			y := float64(h) / 2
+			if spanV > 0 {
+				y = float64(h-2) - (p.V-minV)/spanV*float64(h-4) + 1
+			}
+			if i > 0 {
+				poly.WriteByte(' ')
+			}
+			fmt.Fprintf(&poly, "%.1f,%.1f", x, y)
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="#1f77b4" stroke-width="1.2" points="%s"/>`, poly.String())
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// dashGet fetches /debug/dash and returns the body, failing on any
+// transport or status error.
+func dashGet(t *testing.T, d *DebugServer) string {
+	t.Helper()
+	resp, err := http.Get("http://" + d.Addr() + "/debug/dash")
+	if err != nil {
+		t.Fatalf("GET /debug/dash: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/dash: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/html") {
+		t.Errorf("Content-Type = %q, want text/html", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestDashboard drives the acceptance contract: /debug/dash answers 200
+// with the live quantiles, counters, and registered series rendered as
+// inline SVG sparklines.
+func TestDashboard(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sim_events_popped").Add(41)
+	reg.Gauge("sim_queue_depth_highwater").Set(9)
+	wq := reg.Quantile("sim_vm_wait_seconds")
+	for i := 1; i <= 500; i++ {
+		wq.Observe(float64(i))
+	}
+	d, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	d.AddSeries(func() []Series {
+		return []Series{{
+			Name: "fleet watts", Unit: "W",
+			Points: []SeriesPoint{{T: 0, V: 125}, {T: 10, V: 400}, {T: 20, V: 250}},
+		}}
+	})
+
+	body := dashGet(t, d)
+	for _, want := range []string{
+		"sim_vm_wait_seconds", // quantile row
+		"sim_events_popped",   // counter row
+		"41",
+		"fleet watts", // series label
+		"<svg",        // inline sparkline
+		"<polyline",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("dashboard missing %q:\n%.600s", want, body)
+		}
+	}
+	// Live quantiles: the P50 of 1..500 must appear in the digest table.
+	if !strings.Contains(body, "250") {
+		t.Errorf("dashboard quantile table missing P50 ~250:\n%.600s", body)
+	}
+
+	// Live: new observations appear on the next render.
+	reg.Counter("sim_events_popped").Add(1)
+	if !strings.Contains(dashGet(t, d), "42") {
+		t.Error("dashboard not live across scrapes")
+	}
+}
+
+// TestDashboardEmpty pins the degenerate path: a dashboard over a nil
+// registry and no series still serves a 200 page.
+func TestDashboardEmpty(t *testing.T) {
+	d, err := ServeDebug("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if body := dashGet(t, d); !strings.Contains(body, "pacevm live dashboard") {
+		t.Errorf("empty dashboard body: %.200s", body)
+	}
+
+	var nilD *DebugServer
+	nilD.AddSeries(func() []Series { return nil }) // must not panic
+}
+
+func TestSparklineSVG(t *testing.T) {
+	if got := sparklineSVG(nil, 100, 20); !strings.HasPrefix(got, "<svg") || strings.Contains(got, "polyline") {
+		t.Errorf("empty sparkline = %q", got)
+	}
+	flat := []SeriesPoint{{T: 0, V: 5}, {T: 1, V: 5}, {T: 2, V: 5}}
+	if got := sparklineSVG(flat, 100, 20); !strings.Contains(got, "polyline") {
+		t.Errorf("flat sparkline missing polyline: %q", got)
+	}
+}

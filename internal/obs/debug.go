@@ -8,36 +8,56 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 )
 
+// ManifestSchemaVersion is the current run-manifest schema. Version 2
+// added schema_version itself, the artifacts map, and the quantile
+// section of the telemetry snapshot.
+const ManifestSchemaVersion = 2
+
 // Manifest is the JSON run-manifest emitted beside a trace: everything
 // needed to reproduce and interpret the run — the command and its
-// configuration, the seed, the final metrics, the wall-clock cost, and
-// a snapshot of the telemetry registry.
+// configuration, the seed, the final metrics, the wall-clock cost, a
+// snapshot of the telemetry registry, and the paths of every sibling
+// artifact the run produced (trace timeline, VM audit CSV, fleet series
+// CSV, ...), so one manifest fully describes a run's outputs.
 type Manifest struct {
-	Command          string   `json:"command"`
-	Config           any      `json:"config,omitempty"`
-	Seed             uint64   `json:"seed"`
-	WallClockSeconds float64  `json:"wall_clock_seconds"`
-	Metrics          any      `json:"metrics,omitempty"`
-	Telemetry        Snapshot `json:"telemetry"`
+	SchemaVersion    int               `json:"schema_version"`
+	Command          string            `json:"command"`
+	Config           any               `json:"config,omitempty"`
+	Seed             uint64            `json:"seed"`
+	WallClockSeconds float64           `json:"wall_clock_seconds"`
+	Metrics          any               `json:"metrics,omitempty"`
+	Artifacts        map[string]string `json:"artifacts,omitempty"`
+	Telemetry        Snapshot          `json:"telemetry"`
 }
 
-// WriteManifest serializes m as indented JSON.
+// WriteManifest serializes m as indented JSON (map keys sorted, so
+// manifests of identical runs diff byte-identically), stamping the
+// current schema version when the caller left it zero.
 func WriteManifest(w io.Writer, m Manifest) error {
+	if m.SchemaVersion == 0 {
+		m.SchemaVersion = ManifestSchemaVersion
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(m)
 }
 
 // DebugServer is a live-introspection HTTP server: /debug/pprof/* (the
-// full net/http/pprof suite) and /debug/vars (expvar, including any
-// registries published with Registry.Publish). It backs the CLIs'
-// shared -debug-addr flag.
+// full net/http/pprof suite), /debug/vars (expvar, including any
+// registries published with Registry.Publish), and /debug/dash (the
+// live HTML dashboard over the served registry and any series added
+// with AddSeries). It backs the CLIs' shared -debug-addr flag.
 type DebugServer struct {
 	srv *http.Server
 	lis net.Listener
+	reg *Registry
+
+	mu     sync.Mutex
+	series []SeriesFunc
 }
 
 // ServeDebug publishes reg under the "pacevm" expvar name (when
@@ -45,6 +65,7 @@ type DebugServer struct {
 // background goroutine until Close.
 func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 	reg.Publish("pacevm")
+	d := &DebugServer{reg: reg}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -52,14 +73,13 @@ func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/dash", d.handleDash)
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug server: %w", err)
 	}
-	d := &DebugServer{
-		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
-		lis: lis,
-	}
+	d.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	d.lis = lis
 	go d.srv.Serve(lis) //nolint:errcheck // ErrServerClosed after Close
 	return d, nil
 }

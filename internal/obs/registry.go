@@ -1,11 +1,13 @@
 // Package obs is the zero-cost telemetry layer of the PACE-VM stack: a
-// metrics registry (atomic counters, gauges, fixed-bucket histograms), a
-// Chrome-trace-event recorder over simulated time, and a pprof/expvar
-// debug server shared by the CLIs.
+// metrics registry (atomic counters, gauges, fixed-bucket histograms,
+// streaming quantile digests), a Chrome-trace-event recorder over
+// simulated time, and a pprof/expvar debug server shared by the CLIs —
+// including the /debug/dash live HTML dashboard.
 //
 // The non-negotiable design constraint is that disabled telemetry costs
 // nothing on the hot paths the performance PRs paid to optimize. Every
-// instrument handle (*Counter, *Gauge, *Histogram, *Tracer) is nil-safe:
+// instrument handle (*Counter, *Gauge, *Histogram, *Quantile, *Tracer)
+// is nil-safe:
 // methods on a nil receiver are no-ops that compile to a single
 // predictable branch, allocate nothing, and touch no shared state.
 // Instrumented code therefore holds handles resolved once at setup time
@@ -143,6 +145,7 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	quantiles  map[string]*Quantile
 }
 
 // NewRegistry returns an empty registry.
@@ -151,6 +154,7 @@ func NewRegistry() *Registry {
 		counters:   map[string]*Counter{},
 		gauges:     map[string]*Gauge{},
 		histograms: map[string]*Histogram{},
+		quantiles:  map[string]*Quantile{},
 	}
 }
 
@@ -205,6 +209,22 @@ func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 	return h
 }
 
+// Quantile returns the named streaming quantile digest, creating it on
+// first use. A nil registry returns a nil (no-op) handle.
+func (r *Registry) Quantile(name string) *Quantile {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	q, ok := r.quantiles[name]
+	if !ok {
+		q = NewQuantile()
+		r.quantiles[name] = q
+	}
+	return q
+}
+
 // HistogramSnapshot is the exported state of one histogram.
 type HistogramSnapshot struct {
 	Bounds []float64 `json:"bounds"`
@@ -214,11 +234,26 @@ type HistogramSnapshot struct {
 }
 
 // Snapshot is a point-in-time copy of a registry's contents, in the
-// form expvar publishing and run manifests serialize.
+// form expvar publishing and run manifests serialize. Maps serialize
+// with sorted keys (encoding/json's map behaviour), so two snapshots of
+// the same run diff cleanly byte for byte; SortedNames gives the same
+// deterministic order to non-JSON renderers (the dashboard).
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters,omitempty"`
 	Gauges     map[string]int64             `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Quantiles  map[string]QuantileSnapshot  `json:"quantiles,omitempty"`
+}
+
+// SortedNames returns the keys of one snapshot section in ascending
+// order — the stable iteration order renderers should use.
+func SortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Snapshot copies the registry's current values. A nil registry yields
@@ -255,6 +290,12 @@ func (r *Registry) Snapshot() Snapshot {
 				hs.Counts[i] = h.counts[i].Load()
 			}
 			s.Histograms[name] = hs
+		}
+	}
+	if len(r.quantiles) > 0 {
+		s.Quantiles = make(map[string]QuantileSnapshot, len(r.quantiles))
+		for name, q := range r.quantiles {
+			s.Quantiles[name] = q.Snapshot()
 		}
 	}
 	return s
