@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build verify test race race-sim race-faults audit-smoke fuzz-smoke vet bench bench-alloc bench-json cover trace clean
+.PHONY: all build verify test race race-sim race-faults race-shards audit-smoke fuzz-smoke vet bench bench-alloc bench-json cover trace clean
 
 all: verify
 
@@ -10,7 +10,7 @@ build:
 # verify is the tier-1 gate: compile, static checks, full test suite,
 # the race detector over the simulator hot-path packages, and the
 # observability smoke.
-verify: build vet test race-sim race-faults audit-smoke
+verify: build vet test race-sim race-faults race-shards audit-smoke
 
 test:
 	$(GO) test ./...
@@ -30,6 +30,13 @@ race-sim:
 race-faults:
 	$(GO) test -race -run 'Fault|Crash|Checkpoint|DownUp|Degrade|Budget' \
 		./internal/faults ./internal/cloudsim ./internal/strategy ./internal/core
+
+# race-shards races the sharded parallel engine under faults: the
+# determinism stress (shards 2/4/8 with crashes, backfill and
+# consolidation), the merge reconciliation and the S=1 identity suite,
+# plus the CLI wiring smoke.
+race-shards:
+	$(GO) test -race -run 'TestSharded|TestRunSharded' ./internal/cloudsim ./cmd/pacevm-sim ./internal/experiments
 
 # audit-smoke runs a tiny faulted simulation with the VM audit, fleet
 # series and trace enabled and asserts every exported CSV parses and is
@@ -56,10 +63,13 @@ bench-alloc:
 	$(GO) test -run NONE -bench 'BenchmarkAllocate' -benchmem .
 
 # bench-json records the large-simulation benchmarks (optimized event
-# loop vs the retained reference, plus the telemetry-on and sampler-on
-# overhead pairs) as BENCH_sim.json.
+# loop vs the retained reference, the telemetry-on and sampler-on
+# overhead pairs, and the sharded-engine family) as BENCH_sim.json. The
+# 100k-server/10M-request SimHuge pair runs once per entry in a second
+# invocation — at 2x it would dominate the suite.
 bench-json:
-	$(GO) test -run NONE -bench 'BenchmarkSim' -benchtime 2x -benchmem ./internal/cloudsim \
+	{ $(GO) test -run NONE -bench 'BenchmarkSim(Large|Trace)' -benchtime 2x -benchmem ./internal/cloudsim \
+		&& $(GO) test -run NONE -bench 'BenchmarkSimHuge' -benchtime 1x -benchmem ./internal/cloudsim; } \
 		| $(GO) run ./cmd/pacevm-benchjson -o BENCH_sim.json
 
 cover:

@@ -23,8 +23,15 @@ import (
 
 // Benchmark is one parsed benchmark result line. Standard units get
 // dedicated fields; any custom b.ReportMetric units land in Metrics.
+// The -N name suffix go test appends when GOMAXPROCS differs from 1 is
+// stripped into Gomaxprocs, and a "shards" custom metric (reported by
+// the sharded-simulation benchmarks) is lifted into Shards — together
+// they record the parallelism a result was measured under, which a
+// req/s comparison is meaningless without.
 type Benchmark struct {
 	Name        string             `json:"name"`
+	Gomaxprocs  int                `json:"gomaxprocs"`
+	Shards      int                `json:"shards,omitempty"`
 	Runs        int64              `json:"runs"`
 	NsPerOp     float64            `json:"ns_per_op"`
 	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
@@ -89,7 +96,12 @@ func parseLine(line string) (Benchmark, error) {
 	if err != nil {
 		return Benchmark{}, fmt.Errorf("bad run count in %q: %v", line, err)
 	}
-	b := Benchmark{Name: f[0], Runs: runs}
+	b := Benchmark{Name: f[0], Gomaxprocs: 1, Runs: runs}
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if n, err := strconv.Atoi(b.Name[i+1:]); err == nil && n > 0 {
+			b.Name, b.Gomaxprocs = b.Name[:i], n
+		}
+	}
 	for i := 2; i+1 < len(f); i += 2 {
 		val, err := strconv.ParseFloat(f[i], 64)
 		if err != nil {
@@ -107,6 +119,13 @@ func parseLine(line string) (Benchmark, error) {
 				b.Metrics = map[string]float64{}
 			}
 			b.Metrics[unit] = val
+		}
+	}
+	if v, ok := b.Metrics["shards"]; ok {
+		b.Shards = int(v)
+		delete(b.Metrics, "shards")
+		if len(b.Metrics) == 0 {
+			b.Metrics = nil
 		}
 	}
 	return b, nil

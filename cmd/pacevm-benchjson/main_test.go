@@ -39,6 +39,37 @@ func TestParse(t *testing.T) {
 	if b.Metrics["req/s"] != 461482 {
 		t.Errorf("custom metric misparsed: %+v", b.Metrics)
 	}
+	if b.Gomaxprocs != 1 || b.Shards != 0 {
+		t.Errorf("unsuffixed benchmark parallelism = %d procs / %d shards, want 1/0", b.Gomaxprocs, b.Shards)
+	}
+}
+
+func TestParseParallelism(t *testing.T) {
+	b, err := parseLine("BenchmarkSimLargeShards8-8 	       3	 90000000 ns/op	    461482 req/s	       8.000 shards	 8023704 B/op	   18128 allocs/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name != "BenchmarkSimLargeShards8" || b.Gomaxprocs != 8 {
+		t.Errorf("GOMAXPROCS suffix misparsed: name %q, gomaxprocs %d", b.Name, b.Gomaxprocs)
+	}
+	if b.Shards != 8 {
+		t.Errorf("shards metric not lifted: %d (metrics %v)", b.Shards, b.Metrics)
+	}
+	if _, ok := b.Metrics["shards"]; ok {
+		t.Errorf("shards left behind in metrics: %v", b.Metrics)
+	}
+	if b.Metrics["req/s"] != 461482 {
+		t.Errorf("sibling metric lost: %v", b.Metrics)
+	}
+	// A trailing -N that is part of the name proper (sub-benchmark with a
+	// non-numeric tail, or no dash) must survive untouched.
+	b2, err := parseLine("BenchmarkSimLarge/depth-0 	       5	 216695965 ns/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Name != "BenchmarkSimLarge/depth-0" || b2.Gomaxprocs != 1 {
+		t.Errorf("zero suffix mistaken for GOMAXPROCS: %+v", b2)
+	}
 }
 
 func TestParseLineRejectsGarbage(t *testing.T) {

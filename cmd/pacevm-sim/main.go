@@ -9,6 +9,7 @@
 //	pacevm-sim -strategy PA-0.5 -mtbf 86400 -mttr 600 -checkpoint periodic:900
 //	pacevm-sim -strategy PA-1 -faults outages.csv -search-budget 5000
 //	pacevm-sim -strategy PA-0.5 -vm-audit audit.csv -series series.csv
+//	pacevm-sim -strategy FF-3 -servers 1000 -shards 8
 //
 // With -trace the run is recorded as Chrome trace-event JSON over
 // simulated time (load it at https://ui.perfetto.dev), alongside a
@@ -24,6 +25,12 @@
 // work per the -checkpoint policy — and re-queued, and the report gains
 // availability and goodput lines. -search-budget bounds the PA
 // allocation search, degrading to first-fit when exhausted.
+//
+// With -shards N the fleet is partitioned into N contiguous server
+// groups simulated in parallel and merged deterministically at windowed
+// barriers (see cloudsim.RunSharded for the protocol and its documented
+// relaxations of global FCFS); -shard-window tunes the simulated-time
+// window between barriers.
 package main
 
 import (
@@ -74,6 +81,9 @@ type options struct {
 	vmAuditPath string
 	seriesPath  string
 	seriesCap   int
+
+	shards      int
+	shardWindow float64
 }
 
 func main() {
@@ -98,6 +108,8 @@ func main() {
 	flag.StringVar(&opt.vmAuditPath, "vm-audit", "", "write the per-attempt VM lifecycle audit as CSV (submit/place/finish spans with wait, stretch and deadline-miss attribution)")
 	flag.StringVar(&opt.seriesPath, "series", "", "write the fleet power/occupancy time series as CSV (one row per sampled accounting interval)")
 	flag.IntVar(&opt.seriesCap, "series-cap", 0, "bound on retained series samples before deterministic downsampling halves resolution; 0 = default 4096")
+	flag.IntVar(&opt.shards, "shards", 1, "partition the fleet into this many shards simulated in parallel (deterministic; 1 = the single event loop)")
+	flag.Float64Var(&opt.shardWindow, "shard-window", 0, "simulated seconds per parallel window between shard barriers; 0 = auto from the arrival span")
 	flag.Parse()
 
 	if err := run(opt); err != nil {
@@ -118,6 +130,20 @@ func run(opt options) error {
 	}
 	if opt.seriesCap < 0 {
 		return fmt.Errorf("-series-cap %d must be non-negative", opt.seriesCap)
+	}
+	// The zero value means "unset" (options built in tests); the flag
+	// default is 1.
+	if opt.shards < 0 {
+		return fmt.Errorf("-shards %d must be at least 1", opt.shards)
+	}
+	if opt.shardWindow < 0 {
+		return fmt.Errorf("-shard-window %g must be non-negative", opt.shardWindow)
+	}
+	if opt.shards > 1 && opt.reference {
+		return fmt.Errorf("-shards needs the optimized simulator; drop -reference")
+	}
+	if opt.shards > 1 && opt.tracePath != "" {
+		return fmt.Errorf("-trace records one global event timeline; drop -shards (or use -shards 1)")
 	}
 	checkpoint, err := parseCheckpoint(opt.checkpoint)
 	if err != nil {
@@ -204,6 +230,12 @@ func run(opt options) error {
 	if opt.reference {
 		simulate = cloudsim.RunReference
 	}
+	if opt.shards > 1 {
+		sc := cloudsim.ShardConfig{Shards: opt.shards, Window: units.Seconds(opt.shardWindow)}
+		simulate = func(cfg cloudsim.Config, reqs []trace.Request) (cloudsim.Result, error) {
+			return cloudsim.RunSharded(cfg, reqs, sc)
+		}
+	}
 	start := time.Now()
 	res, err := simulate(cfg, reqs)
 	if err != nil {
@@ -212,6 +244,9 @@ func run(opt options) error {
 	wall := time.Since(start)
 	m := res.Metrics
 	fmt.Printf("strategy:     %s on %d servers\n", st.Name(), opt.servers)
+	if opt.shards > 1 {
+		fmt.Printf("shards:       %d\n", opt.shards)
+	}
 	fmt.Printf("makespan:     %v\n", m.Makespan)
 	fmt.Printf("energy:       %v\n", m.Energy)
 	fmt.Printf("SLA violated: %d/%d VMs (%.1f%%)\n", m.Violations, m.TotalVMs, m.SLAViolationPct())

@@ -1,0 +1,56 @@
+package cloudsim
+
+import (
+	"testing"
+
+	"pacevm/internal/trace"
+	"pacevm/internal/units"
+)
+
+// allocWorkload is benchWorkload's testing.T twin: a seeded EGEE-shaped
+// stream sized for the alloc-scaling guard.
+func allocWorkload(t *testing.T, seed uint64, n int, gap units.Seconds) []trace.Request {
+	t.Helper()
+	cfg := trace.DefaultStreamConfig(seed)
+	cfg.MeanInterarrival = gap
+	s, err := trace.NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Take(n)
+}
+
+// TestFleetAllocScaling pins the O(1)-in-fleet-size allocation behaviour
+// of fleet setup (the slab-backed server/residents layout in newSim).
+// Before the slab, setup cost ~18 allocations per server — quadrupling
+// the fleet from 1k to 4k servers added ~54k allocs/run. With it, the
+// whole run stays within a few hundred allocations at either scale, so
+// the guard asserts the 4k-server run costs at most a small constant
+// more than the 1k-server run, far below one allocation per added
+// server.
+func TestFleetAllocScaling(t *testing.T) {
+	db := sharedDB(t)
+	st := ff(t, 3)
+	measure := func(servers int, gap units.Seconds) float64 {
+		reqs := allocWorkload(t, 99, 20_000, gap)
+		cfg := Config{DB: db, Servers: servers, Strategy: st}
+		return testing.AllocsPerRun(1, func() {
+			res, err := Run(cfg, reqs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			benchSink = res.Makespan
+		})
+	}
+	small := measure(1000, 1.5)
+	large := measure(4000, 0.4)
+	t.Logf("allocs/run: 1k servers = %.0f, 4k servers = %.0f", small, large)
+	// 3000 extra servers must not cost even one alloc each; the real
+	// delta is tens of allocations (heap growth for the denser stream).
+	if large > small+1000 {
+		t.Errorf("fleet setup allocations scale with servers: 1k = %.0f, 4k = %.0f", small, large)
+	}
+	if large > 5000 {
+		t.Errorf("4k-server run costs %.0f allocs, want O(100)", large)
+	}
+}

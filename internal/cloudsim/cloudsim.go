@@ -273,6 +273,13 @@ type simServer struct {
 	// hostedSeconds accumulates the time spent hosting at least one VM;
 	// the remainder of the workload span is billed at idle power.
 	hostedSeconds float64
+	// ai memoizes the pricing of the current allocation (valid while
+	// aiOK and aiKey == alloc): advance and reschedule price the same
+	// unchanged allocation on every completion event, so the memo turns
+	// two map lookups per event into two struct reads.
+	ai    allocInfo
+	aiKey model.Key
+	aiOK  bool
 }
 
 // allocInfo caches model-database pricing per allocation key.
@@ -281,16 +288,30 @@ type allocInfo struct {
 	power units.Watts
 }
 
-// Event kinds on the simulator's future-event list. Crash and recover
-// events are scheduled up front from the sorted fault schedule, after
-// the arrivals — so at equal timestamps arrivals precede crashes, and a
-// back-to-back recover/crash pair on one server (Up == next Down)
-// resolves recover-first.
+// Event kinds on the simulator's future-event list.
 const (
 	evKindArrival eventq.Kind = iota
 	evKindCompletion
 	evKindCrash
 	evKindRecover
+)
+
+// Sequence bands for the future-event list. Arrivals and fault events
+// are scheduled under pre-assigned sequence numbers (arrival i gets
+// seqArrivalBase+i in routed order, the sorted fault schedule's entry j
+// gets seqFaultBase+2j / +2j+1 for its crash/recover pair), while
+// everything scheduled during the run — completions — lands in the
+// queue's own band above eventq.SeqRuntimeBase. At equal timestamps the
+// pop order is therefore arrivals, then crashes/recoveries (with a
+// touching Up/Down pair on one server resolving recover-first), then
+// completions in scheduling order — exactly the order the historical
+// schedule-everything-up-front loop produced, but now independent of
+// *when* the events are placed on the list. That independence is what
+// lets the sharded engine admit arrivals and faults lazily, one time
+// window at a time, and still replay the monolithic run byte for byte.
+const (
+	seqArrivalBase uint64 = 0
+	seqFaultBase   uint64 = 1 << 40
 )
 
 type sim struct {
@@ -326,8 +347,13 @@ type sim struct {
 	// Placement scratch, reused across tryPlace calls.
 	vmbuf     [maxJobVMs]core.VMRequest
 	assignBuf [maxJobVMs]int
-	// vmfree pools retired simVM structs.
-	vmfree []*simVM
+	// vmfree pools retired simVM structs; vmChunk is the arena fresh
+	// structs are carved from in blocks, so pool growth costs one
+	// allocation per vmChunkSize VMs instead of one per VM (the
+	// large-fleet alloc-scaling fix — peak live VMs grows with the
+	// fleet).
+	vmfree  []*simVM
+	vmChunk []simVM
 
 	// Fault-mode state (see faults.go); allocated only when the config
 	// carries a schedule, so fault-free runs pay exactly one bool check
@@ -336,6 +362,11 @@ type sim struct {
 	checkpoint faults.CheckpointPolicy
 	downSince  []units.Seconds // per server; -1 while up
 	downLog    []downSpan
+	// faultSch is the sorted crash/recover schedule; faultNext indexes
+	// the first entry not yet placed on the event list
+	// (scheduleFaultsUntil admits entries window by window).
+	faultSch  faults.Schedule
+	faultNext int
 	// upViews is the compacted placement view over up servers only,
 	// handed to linear strategies in fault mode instead of views and
 	// maintained incrementally (splice on crash/recover, alloc updates
@@ -345,11 +376,13 @@ type sim struct {
 
 	// stats/tr/audit/sampler are the telemetry hooks; with Config.Obs,
 	// Config.Tracer, Config.Audit and Config.Sampler nil every hook is a
-	// no-op (see obs.go, audit.go, sampler.go).
+	// no-op (see obs.go, audit.go, sampler.go). nameBuf is the scratch
+	// the trace hooks format event names in.
 	stats   simStats
 	tr      *obs.Tracer
 	audit   *VMAudit
 	sampler *FleetSampler
+	nameBuf []byte
 
 	uidSeq      int
 	records     []VMRecord
@@ -358,6 +391,12 @@ type sim struct {
 	waitSum     float64
 	firstSubmit units.Seconds
 	lastFinish  units.Seconds
+	// loadLeft is the outstanding admitted-but-unfinished work in
+	// nominal-seconds (Σ nominal×VMs at admission, redo work swapped in
+	// at kills, each VM's nominal removed at retire). The sharded
+	// coordinator reads it at window barriers to route new jobs to the
+	// least-loaded shard.
+	loadLeft float64
 }
 
 // Validate checks the user-facing configuration without normalizing
@@ -457,10 +496,36 @@ func Run(cfg Config, reqs []trace.Request) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	for i := range reqs {
+		if err := reqs[i].Validate(); err != nil {
+			return Result{}, err
+		}
+	}
+	s, err := newSim(cfg, reqs)
+	if err != nil {
+		return Result{}, err
+	}
+	s.events.Reserve(len(reqs) + cfg.Servers + 2*len(cfg.Faults))
+	for i := range reqs {
+		s.scheduleArrival(i, uint64(i))
+	}
+	inf := units.Seconds(math.Inf(1))
+	s.scheduleFaultsUntil(inf)
+	if err := s.runUntil(inf); err != nil {
+		return Result{}, err
+	}
+	return s.finalize(s.firstSubmit, s.lastFinish)
+}
+
+// newSim builds the simulator state for a normalized config over a
+// pre-validated request stream. No arrivals or fault events are on the
+// event list yet — Run schedules the whole input up front, the sharded
+// coordinator admits it one time window at a time.
+func newSim(cfg Config, reqs []trace.Request) (*sim, error) {
 	s := &sim{
 		cfg:         cfg,
 		reqs:        reqs,
-		firstSubmit: reqs[0].Submit,
+		firstSubmit: units.Seconds(math.Inf(1)),
 		tr:          cfg.Tracer,
 	}
 	s.stats.init(cfg.Obs)
@@ -471,17 +536,31 @@ func Run(cfg Config, reqs []trace.Request) (Result, error) {
 	if s.sampler = cfg.Sampler; s.sampler != nil {
 		s.sampler.reset(cfg.Servers)
 	}
+	var err error
 	if s.dbs, s.refT, s.dbOf, err = registerDBs(cfg); err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	s.cache = make([]map[model.Key]allocInfo, len(s.dbs))
 	for i := range s.cache {
 		s.cache[i] = map[model.Key]allocInfo{}
 	}
+	// Server state lives in two slabs — the structs themselves and a
+	// shared resident-VM backing carved into per-server capped slices —
+	// so fleet setup costs O(1) allocations instead of O(servers)
+	// (pinned by TestFleetAllocScaling). A server's resident slice can
+	// outgrow its carve-out only past the admission limit (consolidator
+	// overfill), where append falls back to a private array.
+	slab := make([]simServer, cfg.Servers)
+	resCap := cfg.MaxVMsPerServer
+	if resCap > 16 {
+		resCap = 16
+	}
+	residents := make([]*simVM, cfg.Servers*resCap)
 	s.srv = make([]*simServer, cfg.Servers)
 	s.views = make([]strategy.Server, cfg.Servers)
 	for i := range s.srv {
-		s.srv[i] = &simServer{id: i, activeFrom: -1}
+		slab[i] = simServer{id: i, activeFrom: -1, vms: residents[i*resCap : i*resCap : (i+1)*resCap]}
+		s.srv[i] = &slab[i]
 		s.views[i] = strategy.Server{ID: i}
 	}
 	if ip, ok := cfg.Strategy.(strategy.IndexedPlacer); ok {
@@ -489,29 +568,38 @@ func Run(cfg Config, reqs []trace.Request) (Result, error) {
 		s.fleet = strategy.NewFleetIndex(cfg.Servers, cfg.MaxVMsPerServer)
 	}
 	s.traceSetup()
-	s.events.Reserve(len(reqs) + cfg.Servers + 2*len(cfg.Faults))
-	for i := range reqs {
-		r := &reqs[i]
-		if err := r.Validate(); err != nil {
-			return Result{}, err
-		}
-		if r.Submit < s.firstSubmit {
-			s.firstSubmit = r.Submit
-		}
-		s.events.Schedule(r.Submit, eventq.Event{Kind: evKindArrival, Arg: int32(i)})
-		s.metrics.TotalJobs++
-		s.metrics.TotalVMs += r.VMs
-		s.metrics.NominalWork += r.NominalTime * units.Seconds(r.VMs)
-	}
 	if len(cfg.Faults) > 0 {
 		s.setupFaults()
 	}
+	return s, nil
+}
 
+// scheduleArrival admits request idx into the event stream under a
+// pre-assigned arrival-band sequence number and accounts its workload
+// totals. In a monolithic run seq is simply idx; the sharded
+// coordinator assigns global routing order instead.
+func (s *sim) scheduleArrival(idx int, seq uint64) {
+	r := &s.reqs[idx]
+	if r.Submit < s.firstSubmit {
+		s.firstSubmit = r.Submit
+	}
+	s.events.ScheduleSequenced(r.Submit, seqArrivalBase+seq, eventq.Event{Kind: evKindArrival, Arg: int32(idx)})
+	s.metrics.TotalJobs++
+	s.metrics.TotalVMs += r.VMs
+	s.metrics.NominalWork += r.NominalTime * units.Seconds(r.VMs)
+	s.loadLeft += float64(r.NominalTime) * float64(r.VMs)
+}
+
+// runUntil processes events with timestamps strictly below limit (pass
+// +Inf to drain the list). On return every effect of events before
+// limit — placements, completions, fault re-queues — has been applied.
+func (s *sim) runUntil(limit units.Seconds) error {
 	for {
-		at, ev, ok := s.events.Pop()
-		if !ok {
-			break
+		at, ok := s.events.Peek()
+		if !ok || at >= limit {
+			return nil
 		}
+		_, ev, _ := s.events.Pop()
 		s.now = at
 		s.stats.eventsPopped.Inc()
 		switch ev.Kind {
@@ -521,47 +609,55 @@ func Run(cfg Config, reqs []trace.Request) (Result, error) {
 			s.traceArrival(int(ev.Arg))
 			s.traceQueueDepth()
 			if err := s.drainQueue(); err != nil {
-				return Result{}, err
+				return err
 			}
 		case evKindCompletion:
 			if err := s.complete(int(ev.Arg)); err != nil {
-				return Result{}, err
+				return err
 			}
 			if err := s.consolidate(); err != nil {
-				return Result{}, err
+				return err
 			}
 			if err := s.drainQueue(); err != nil {
-				return Result{}, err
+				return err
 			}
 		case evKindCrash:
 			if err := s.crash(int(ev.Arg)); err != nil {
-				return Result{}, err
+				return err
 			}
 			if err := s.drainQueue(); err != nil {
-				return Result{}, err
+				return err
 			}
 		case evKindRecover:
 			if err := s.recoverServer(int(ev.Arg)); err != nil {
-				return Result{}, err
+				return err
 			}
 			if err := s.drainQueue(); err != nil {
-				return Result{}, err
+				return err
 			}
 		default:
-			return Result{}, fmt.Errorf("cloudsim: unknown event kind %d", ev.Kind)
+			return fmt.Errorf("cloudsim: unknown event kind %d", ev.Kind)
 		}
 	}
+}
+
+// finalize folds per-server energy and active time over the workload
+// span [first, last] and returns the run's result. Run passes the span
+// its own events established; the sharded coordinator passes the global
+// span so every shard bills idle power over the same window.
+func (s *sim) finalize(first, last units.Seconds) (Result, error) {
 	if n := s.qlen(); n > 0 {
 		return Result{}, fmt.Errorf("cloudsim: %d jobs still queued at end of simulation (strategy starved them)", n)
 	}
+	s.firstSubmit, s.lastFinish = first, last
 
-	// Fold per-server energy and active time. Each provisioned server
-	// draws the fixed idle power for every second of the workload span
-	// it spends hosting nothing (while hosting, the model record's
-	// average power — which includes the idle floor — was integrated).
-	// Downtime draws nothing: a crashed server is powered off, so its
-	// down-seconds within the span are carved out of the idle billing.
-	span := s.lastFinish - s.firstSubmit
+	// Each provisioned server draws the fixed idle power for every
+	// second of the workload span it spends hosting nothing (while
+	// hosting, the model record's average power — which includes the
+	// idle floor — was integrated). Downtime draws nothing: a crashed
+	// server is powered off, so its down-seconds within the span are
+	// carved out of the idle billing.
+	span := last - first
 	downBySrv := s.foldDowntime()
 	for _, sv := range s.srv {
 		if len(sv.vms) != 0 {
@@ -572,7 +668,7 @@ func Run(cfg Config, reqs []trace.Request) (Result, error) {
 			idle -= downBySrv[sv.id]
 		}
 		if idle > 0 {
-			e := cfg.IdleServerPower.Times(units.Seconds(idle))
+			e := s.cfg.IdleServerPower.Times(units.Seconds(idle))
 			sv.energy += e
 			if s.sampler != nil {
 				s.sampler.addIdle(e)
@@ -584,7 +680,7 @@ func Run(cfg Config, reqs []trace.Request) (Result, error) {
 		s.metrics.AvgResponse = units.Seconds(s.responseSum / float64(s.metrics.TotalVMs))
 		s.metrics.AvgWait = units.Seconds(s.waitSum / float64(s.metrics.TotalVMs))
 	}
-	s.metrics.Makespan = s.lastFinish - s.firstSubmit
+	s.metrics.Makespan = span
 	return Result{Metrics: s.metrics, VMs: s.records}, nil
 }
 
@@ -641,6 +737,24 @@ func (s *sim) info(server int, k model.Key) (allocInfo, error) {
 	return ai, nil
 }
 
+// infoFor prices a server's *current* allocation, memoized on the
+// server until the allocation changes. advance and reschedule price the
+// same unchanged key on every completion event, so the memo replaces
+// the per-database map lookup with two struct compares on the hot path;
+// a memo hit still counts as a pricing-cache hit.
+func (s *sim) infoFor(sv *simServer) (allocInfo, error) {
+	if sv.aiOK && sv.aiKey == sv.alloc {
+		s.stats.pricingHits.Inc()
+		return sv.ai, nil
+	}
+	ai, err := s.info(sv.id, sv.alloc)
+	if err != nil {
+		return ai, err
+	}
+	sv.ai, sv.aiKey, sv.aiOK = ai, sv.alloc, true
+	return ai, nil
+}
+
 // applyAlloc shifts a server's allocation by delta VMs of class c,
 // keeping the placement views and the capacity index in sync.
 func (s *sim) applyAlloc(sv *simServer, c workload.Class, delta int) {
@@ -663,7 +777,7 @@ func (s *sim) advance(sv *simServer) error {
 		return fmt.Errorf("cloudsim: time ran backwards on server %d", sv.id)
 	}
 	if dt > 0 && len(sv.vms) > 0 {
-		ai, err := s.info(sv.id, sv.alloc)
+		ai, err := s.infoFor(sv)
 		if err != nil {
 			return err
 		}
@@ -689,7 +803,7 @@ func (s *sim) reschedule(sv *simServer) error {
 	if len(sv.vms) == 0 {
 		return nil
 	}
-	ai, err := s.info(sv.id, sv.alloc)
+	ai, err := s.infoFor(sv)
 	if err != nil {
 		return err
 	}
@@ -758,6 +872,7 @@ func (s *sim) retire(sv *simServer, vm *simVM) {
 	if s.now > s.lastFinish {
 		s.lastFinish = s.now
 	}
+	s.loadLeft -= float64(vm.nominal)
 	response := s.now - vm.submit
 	s.responseSum += float64(response)
 	s.waitSum += float64(vm.placed - vm.submit)
@@ -791,7 +906,10 @@ func (s *sim) recycle(vm *simVM) {
 	s.vmfree = append(s.vmfree, vm)
 }
 
-// newVM takes a VM struct from the pool, or allocates one.
+// vmChunkSize is the arena block newVM carves fresh structs from.
+const vmChunkSize = 256
+
+// newVM takes a VM struct from the pool, or carves one from the arena.
 func (s *sim) newVM() *simVM {
 	if n := len(s.vmfree); n > 0 {
 		vm := s.vmfree[n-1]
@@ -799,7 +917,12 @@ func (s *sim) newVM() *simVM {
 		s.vmfree = s.vmfree[:n-1]
 		return vm
 	}
-	return &simVM{}
+	if len(s.vmChunk) == 0 {
+		s.vmChunk = make([]simVM, vmChunkSize)
+	}
+	vm := &s.vmChunk[0]
+	s.vmChunk = s.vmChunk[1:]
+	return vm
 }
 
 // consolidate snapshots the live cloud for the Consolidator and applies

@@ -43,8 +43,8 @@ type downSpan struct {
 }
 
 // setupFaults switches the simulator into fault mode: per-server down
-// state, the compacted up-server placement view, and the crash/recover
-// events of the (sorted) schedule on the future-event list.
+// state, the compacted up-server placement view, and the sorted
+// crash/recover schedule staged for scheduleFaultsUntil.
 func (s *sim) setupFaults() {
 	s.faulty = true
 	s.checkpoint = s.cfg.Checkpoint
@@ -59,14 +59,31 @@ func (s *sim) setupFaults() {
 		s.viewPos[i] = i
 		s.upViews[i] = strategy.Server{ID: i}
 	}
-	// Schedule in chronological order so same-instant events resolve by
-	// schedule sequence deterministically regardless of the input order,
-	// and a touching Up/Down pair on one server resolves recover-first.
+	// Sort chronologically so same-instant events resolve by schedule
+	// sequence deterministically regardless of the input order, and a
+	// touching Up/Down pair on one server resolves recover-first.
 	sch := append(faults.Schedule(nil), s.cfg.Faults...)
 	sch.Sort()
-	for _, e := range sch {
-		s.events.Schedule(e.Down, eventq.Event{Kind: evKindCrash, Arg: int32(e.Server)})
-		s.events.Schedule(e.Up, eventq.Event{Kind: evKindRecover, Arg: int32(e.Server)})
+	s.faultSch = sch
+}
+
+// scheduleFaultsUntil places every schedule entry whose crash instant
+// lies before limit on the event list (pass +Inf to admit the whole
+// schedule, as Run does). Entry j's crash/recover pair carries the
+// pre-assigned fault-band sequences seqFaultBase+2j / +2j+1, so the pop
+// order among simultaneous fault events is fixed by the sorted schedule
+// no matter how the admission is windowed. A recover event may lie
+// beyond limit; it is scheduled with its pair so an outage can never be
+// admitted without its end.
+func (s *sim) scheduleFaultsUntil(limit units.Seconds) {
+	for ; s.faultNext < len(s.faultSch); s.faultNext++ {
+		e := s.faultSch[s.faultNext]
+		if e.Down >= limit {
+			return
+		}
+		seq := seqFaultBase + 2*uint64(s.faultNext)
+		s.events.ScheduleSequenced(e.Down, seq, eventq.Event{Kind: evKindCrash, Arg: int32(e.Server)})
+		s.events.ScheduleSequenced(e.Up, seq+1, eventq.Event{Kind: evKindRecover, Arg: int32(e.Server)})
 	}
 }
 
@@ -147,6 +164,9 @@ func (s *sim) kill(sv *simServer, vm *simVM) {
 	}
 	s.metrics.VMsKilled++
 	s.metrics.WorkLost += units.Seconds(done - surviving)
+	// The redo request owes nominal − surviving; the kill swaps that for
+	// the original nominal in the outstanding-work gauge.
+	s.loadLeft -= surviving
 	s.stats.vmsKilled.Inc()
 	s.stats.workLostSeconds.Add(int64(done - surviving))
 	s.traceVMKill(sv, vm)

@@ -79,6 +79,51 @@ func (s *sim) traceSetup() {
 	}
 }
 
+// Typed args payloads for the per-event trace hooks. Each struct's
+// fields are tagged in ascending key order, so it serializes
+// byte-identically to the map[string]any the hooks historically built
+// (encoding/json sorts map keys) at one allocation per event instead of
+// a map plus one boxing allocation per entry — the BenchmarkSimTrace
+// churn fix, pinned by TestTraceTypedArgsByteIdentical.
+type traceArrivalArgs struct {
+	Class string `json:"class"`
+	Job   int    `json:"job"`
+	VMs   int    `json:"vms"`
+}
+
+type traceRetireArgs struct {
+	Class    string  `json:"class"`
+	Job      int     `json:"job"`
+	Submit   float64 `json:"submit"`
+	Violated bool    `json:"violated"`
+	Wait     float64 `json:"wait"`
+}
+
+type traceKillArgs struct {
+	Class  string `json:"class"`
+	Job    int    `json:"job"`
+	Killed bool   `json:"killed"`
+}
+
+// jobName formats "job <id>" in the sim-owned scratch buffer: one
+// string allocation per call, no intermediate itoa string.
+func (s *sim) jobName(id int) string {
+	s.nameBuf = append(s.nameBuf[:0], "job "...)
+	s.nameBuf = strconv.AppendInt(s.nameBuf, int64(id), 10)
+	return string(s.nameBuf)
+}
+
+// vmName formats "vm<id> job <jobID>" (plus an optional suffix) the
+// same way.
+func (s *sim) vmName(vm *simVM, suffix string) string {
+	s.nameBuf = append(s.nameBuf[:0], "vm"...)
+	s.nameBuf = strconv.AppendInt(s.nameBuf, int64(vm.id), 10)
+	s.nameBuf = append(s.nameBuf, " job "...)
+	s.nameBuf = strconv.AppendInt(s.nameBuf, int64(vm.jobID), 10)
+	s.nameBuf = append(s.nameBuf, suffix...)
+	return string(s.nameBuf)
+}
+
 // traceArrival records a job's submission instant and opens its
 // arrival→placement flow arrow (id = request index).
 func (s *sim) traceArrival(idx int) {
@@ -86,11 +131,11 @@ func (s *sim) traceArrival(idx int) {
 		return
 	}
 	r := &s.reqs[idx]
-	name := "job " + strconv.Itoa(r.ID)
-	s.tr.Instant(name, "arrival", tracePidWorkload, 0, float64(s.now), map[string]any{
-		"job":   r.ID,
-		"class": r.Class.String(),
-		"vms":   r.VMs,
+	name := s.jobName(r.ID)
+	s.tr.Instant(name, "arrival", tracePidWorkload, 0, float64(s.now), traceArrivalArgs{
+		Class: r.Class.String(),
+		Job:   r.ID,
+		VMs:   r.VMs,
 	})
 	s.tr.FlowStart(name, "placement", idx+1, tracePidWorkload, 0, float64(s.now))
 }
@@ -102,7 +147,7 @@ func (s *sim) tracePlaced(idx, server int) {
 		return
 	}
 	r := &s.reqs[idx]
-	s.tr.FlowFinish("job "+strconv.Itoa(r.ID), "placement", idx+1, tracePidServers, server, float64(s.now))
+	s.tr.FlowFinish(s.jobName(r.ID), "placement", idx+1, tracePidServers, server, float64(s.now))
 }
 
 // traceQueueDepth samples the queue-depth counter track.
@@ -119,13 +164,13 @@ func (s *sim) traceVMRetire(sv *simServer, vm *simVM, violated bool) {
 	if s.tr == nil {
 		return
 	}
-	s.tr.Span("vm"+strconv.Itoa(vm.id)+" job "+strconv.Itoa(vm.jobID), "vm",
-		tracePidServers, sv.id, float64(vm.placed), float64(s.now), map[string]any{
-			"job":      vm.jobID,
-			"class":    vm.class.String(),
-			"submit":   float64(vm.submit),
-			"wait":     float64(vm.placed - vm.submit),
-			"violated": violated,
+	s.tr.Span(s.vmName(vm, ""), "vm",
+		tracePidServers, sv.id, float64(vm.placed), float64(s.now), traceRetireArgs{
+			Class:    vm.class.String(),
+			Job:      vm.jobID,
+			Submit:   float64(vm.submit),
+			Violated: violated,
+			Wait:     float64(vm.placed - vm.submit),
 		})
 }
 
@@ -144,11 +189,11 @@ func (s *sim) traceVMKill(sv *simServer, vm *simVM) {
 	if s.tr == nil {
 		return
 	}
-	s.tr.Span("vm"+strconv.Itoa(vm.id)+" job "+strconv.Itoa(vm.jobID)+" killed", "vm",
-		tracePidServers, sv.id, float64(vm.placed), float64(s.now), map[string]any{
-			"job":    vm.jobID,
-			"class":  vm.class.String(),
-			"killed": true,
+	s.tr.Span(s.vmName(vm, " killed"), "vm",
+		tracePidServers, sv.id, float64(vm.placed), float64(s.now), traceKillArgs{
+			Class:  vm.class.String(),
+			Job:    vm.jobID,
+			Killed: true,
 		})
 }
 

@@ -1,0 +1,447 @@
+package cloudsim
+
+// Sharded parallel execution: the fleet is partitioned into contiguous
+// per-shard server groups, each owning a private simulator — its own
+// event list, placement view/capacity index, admission queue and
+// accounting state — and the shards advance together through bounded
+// simulated-time windows on a pool of persistent workers.
+//
+// The synchronization protocol is conservative (no rollback, no
+// speculation):
+//
+//   - At each barrier the coordinator computes the earliest pending
+//     instant T across every source — each shard's event list, each
+//     shard's not-yet-admitted fault schedule, and the not-yet-routed
+//     arrival stream — and opens the window [T, T+W).
+//   - Arrivals submitting inside the window are routed, in global
+//     submission order, to the shard with the least outstanding work
+//     per server (ties to the lowest shard id), and admitted under a
+//     globally-assigned arrival-band sequence number.
+//   - Every shard then runs its events below T+W in parallel; no shard
+//     reads another's state during a window, and the barrier's channel
+//     handoff orders the coordinator's loadLeft reads after the
+//     workers' writes.
+//
+// Determinism is by construction, not by luck: routing depends only on
+// barrier-state that is itself deterministic, and within a shard the
+// event list is totally ordered by (time, sequence) with the sequence
+// bands of cloudsim.go — so a run is bit-for-bit reproducible at any
+// shard count, and Shards=1 replays the monolithic Run exactly (the
+// routed order assigns the same relative arrival sequences the
+// monolithic loop does; the golden equivalence tests pin byte-identical
+// Metrics and VMRecords).
+//
+// What sharding relaxes, documented rather than hidden: with S > 1 the
+// single global FCFS queue becomes S per-shard FCFS queues (a job
+// queues only against work routed to its shard), consolidation plans
+// stay intra-shard, and a crash re-queues its victims on the owning
+// shard. Aggregate accounting remains exact — energy, violations, VM
+// counts, response/wait sums and the downtime/idle carve-outs fold
+// across shards without approximation; PeakActiveServers is the one
+// upper-bound field (the sum of per-shard peaks, which need not be
+// simultaneous).
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"pacevm/internal/faults"
+	"pacevm/internal/obs"
+	"pacevm/internal/strategy"
+	"pacevm/internal/trace"
+	"pacevm/internal/units"
+)
+
+// ShardConfig parameterizes RunSharded.
+type ShardConfig struct {
+	// Shards is the number of fleet partitions (1..Config.Servers).
+	// One shard runs the monolithic algorithm byte-identically.
+	Shards int
+	// Window is the simulated-time width of each synchronization
+	// window. Zero selects an automatic width (the arrival span divided
+	// by 256, floored at one second). Wider windows amortize barriers.
+	// With one shard the result is identical at any width (routing is
+	// trivial); with more, the width sets the routing granularity and is
+	// part of the run's deterministic parameterization, like the shard
+	// count itself.
+	Window units.Seconds
+	// Strategy, when non-nil, builds a private strategy instance per
+	// shard — required for stateful strategies, which must not be
+	// shared across concurrently-running shards. Nil shares
+	// Config.Strategy, which is safe for the stateless built-ins.
+	Strategy func(shard int) (strategy.Strategy, error)
+}
+
+// defaultShardWindows is the auto-window divisor: the arrival span is
+// cut into this many windows.
+const defaultShardWindows = 256
+
+// shardState is one partition's simulator plus its merge bookkeeping.
+type shardState struct {
+	sim     *sim
+	base    int // first global server id owned by this shard
+	servers int
+	res     Result
+	// Private telemetry substituted for the user's handles when S > 1,
+	// folded into them after the run (nil when the user passed none).
+	reg     *obs.Registry
+	audit   *VMAudit
+	sampler *FleetSampler
+}
+
+// RunSharded simulates the request stream across sc.Shards fleet
+// partitions advancing in parallel. With sc.Shards == 1 the caller's
+// telemetry handles are passed straight through and the run — Metrics,
+// VMRecords, obs counters, audit spans, sampler series — is identical
+// to Run's. With more shards the run is deterministic for fixed inputs
+// and shard count, and per-shard telemetry is merged into the caller's
+// handles at the end; tracing requires Shards == 1 (a trace is a total
+// order the parallel run does not produce).
+func RunSharded(cfg Config, reqs []trace.Request, sc ShardConfig) (Result, error) {
+	cfg, err := validateConfig(cfg, reqs)
+	if err != nil {
+		return Result{}, err
+	}
+	S := sc.Shards
+	if S < 1 {
+		return Result{}, fmt.Errorf("cloudsim: need at least one shard, got %d", S)
+	}
+	if S > cfg.Servers {
+		return Result{}, fmt.Errorf("cloudsim: %d shards over %d servers (at most one shard per server)", S, cfg.Servers)
+	}
+	if S > 1 && cfg.Tracer != nil {
+		return Result{}, errors.New("cloudsim: tracing requires Shards == 1")
+	}
+	if sc.Window < 0 {
+		return Result{}, fmt.Errorf("cloudsim: negative shard window %v", sc.Window)
+	}
+	for i := range reqs {
+		if err := reqs[i].Validate(); err != nil {
+			return Result{}, err
+		}
+	}
+
+	// Global routing order: arrivals sorted by submission, stable so
+	// simultaneous submissions keep input order — exactly the relative
+	// sequence the monolithic loop's index-ordered admission produces.
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return reqs[order[a]].Submit < reqs[order[b]].Submit })
+	first := reqs[order[0]].Submit
+	window := sc.Window
+	if window == 0 {
+		window = (reqs[order[len(order)-1]].Submit - first) / defaultShardWindows
+		if window < 1 {
+			window = 1
+		}
+	}
+
+	// Contiguous partition: shard k owns servers [base[k], base[k+1]).
+	base := make([]int, S+1)
+	for k := 0; k < S; k++ {
+		n := cfg.Servers / S
+		if k < cfg.Servers%S {
+			n++
+		}
+		base[k+1] = base[k] + n
+	}
+	shardOf := func(server int) int { return sort.SearchInts(base[1:], server+1) }
+	perFaults := make([]faults.Schedule, S)
+	for _, e := range cfg.Faults {
+		k := shardOf(e.Server)
+		e.Server -= base[k]
+		perFaults[k] = append(perFaults[k], e)
+	}
+
+	shards := make([]*shardState, S)
+	for k := 0; k < S; k++ {
+		st := &shardState{base: base[k], servers: base[k+1] - base[k]}
+		scfg := cfg
+		scfg.Servers = st.servers
+		if cfg.ServerDBs != nil {
+			scfg.ServerDBs = cfg.ServerDBs[base[k]:base[k+1]]
+		}
+		scfg.Faults = perFaults[k]
+		if S > 1 {
+			// Substitute private accumulators; the user's handles receive
+			// the deterministic shard-order fold after the run.
+			if cfg.Obs != nil {
+				st.reg = obs.NewRegistry()
+				scfg.Obs = st.reg
+			}
+			if cfg.Audit != nil {
+				st.audit = NewVMAudit()
+				scfg.Audit = st.audit
+			}
+			if cfg.Sampler != nil {
+				st.sampler = NewFleetSampler(cfg.Sampler.capacity)
+				scfg.Sampler = st.sampler
+			}
+		}
+		if sc.Strategy != nil {
+			strat, err := sc.Strategy(k)
+			if err != nil {
+				return Result{}, fmt.Errorf("cloudsim: shard %d strategy: %w", k, err)
+			}
+			if strat == nil {
+				return Result{}, fmt.Errorf("cloudsim: shard %d strategy factory returned nil", k)
+			}
+			scfg.Strategy = strat
+		}
+		if st.sim, err = newSim(scfg, reqs); err != nil {
+			return Result{}, err
+		}
+		st.sim.events.Reserve(len(reqs)/S + st.servers + 2*len(scfg.Faults))
+		shards[k] = st
+	}
+
+	// Persistent workers, one per shard: each blocks for a window limit,
+	// admits its faults and runs its events below it, and reports on its
+	// done channel. The channel pair is the barrier — receiving a
+	// shard's done happens-after everything its window wrote, so the
+	// coordinator's peeks and loadLeft reads below are race-free.
+	starts := make([]chan units.Seconds, S)
+	dones := make([]chan error, S)
+	for k := 0; k < S; k++ {
+		starts[k] = make(chan units.Seconds)
+		dones[k] = make(chan error)
+		go func(s *sim, start <-chan units.Seconds, done chan<- error) {
+			for limit := range start {
+				s.scheduleFaultsUntil(limit)
+				done <- s.runUntil(limit)
+			}
+		}(shards[k].sim, starts[k], dones[k])
+	}
+	stop := func() {
+		for _, c := range starts {
+			close(c)
+		}
+	}
+
+	inf := units.Seconds(math.Inf(1))
+	nextReq := 0
+	var arrSeq uint64
+	for {
+		// The conservative bound: nothing anywhere can happen before T.
+		T := inf
+		for _, st := range shards {
+			if at, ok := st.sim.events.Peek(); ok && at < T {
+				T = at
+			}
+			if fn := st.sim.faultNext; fn < len(st.sim.faultSch) && st.sim.faultSch[fn].Down < T {
+				T = st.sim.faultSch[fn].Down
+			}
+		}
+		if nextReq < len(order) && reqs[order[nextReq]].Submit < T {
+			T = reqs[order[nextReq]].Submit
+		}
+		if math.IsInf(float64(T), 1) {
+			break
+		}
+		limit := T + window
+		// Route this window's arrivals in global submission order to the
+		// least-loaded shard, under globally-sequenced arrival seqs.
+		for nextReq < len(order) && reqs[order[nextReq]].Submit < limit {
+			best, bestLoad := 0, math.Inf(1)
+			for k, st := range shards {
+				if load := st.sim.loadLeft / float64(st.servers); load < bestLoad {
+					best, bestLoad = k, load
+				}
+			}
+			shards[best].sim.scheduleArrival(order[nextReq], arrSeq)
+			arrSeq++
+			nextReq++
+		}
+		for k := range shards {
+			starts[k] <- limit
+		}
+		var runErr error
+		for k := range shards {
+			if err := <-dones[k]; err != nil && runErr == nil {
+				runErr = fmt.Errorf("cloudsim: shard %d: %w", k, err)
+			}
+		}
+		if runErr != nil {
+			stop()
+			return Result{}, runErr
+		}
+	}
+	stop()
+
+	// Global workload span: every shard bills idle power and clamps
+	// downtime over the same [first, last] the monolithic run would use.
+	last := first
+	for _, st := range shards {
+		if st.sim.lastFinish > last {
+			last = st.sim.lastFinish
+		}
+	}
+	for k, st := range shards {
+		res, err := st.sim.finalize(first, last)
+		if err != nil {
+			return Result{}, fmt.Errorf("cloudsim: shard %d: %w", k, err)
+		}
+		st.res = res
+	}
+
+	var m Metrics
+	var respSum, waitSum float64
+	m.Makespan = last - first
+	for _, st := range shards {
+		r := &st.res.Metrics
+		m.Energy += r.Energy
+		m.Violations += r.Violations
+		m.TotalVMs += r.TotalVMs
+		m.TotalJobs += r.TotalJobs
+		m.ActiveServerSeconds += r.ActiveServerSeconds
+		m.Migrations += r.Migrations
+		m.ServersDrained += r.ServersDrained
+		m.FaultsInjected += r.FaultsInjected
+		m.VMsKilled += r.VMsKilled
+		m.Requeues += r.Requeues
+		m.WorkLost += r.WorkLost
+		m.DownServerSeconds += r.DownServerSeconds
+		// Upper bound: per-shard peaks need not be simultaneous.
+		m.PeakActiveServers += r.PeakActiveServers
+		respSum += st.sim.responseSum
+		waitSum += st.sim.waitSum
+	}
+	if m.TotalVMs > 0 {
+		m.AvgResponse = units.Seconds(respSum / float64(m.TotalVMs))
+		m.AvgWait = units.Seconds(waitSum / float64(m.TotalVMs))
+	}
+	// NominalWork sums in input order, not admission (routed) order:
+	// shards admit the same requests but in window/routing order, and a
+	// float sum must keep the monolithic run's addition order to stay
+	// bit-identical to it.
+	m.NominalWork = 0
+	for i := range reqs {
+		m.NominalWork += reqs[i].NominalTime * units.Seconds(reqs[i].VMs)
+	}
+
+	var recs []VMRecord
+	if cfg.RecordVMs {
+		n := 0
+		for _, st := range shards {
+			n += len(st.res.VMs)
+		}
+		recs = make([]VMRecord, 0, n)
+		for _, st := range shards {
+			for _, r := range st.res.VMs {
+				r.Server += st.base
+				recs = append(recs, r)
+			}
+		}
+		// Completion order, ties resolved by shard then shard-local
+		// retirement order — deterministic, and the identity permutation
+		// for one shard (a single shard retires in time order already).
+		sort.SliceStable(recs, func(i, j int) bool { return recs[i].Completion < recs[j].Completion })
+	}
+
+	if S > 1 {
+		if cfg.Obs != nil {
+			for _, st := range shards {
+				cfg.Obs.Merge(st.reg)
+			}
+		}
+		if cfg.Audit != nil || cfg.Sampler != nil {
+			audits := make([]*VMAudit, S)
+			samplers := make([]*FleetSampler, S)
+			bases := make([]int, S)
+			uidBases := make([]int, S)
+			uid := 0
+			for k, st := range shards {
+				audits[k], samplers[k], bases[k], uidBases[k] = st.audit, st.sampler, st.base, uid
+				uid += st.sim.uidSeq
+			}
+			if cfg.Audit != nil {
+				cfg.Audit.absorbShards(audits, bases, uidBases)
+			}
+			if cfg.Sampler != nil {
+				cfg.Sampler.absorbShards(samplers, bases, cfg.Servers)
+			}
+		}
+	}
+	return Result{Metrics: m, VMs: recs}, nil
+}
+
+// absorbShards folds per-shard audits into the user's collector:
+// server ids and VM uids are remapped into the global space (shard k's
+// uids are offset by the shards before it, so uids stay dense and
+// unique, though numbered differently than a monolithic run would) and
+// spans are ordered by end time, ties by shard — deterministic for a
+// deterministic run. The span/metric reconciliation invariants survive
+// the fold, since every count and sum is shard-additive.
+func (a *VMAudit) absorbShards(parts []*VMAudit, serverBase, uidBase []int) {
+	a.reset()
+	for k, p := range parts {
+		for _, sp := range p.spans {
+			sp.Server += serverBase[k]
+			sp.VMID += uidBase[k]
+			a.spans = append(a.spans, sp)
+		}
+	}
+	sort.SliceStable(a.spans, func(i, j int) bool { return a.spans[i].End < a.spans[j].End })
+}
+
+// absorbShards folds per-shard fleet samplers into the user's sampler:
+// the per-shard series are k-way merged by (time, shard), each merged
+// row re-aggregating the fleet totals — watts, active/down servers,
+// queue depth, running VMs, cumulative energy — as the sum of every
+// shard's most recent contribution, with the triggering server's id
+// remapped to the global space. QueueDepth thus sums per-shard queues
+// (the sharded engine has no single global queue). The merged series
+// flows through the same bounded ring, so capacity and downsampling
+// behave as in a monolithic run; BusyEnergy/IdleEnergy fold exactly
+// from the per-shard integrals, so TotalEnergy still reconciles with
+// Metrics.Energy.
+func (fs *FleetSampler) absorbShards(parts []*FleetSampler, serverBase []int, servers int) {
+	fs.reset(servers)
+	series := make([][]FleetSample, len(parts))
+	cursor := make([]int, len(parts))
+	latest := make([]FleetSample, len(parts))
+	for k, p := range parts {
+		series[k] = p.Samples()
+		if s := p.Stride(); s > fs.stride {
+			fs.stride = s
+		}
+	}
+	for {
+		best := -1
+		for k := range series {
+			if cursor[k] >= len(series[k]) {
+				continue
+			}
+			if best < 0 || series[k][cursor[k]].At < series[best][cursor[best]].At {
+				best = k
+			}
+		}
+		if best < 0 {
+			break
+		}
+		s := series[best][cursor[best]]
+		cursor[best]++
+		latest[best] = s
+		g := FleetSample{At: s.At, Server: s.Server + serverBase[best], ServerWatts: s.ServerWatts, ServerVMs: s.ServerVMs}
+		for _, l := range latest {
+			g.FleetWatts += l.FleetWatts
+			g.ActiveServers += l.ActiveServers
+			g.QueueDepth += l.QueueDepth
+			g.DownServers += l.DownServers
+			g.RunningVMs += l.RunningVMs
+			g.CumEnergy += l.CumEnergy
+		}
+		fs.push(g)
+	}
+	for k, p := range parts {
+		fs.cumEnergy += p.BusyEnergy()
+		fs.idleEnergy += p.IdleEnergy()
+		fs.fleetWatts += latest[k].FleetWatts
+		fs.runningVMs += latest[k].RunningVMs
+		fs.downServers += latest[k].DownServers
+	}
+}

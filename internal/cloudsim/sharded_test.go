@@ -1,0 +1,374 @@
+package cloudsim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"pacevm/internal/core"
+	"pacevm/internal/migrate"
+	"pacevm/internal/obs"
+	"pacevm/internal/strategy"
+	"pacevm/internal/trace"
+	"pacevm/internal/units"
+)
+
+// shardedCompare requires RunSharded under sc to reproduce Run exactly:
+// same Metrics, same VMRecord stream.
+func shardedCompare(t *testing.T, mkCfg func() Config, reqs []trace.Request, sc ShardConfig) {
+	t.Helper()
+	monoCfg := mkCfg()
+	monoCfg.RecordVMs = true
+	want, err := Run(monoCfg, reqs)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	shCfg := mkCfg()
+	shCfg.RecordVMs = true
+	got, err := RunSharded(shCfg, reqs, sc)
+	if err != nil {
+		t.Fatalf("RunSharded: %v", err)
+	}
+	if want.Metrics != got.Metrics {
+		t.Errorf("Metrics diverge:\nmonolithic %+v\nsharded    %+v", want.Metrics, got.Metrics)
+	}
+	if !reflect.DeepEqual(want.VMs, got.VMs) {
+		if len(want.VMs) != len(got.VMs) {
+			t.Fatalf("VMRecord count diverges: monolithic %d, sharded %d", len(want.VMs), len(got.VMs))
+		}
+		for i := range want.VMs {
+			if want.VMs[i] != got.VMs[i] {
+				t.Fatalf("VMRecord %d diverges:\nmonolithic %+v\nsharded    %+v", i, want.VMs[i], got.VMs[i])
+			}
+		}
+	}
+}
+
+// TestShardedOneShardByteIdentical pins the core equivalence claim: one
+// shard replays the monolithic Run byte for byte — across strategies,
+// backfill, consolidation and fault injection, and regardless of the
+// window width the lazy admission uses.
+func TestShardedOneShardByteIdentical(t *testing.T) {
+	db := sharedDB(t)
+	big := goldenWorkload(t, 11, 300)
+	mid := goldenWorkload(t, 12, 150)
+	small := goldenWorkload(t, 13, 60)
+
+	cases := []struct {
+		name   string
+		mkCfg  func() Config
+		reqs   []trace.Request
+		window units.Seconds
+	}{
+		{"FF-2/backfill4", func() Config {
+			return Config{DB: db, Servers: 12, Strategy: ff(t, 2), BackfillDepth: 4}
+		}, big, 0},
+		{"FF-2/window-1s", func() Config {
+			return Config{DB: db, Servers: 12, Strategy: ff(t, 2), BackfillDepth: 4}
+		}, big, 1},
+		{"BF-2/consolidate", func() Config {
+			return Config{DB: db, Servers: 10, Strategy: &strategy.BestFit{Multiplex: 2},
+				Consolidator: &migrate.Planner{DB: db, MigrationCost: 10}, MigrationCost: 10}
+		}, mid, 0},
+		{"PA-energy", func() Config {
+			return Config{DB: db, Servers: 8, Strategy: pa(t, core.GoalEnergy), BackfillDepth: 2}
+		}, small, 0},
+		{"FF-3/faults", func() Config {
+			return Config{DB: db, Servers: 10, Strategy: ff(t, 3), BackfillDepth: 3,
+				Faults: faultSchedule(t, 9, 10, 40000)}
+		}, big, 0},
+		{"FF-3/faults/window-300s", func() Config {
+			return Config{DB: db, Servers: 10, Strategy: ff(t, 3), BackfillDepth: 3,
+				Faults: faultSchedule(t, 9, 10, 40000)}
+		}, big, 300},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			shardedCompare(t, c.mkCfg, c.reqs, ShardConfig{Shards: 1, Window: c.window})
+		})
+	}
+}
+
+// TestShardedOneShardTelemetryIdentical: with one shard the caller's
+// telemetry handles are passed straight through, so the registry
+// snapshot, audit spans and sampler series must match the monolithic
+// run's exactly — not merely reconcile.
+func TestShardedOneShardTelemetryIdentical(t *testing.T) {
+	db := sharedDB(t)
+	reqs := goldenWorkload(t, 29, 250)
+	run := func(exec func(Config) (Result, error)) (Result, obs.Snapshot, []AuditSpan, []FleetSample, units.Joules) {
+		cfg := Config{
+			DB: db, Servers: 10, Strategy: ff(t, 2), BackfillDepth: 3,
+			Faults:  faultSchedule(t, 5, 10, 40000),
+			Obs:     obs.NewRegistry(),
+			Audit:   NewVMAudit(),
+			Sampler: NewFleetSampler(1024),
+		}
+		res, err := exec(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := cfg.Obs.Snapshot()
+		// The event list's occupancy high-water is a property of the
+		// engine, not the simulation: windowed lazy admission keeps the
+		// heap a fraction of the schedule-everything-up-front size, so
+		// this one gauge legitimately differs between the two paths.
+		delete(snap.Gauges, "eventq_depth_highwater")
+		return res, snap, cfg.Audit.Spans(), cfg.Sampler.Samples(), cfg.Sampler.TotalEnergy()
+	}
+	mRes, mSnap, mSpans, mSamples, mEnergy := run(func(cfg Config) (Result, error) { return Run(cfg, reqs) })
+	sRes, sSnap, sSpans, sSamples, sEnergy := run(func(cfg Config) (Result, error) {
+		return RunSharded(cfg, reqs, ShardConfig{Shards: 1})
+	})
+	if mRes.Metrics != sRes.Metrics {
+		t.Errorf("Metrics diverge:\nmonolithic %+v\nsharded    %+v", mRes.Metrics, sRes.Metrics)
+	}
+	if !reflect.DeepEqual(mSnap, sSnap) {
+		t.Errorf("registry snapshots diverge:\nmonolithic %+v\nsharded    %+v", mSnap, sSnap)
+	}
+	if !reflect.DeepEqual(mSpans, sSpans) {
+		t.Errorf("audit spans diverge (%d vs %d spans)", len(mSpans), len(sSpans))
+	}
+	if !reflect.DeepEqual(mSamples, sSamples) {
+		t.Errorf("sampler series diverge (%d vs %d samples)", len(mSamples), len(sSamples))
+	}
+	if mEnergy != sEnergy {
+		t.Errorf("sampler TotalEnergy diverges: %v vs %v", mEnergy, sEnergy)
+	}
+}
+
+// shardedStressConfig is the determinism workload: faults, backfill and
+// consolidation all active over a 16-server fleet.
+func shardedStressConfig(t *testing.T) (Config, []trace.Request) {
+	t.Helper()
+	db := sharedDB(t)
+	cfg := Config{
+		DB: db, Servers: 16, Strategy: ff(t, 2), BackfillDepth: 3,
+		Consolidator: &migrate.Planner{DB: db, MigrationCost: 10}, MigrationCost: 10,
+		Faults:    faultSchedule(t, 77, 16, 60000),
+		RecordVMs: true,
+	}
+	return cfg, goldenWorkload(t, 21, 400)
+}
+
+// TestShardedDeterminism: at every shard count the parallel run must be
+// bit-for-bit reproducible — identical Metrics and VMRecord streams
+// across repeated executions, with the fault and consolidation paths
+// active so cross-shard-adjacent machinery (re-queues, migrations,
+// kills) is all exercised.
+func TestShardedDeterminism(t *testing.T) {
+	cfg, reqs := shardedStressConfig(t)
+	for _, shards := range []int{2, 4, 8} {
+		shards := shards
+		t.Run(string(rune('0'+shards))+"-shards", func(t *testing.T) {
+			t.Parallel()
+			var first Result
+			for run := 0; run < 3; run++ {
+				res, err := RunSharded(cfg, reqs, ShardConfig{Shards: shards})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if run == 0 {
+					first = res
+					if res.VMsKilled == 0 || res.Requeues == 0 {
+						t.Fatalf("stress config injected no kills (%+v); determinism undertested", res.Metrics)
+					}
+					if res.TotalJobs != len(reqs) {
+						t.Fatalf("TotalJobs = %d, want %d", res.TotalJobs, len(reqs))
+					}
+					continue
+				}
+				if res.Metrics != first.Metrics {
+					t.Fatalf("run %d Metrics diverge:\nfirst %+v\nthis  %+v", run, first.Metrics, res.Metrics)
+				}
+				if !reflect.DeepEqual(res.VMs, first.VMs) {
+					t.Fatalf("run %d VMRecords diverge", run)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedStrategyFactory: the per-shard strategy factory builds a
+// private instance per shard, and the run stays deterministic.
+func TestShardedStrategyFactory(t *testing.T) {
+	cfg, reqs := shardedStressConfig(t)
+	sc := ShardConfig{Shards: 4, Strategy: func(shard int) (strategy.Strategy, error) {
+		return strategy.NewFirstFit(2)
+	}}
+	a, err := RunSharded(cfg, reqs, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSharded(cfg, reqs, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Metrics != b.Metrics || !reflect.DeepEqual(a.VMs, b.VMs) {
+		t.Error("factory-built shards are not deterministic")
+	}
+}
+
+// relErr is |a−b| relative to max(|a|,|b|), 0 when both are 0.
+func relErr(a, b float64) float64 {
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}
+
+// TestShardedMergeReconciliation: after a multi-shard run, the merged
+// telemetry must reconcile with the folded Metrics — audit span counts
+// and work-lost sums, sampler energy integrals (to 1e-9 relative; the
+// fold only reorders float additions), registry counters and quantile
+// counts — and the merged VMRecords must live in the global server
+// space.
+func TestShardedMergeReconciliation(t *testing.T) {
+	cfg, reqs := shardedStressConfig(t)
+	cfg.Obs = obs.NewRegistry()
+	cfg.Audit = NewVMAudit()
+	cfg.Sampler = NewFleetSampler(2048)
+	res, err := RunSharded(cfg, reqs, ShardConfig{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VMsKilled == 0 || res.Migrations == 0 {
+		t.Fatalf("stress run exercised too little: %+v", res.Metrics)
+	}
+
+	if len(res.VMs) != res.TotalVMs {
+		t.Errorf("%d VMRecords for %d finished VMs", len(res.VMs), res.TotalVMs)
+	}
+	for i, r := range res.VMs {
+		if r.Server < 0 || r.Server >= cfg.Servers {
+			t.Fatalf("record %d server %d outside the global fleet", i, r.Server)
+		}
+		if i > 0 && r.Completion < res.VMs[i-1].Completion {
+			t.Fatalf("record %d out of completion order", i)
+		}
+	}
+
+	// Audit reconciliation: the merged spans carry the same totals the
+	// folded Metrics do, with globally unique VM uids.
+	var finished, killed, requeued int
+	var workLost float64
+	uids := map[int]bool{}
+	for _, sp := range cfg.Audit.Spans() {
+		if uids[sp.VMID] {
+			t.Fatalf("duplicate merged VM uid %d", sp.VMID)
+		}
+		uids[sp.VMID] = true
+		if sp.Server < 0 || sp.Server >= cfg.Servers {
+			t.Fatalf("span uid %d server %d outside the global fleet", sp.VMID, sp.Server)
+		}
+		switch sp.Outcome {
+		case AuditFinished:
+			finished++
+		case AuditKilled:
+			killed++
+		}
+		if sp.Requeued {
+			requeued++
+		}
+		workLost += float64(sp.WorkLost)
+	}
+	if finished != res.TotalVMs || killed != res.VMsKilled || requeued != res.Requeues {
+		t.Errorf("audit counts (finished %d, killed %d, requeued %d) != metrics (%d, %d, %d)",
+			finished, killed, requeued, res.TotalVMs, res.VMsKilled, res.Requeues)
+	}
+	if e := relErr(workLost, float64(res.WorkLost)); e > 1e-9 {
+		t.Errorf("audit work lost %v vs metrics %v (rel err %g)", workLost, res.WorkLost, e)
+	}
+
+	// Sampler reconciliation: busy + idle energy integrals fold exactly
+	// per shard, so the total reconciles with the folded Metrics.Energy.
+	if e := relErr(float64(cfg.Sampler.TotalEnergy()), float64(res.Energy)); e > 1e-9 {
+		t.Errorf("sampler TotalEnergy %v vs Metrics.Energy %v (rel err %g)",
+			cfg.Sampler.TotalEnergy(), res.Energy, e)
+	}
+	samples := cfg.Sampler.Samples()
+	if len(samples) == 0 {
+		t.Fatal("merged sampler retained no samples")
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].At < samples[i-1].At {
+			t.Fatalf("merged sample %d out of time order", i)
+		}
+		if samples[i].CumEnergy < samples[i-1].CumEnergy {
+			t.Fatalf("merged sample %d cumulative energy regressed", i)
+		}
+	}
+
+	// Registry fold: counters sum across shards, quantile counts cover
+	// every retired VM.
+	snap := cfg.Obs.Snapshot()
+	if snap.Counters["sim_events_popped"] == 0 || snap.Counters["sim_intervals_closed"] == 0 {
+		t.Errorf("merged registry lost core counters: %+v", snap.Counters)
+	}
+	if got := snap.Counters["sim_vms_killed"]; got != int64(res.VMsKilled) {
+		t.Errorf("merged sim_vms_killed = %d, want %d", got, res.VMsKilled)
+	}
+	if got := snap.Quantiles["sim_vm_wait_seconds"].Count; got != int64(res.TotalVMs) {
+		t.Errorf("merged wait digest holds %d observations, want %d", got, res.TotalVMs)
+	}
+}
+
+// TestShardedLoadSpread: multi-shard routing must actually distribute
+// work — every shard of a dense workload should finish VMs, which the
+// merged records' server ids reveal.
+func TestShardedLoadSpread(t *testing.T) {
+	cfg, reqs := shardedStressConfig(t)
+	const shards = 4
+	res, err := RunSharded(cfg, reqs, ShardConfig{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := cfg.Servers / shards
+	seen := make([]int, shards)
+	for _, r := range res.VMs {
+		seen[r.Server/per]++
+	}
+	for k, n := range seen {
+		if n == 0 {
+			t.Errorf("shard %d finished no VMs; routing starved it (spread %v)", k, seen)
+		}
+	}
+}
+
+// TestShardedValidation covers the configuration rejections.
+func TestShardedValidation(t *testing.T) {
+	db := sharedDB(t)
+	reqs := goldenWorkload(t, 31, 20)
+	base := Config{DB: db, Servers: 4, Strategy: ff(t, 2)}
+	cases := []struct {
+		name string
+		cfg  Config
+		sc   ShardConfig
+	}{
+		{"zero-shards", base, ShardConfig{Shards: 0}},
+		{"more-shards-than-servers", base, ShardConfig{Shards: 5}},
+		{"negative-window", base, ShardConfig{Shards: 2, Window: -1}},
+		{"tracer-multi-shard", func() Config {
+			c := base
+			c.Tracer = obs.NewTracer()
+			return c
+		}(), ShardConfig{Shards: 2}},
+	}
+	for _, c := range cases {
+		if _, err := RunSharded(c.cfg, reqs, c.sc); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+	// A tracer with one shard is fine — the monolithic path.
+	c := base
+	c.Tracer = obs.NewTracer()
+	if _, err := RunSharded(c, reqs, ShardConfig{Shards: 1}); err != nil {
+		t.Errorf("tracer with one shard rejected: %v", err)
+	}
+	if c.Tracer.Len() == 0 {
+		t.Error("one-shard run recorded no trace events")
+	}
+}

@@ -112,3 +112,30 @@ func BenchmarkSimTrace(b *testing.B) {
 		return Run(cfg, reqs)
 	})
 }
+
+// benchSimShards drives the sharded parallel engine on the benchSim
+// workload shape and reports the shard count alongside, so BENCH_sim
+// entries carry the parallelism they were measured under (pacevm-
+// benchjson lifts it, with GOMAXPROCS, into dedicated fields).
+func benchSimShards(b *testing.B, servers, n int, gap units.Seconds, shards int) {
+	benchSim(b, servers, n, gap, func(cfg Config, reqs []trace.Request) (Result, error) {
+		return RunSharded(cfg, reqs, ShardConfig{Shards: shards})
+	})
+	b.ReportMetric(float64(shards), "shards")
+}
+
+// BenchmarkSimLargeShards{2,4,8} scale the BenchmarkSimLarge workload
+// across shard counts. The speedup over BenchmarkSimLarge is bounded by
+// the cores actually available — on a single-core runner the family
+// measures the sharding overhead instead (the recorded GOMAXPROCS says
+// which reading a BENCH_sim entry is).
+func BenchmarkSimLargeShards2(b *testing.B) { benchSimShards(b, 1000, 100_000, 1.5, 2) }
+func BenchmarkSimLargeShards4(b *testing.B) { benchSimShards(b, 1000, 100_000, 1.5, 4) }
+func BenchmarkSimLargeShards8(b *testing.B) { benchSimShards(b, 1000, 100_000, 1.5, 8) }
+
+// BenchmarkSimHuge* are the ROADMAP-scale entries: a 100k-server fleet
+// under 10M requests, checking per-request cost stays flat at 100× the
+// BenchmarkSimLarge fleet. Run with -benchtime 1x (see make bench-json);
+// at 2x the workload alone dominates the suite.
+func BenchmarkSimHuge(b *testing.B)        { benchSim(b, 100_000, 10_000_000, 0.015, Run) }
+func BenchmarkSimHugeShards8(b *testing.B) { benchSimShards(b, 100_000, 10_000_000, 0.015, 8) }

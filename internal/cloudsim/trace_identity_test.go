@@ -1,0 +1,63 @@
+package cloudsim
+
+import (
+	"bytes"
+	"testing"
+
+	"pacevm/internal/obs"
+)
+
+// TestTraceTypedArgsByteIdentical proves the typed args payloads the
+// trace hooks now emit serialize byte-identically to the historical
+// map[string]any form. The run covers every hook — arrivals, VM retire
+// and kill spans, hosting/down spans, queue-depth counters — under
+// faults and backfill; its trace file is decoded (which turns every
+// args object back into a map) and re-emitted verbatim, and the two
+// serializations must match byte for byte.
+func TestTraceTypedArgsByteIdentical(t *testing.T) {
+	db := sharedDB(t)
+	reqs := goldenWorkload(t, 44, 300)
+	tr := obs.NewTracer()
+	cfg := Config{
+		DB: db, Servers: 10, Strategy: ff(t, 3), BackfillDepth: 4,
+		Tracer: tr,
+		Faults: faultSchedule(t, 9, 10, 40000),
+	}
+	res, err := Run(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VMsKilled == 0 {
+		t.Fatal("workload produced no kills; the kill-span payload is untested")
+	}
+
+	var typed bytes.Buffer
+	if err := tr.WriteTo(&typed, nil); err != nil {
+		t.Fatal(err)
+	}
+	f, err := obs.ReadTraceFile(bytes.NewReader(typed.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := obs.NewTracer()
+	var argEvents int
+	for _, ev := range f.TraceEvents {
+		if ev.Args != nil {
+			if _, ok := ev.Args.(map[string]any); !ok {
+				t.Fatalf("decoded args are %T, want map[string]any", ev.Args)
+			}
+			argEvents++
+		}
+		legacy.Emit(ev)
+	}
+	if argEvents == 0 {
+		t.Fatal("no events carried args")
+	}
+	var remapped bytes.Buffer
+	if err := legacy.WriteTo(&remapped, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(typed.Bytes(), remapped.Bytes()) {
+		t.Error("typed-args trace is not byte-identical to the map-args serialization")
+	}
+}

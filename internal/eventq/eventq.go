@@ -43,6 +43,16 @@ type Handle struct {
 	gen  uint32
 }
 
+// SeqRuntimeBase is the first sequence number Schedule assigns. The
+// space below it is reserved for ScheduleSequenced: callers that merge
+// several deterministic event streams into one queue (the sharded
+// simulator's cross-shard admission messages) pre-assign sequence
+// numbers in that band, so a pre-sequenced event at time t always pops
+// before any Schedule-assigned event at the same t — exactly the order
+// a single-queue simulator that schedules its whole input up front
+// would produce, independent of when the merge delivers the message.
+const SeqRuntimeBase uint64 = 1 << 41
+
 // slot is one slab entry. A slot is live while pos >= 0; freeing it
 // bumps gen, invalidating any outstanding handles to the old event.
 type slot struct {
@@ -101,8 +111,32 @@ func (q *Queue) Reserve(n int) {
 	}
 }
 
-// Schedule adds ev at virtual time at and returns a cancellation handle.
+// Schedule adds ev at virtual time at and returns a cancellation
+// handle. Among equal timestamps, Schedule-assigned events pop in
+// scheduling order, always after any ScheduleSequenced event at the
+// same timestamp.
 func (q *Queue) Schedule(at units.Seconds, ev Event) Handle {
+	h := q.insert(at, SeqRuntimeBase+q.seq, ev)
+	q.seq++
+	return h
+}
+
+// ScheduleSequenced adds ev at virtual time at under a caller-assigned
+// sequence number, which must lie below SeqRuntimeBase (it panics
+// otherwise — the caller's band arithmetic is corrupt). Among equal
+// timestamps, pre-sequenced events pop in seq order and before every
+// Schedule-assigned event; the caller owns uniqueness of its seqs (the
+// pop order of duplicates is unspecified). See SeqRuntimeBase for why
+// the sharded simulator needs this.
+func (q *Queue) ScheduleSequenced(at units.Seconds, seq uint64, ev Event) Handle {
+	if seq >= SeqRuntimeBase {
+		panic("eventq: ScheduleSequenced seq in the runtime band")
+	}
+	return q.insert(at, seq, ev)
+}
+
+// insert places an event with an explicit sort sequence.
+func (q *Queue) insert(at units.Seconds, seq uint64, ev Event) Handle {
 	var idx int32
 	if n := len(q.free); n > 0 {
 		idx = q.free[n-1]
@@ -116,9 +150,8 @@ func (q *Queue) Schedule(at units.Seconds, ev Event) Handle {
 	}
 	sl := &q.slots[idx]
 	sl.at = at
-	sl.seq = q.seq
+	sl.seq = seq
 	sl.ev = ev
-	q.seq++
 	q.heap = append(q.heap, idx)
 	q.siftUp(len(q.heap) - 1)
 	q.depthHW.SetMax(int64(len(q.heap)))

@@ -1,0 +1,236 @@
+package eventq
+
+// Property tests for the sequence-band contract the sharded simulator
+// leans on: pre-sequenced events (the cross-shard admission bands below
+// SeqRuntimeBase) and Schedule-assigned runtime events interleave on one
+// queue, pushed in adversarial order and windowed batches, yet always
+// pop in global (time, sequence) order — with generation-checked handle
+// cancellation racing the interleave.
+
+import (
+	"sort"
+	"testing"
+
+	"pacevm/internal/units"
+)
+
+// lcg is a tiny deterministic generator so the adversarial interleave is
+// reproducible without seeding the global rng.
+type lcg uint64
+
+func (r *lcg) next() uint64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return uint64(*r >> 11)
+}
+
+// seqEvent is the oracle's record of one scheduled event.
+type seqEvent struct {
+	at  units.Seconds
+	seq uint64
+	arg int32
+}
+
+// TestSequencedBandsPopInGlobalOrder drives three bands — arrival-band
+// and fault-band seqs assigned up front but *pushed* in shuffled
+// windowed batches, runtime seqs assigned by Schedule as the pops
+// proceed — and checks the pop stream equals the (time, seq) sort of
+// everything scheduled, no matter when each event reached the queue.
+func TestSequencedBandsPopInGlobalOrder(t *testing.T) {
+	const (
+		arrivalBand = uint64(0)
+		faultBand   = uint64(1) << 40
+		nPre        = 600
+		window      = units.Seconds(50)
+	)
+	r := lcg(7)
+	var q Queue
+
+	// Pre-assigned band events: seqs numbered in timestamp order (as the
+	// sharded router does), then shuffled so push order is adversarial.
+	var pre []seqEvent
+	at := units.Seconds(0)
+	for i := 0; i < nPre; i++ {
+		at += units.Seconds(r.next() % 7) // frequent timestamp ties
+		band := arrivalBand
+		if i%3 == 0 {
+			band = faultBand
+		}
+		pre = append(pre, seqEvent{at: at, seq: band + uint64(i), arg: int32(i)})
+	}
+	horizon := at + window
+	shuffled := append([]seqEvent(nil), pre...)
+	for i := len(shuffled) - 1; i > 0; i-- {
+		j := int(r.next() % uint64(i+1))
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	}
+
+	// The oracle: every event that will ever exist, in (at, seq) order.
+	oracle := append([]seqEvent(nil), pre...)
+
+	// Window-by-window lazy admission of the shuffled pre-sequenced
+	// stream, with pops interleaved; each popped event may Schedule a
+	// runtime follow-up (a "completion"), which joins the oracle with
+	// the seq the queue reports through pop order. Admission is
+	// conservative, as the sharded coordinator's is: everything due
+	// before a window's limit is pushed before that window pops, and a
+	// random sprinkle of future events is pushed early (harmless — only
+	// late admission could reorder).
+	nextRuntimeArg := int32(nPre)
+	runtimeSeq := SeqRuntimeBase
+	admitted := make([]bool, len(shuffled))
+	remaining := len(shuffled)
+	var popped []seqEvent
+	for limit := window; ; limit += window {
+		for i := range shuffled {
+			if admitted[i] {
+				continue
+			}
+			if e := shuffled[i]; e.at < limit || r.next()%4 == 0 {
+				q.ScheduleSequenced(e.at, e.seq, Event{Kind: kindA, Arg: e.arg})
+				admitted[i] = true
+				remaining--
+			}
+		}
+		for {
+			pat, ok := q.Peek()
+			if !ok || pat >= limit {
+				break
+			}
+			pat2, ev, _ := q.Pop()
+			if pat2 != pat {
+				t.Fatalf("Pop returned %v after Peek %v", pat2, pat)
+			}
+			popped = append(popped, seqEvent{at: pat2, arg: ev.Arg})
+			// Every third pop spawns a runtime event, as completions do.
+			if len(popped)%3 == 0 {
+				fat := pat2 + units.Seconds(r.next()%40)
+				if fat < horizon+window {
+					q.Schedule(fat, Event{Kind: kindB, Arg: nextRuntimeArg})
+					oracle = append(oracle, seqEvent{at: fat, seq: runtimeSeq, arg: nextRuntimeArg})
+					runtimeSeq++
+					nextRuntimeArg++
+				}
+			}
+		}
+		if remaining == 0 && q.Len() == 0 {
+			break
+		}
+	}
+
+	sort.SliceStable(oracle, func(i, j int) bool {
+		if oracle[i].at != oracle[j].at {
+			return oracle[i].at < oracle[j].at
+		}
+		return oracle[i].seq < oracle[j].seq
+	})
+	if len(popped) != len(oracle) {
+		t.Fatalf("popped %d events, oracle holds %d", len(popped), len(oracle))
+	}
+	for i := range oracle {
+		if popped[i].arg != oracle[i].arg || popped[i].at != oracle[i].at {
+			t.Fatalf("pop %d = (t=%v, arg=%d), oracle (t=%v, seq=%d, arg=%d)",
+				i, popped[i].at, popped[i].arg, oracle[i].at, oracle[i].seq, oracle[i].arg)
+		}
+	}
+}
+
+// TestSequencedCancelAndStaleHandles interleaves band-scheduled and
+// runtime events, cancels a deterministic subset through their handles,
+// and checks (a) survivors pop in (time, seq) order, (b) handles of
+// popped events are stale even after their slots are reused, (c)
+// cancelling twice fails the second time.
+func TestSequencedCancelAndStaleHandles(t *testing.T) {
+	r := lcg(23)
+	var q Queue
+	type tracked struct {
+		e      seqEvent
+		h      Handle
+		cancel bool
+	}
+	var all []tracked
+	for i := 0; i < 400; i++ {
+		at := units.Seconds(r.next() % 500)
+		var e seqEvent
+		var h Handle
+		if i%2 == 0 {
+			e = seqEvent{at: at, seq: uint64(i), arg: int32(i)}
+			h = q.ScheduleSequenced(e.at, e.seq, Event{Kind: kindA, Arg: e.arg})
+		} else {
+			e = seqEvent{at: at, seq: SeqRuntimeBase + q.seq, arg: int32(i)}
+			h = q.Schedule(e.at, Event{Kind: kindA, Arg: e.arg})
+		}
+		all = append(all, tracked{e: e, h: h, cancel: r.next()%4 == 0})
+	}
+	var want []seqEvent
+	for i := range all {
+		if all[i].cancel {
+			if !q.Cancel(all[i].h) {
+				t.Fatalf("cancel %d failed on a live handle", i)
+			}
+			if q.Cancel(all[i].h) {
+				t.Fatalf("double cancel %d succeeded", i)
+			}
+			continue
+		}
+		want = append(want, all[i].e)
+	}
+	sort.SliceStable(want, func(i, j int) bool {
+		if want[i].at != want[j].at {
+			return want[i].at < want[j].at
+		}
+		return want[i].seq < want[j].seq
+	})
+	for i, w := range want {
+		at, ev, ok := q.Pop()
+		if !ok {
+			t.Fatalf("queue dry after %d pops, want %d", i, len(want))
+		}
+		if at != w.at || ev.Arg != w.arg {
+			t.Fatalf("pop %d = (t=%v, arg=%d), want (t=%v, arg=%d)", i, at, ev.Arg, w.at, w.arg)
+		}
+	}
+	if _, _, ok := q.Pop(); ok {
+		t.Fatal("queue still has events past the oracle")
+	}
+	// Reuse the slab, then probe every surviving handle: all stale.
+	for i := 0; i < 100; i++ {
+		q.Schedule(units.Seconds(i), Event{Kind: kindB, Arg: int32(i)})
+	}
+	for i := range all {
+		if all[i].cancel {
+			continue
+		}
+		if q.Valid(all[i].h) {
+			t.Fatalf("handle %d still valid after its event popped and slots were reused", i)
+		}
+		if q.Cancel(all[i].h) {
+			t.Fatalf("stale handle %d cancelled a reused slot's event", i)
+		}
+	}
+	if q.Len() != 100 {
+		t.Fatalf("stale cancels removed live events: %d left, want 100", q.Len())
+	}
+}
+
+// TestSequencedBandBoundary pins the band contract itself: at one
+// timestamp, arrival-band beats fault-band beats runtime, and a seq at
+// SeqRuntimeBase is rejected by ScheduleSequenced.
+func TestSequencedBandBoundary(t *testing.T) {
+	var q Queue
+	const at = units.Seconds(10)
+	q.Schedule(at, Event{Kind: kindB, Arg: 2})                         // runtime band
+	q.ScheduleSequenced(at, uint64(1)<<40, Event{Kind: kindA, Arg: 1}) // fault band
+	q.ScheduleSequenced(at, 0, Event{Kind: kindA, Arg: 0})             // arrival band
+	for wantArg := int32(0); wantArg <= 2; wantArg++ {
+		_, ev, ok := q.Pop()
+		if !ok || ev.Arg != wantArg {
+			t.Fatalf("pop = (%+v, %t), want arg %d", ev, ok, wantArg)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ScheduleSequenced accepted a runtime-band seq")
+		}
+	}()
+	q.ScheduleSequenced(at, SeqRuntimeBase, Event{})
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestQuantileMergeExactFolds checks the exactly-folded digest state —
+// count, min, max — and that merged quantile estimates stay within the
+// sketch's rank-error bound of the true combined-stream quantiles.
+func TestQuantileMergeExactFolds(t *testing.T) {
+	a, b := NewQuantile(), NewQuantile()
+	var all []float64
+	// Disjoint-ish ranges with overlap, enough volume to force several
+	// compactions on each side.
+	x := 1.0
+	for i := 0; i < 5000; i++ {
+		x = math.Mod(x*997+13, 4096)
+		a.Observe(x)
+		all = append(all, x)
+	}
+	for i := 0; i < 3000; i++ {
+		x = math.Mod(x*1013+7, 8192)
+		b.Observe(x)
+		all = append(all, x)
+	}
+	bBefore := b.Snapshot()
+	a.Merge(b)
+
+	if got, want := a.Count(), int64(len(all)); got != want {
+		t.Fatalf("merged count = %d, want %d", got, want)
+	}
+	sort.Float64s(all)
+	if a.Min() != all[0] || a.Max() != all[len(all)-1] {
+		t.Errorf("merged min/max = %v/%v, want %v/%v", a.Min(), a.Max(), all[0], all[len(all)-1])
+	}
+	if got := b.Snapshot(); got != bBefore {
+		t.Errorf("Merge mutated its source: %+v vs %+v", got, bBefore)
+	}
+	// Rank error: a digest-of-digests carries at most twice the single
+	// sketch's ~1/quantileCentroids rank-error budget.
+	tol := 2.5 / quantileCentroids * float64(len(all))
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		got := a.Quantile(p)
+		rank := sort.SearchFloat64s(all, got)
+		want := p * float64(len(all)-1)
+		if math.Abs(float64(rank)-want) > tol {
+			t.Errorf("Quantile(%v) = %v lands at rank %d, want %v ± %v", p, got, rank, want, tol)
+		}
+	}
+}
+
+// TestQuantileMergeDeterministic: folding identical per-shard digests in
+// the same order twice yields identical snapshots — the property the
+// sharded runner's determinism stress test composes on.
+func TestQuantileMergeDeterministic(t *testing.T) {
+	build := func() *Quantile {
+		q := NewQuantile()
+		x := 3.0
+		for i := 0; i < 2000; i++ {
+			x = math.Mod(x*1009+29, 1024)
+			q.Observe(x)
+		}
+		return q
+	}
+	run := func() QuantileSnapshot {
+		dst := NewQuantile()
+		for k := 0; k < 4; k++ {
+			dst.Merge(build())
+		}
+		return dst.Snapshot()
+	}
+	first := run()
+	if first.Count != 8000 {
+		t.Fatalf("count = %d, want 8000", first.Count)
+	}
+	for i := 0; i < 3; i++ {
+		if got := run(); got != first {
+			t.Fatalf("merge is not deterministic: %+v vs %+v", got, first)
+		}
+	}
+}
+
+// TestQuantileMergeEdgeCases: nil receivers/sources, empty sources and
+// self-merge are all no-ops.
+func TestQuantileMergeEdgeCases(t *testing.T) {
+	var nilQ *Quantile
+	nilQ.Merge(NewQuantile()) // must not panic
+	q := NewQuantile()
+	q.Observe(5)
+	q.Merge(nilQ)
+	q.Merge(NewQuantile())
+	q.Merge(q)
+	want := QuantileSnapshot{Count: 1, Min: 5, Max: 5, P50: 5, P90: 5, P99: 5}
+	if got := q.Snapshot(); got != want {
+		t.Errorf("after no-op merges: %+v, want %+v", got, want)
+	}
+	// Merging a populated digest into an empty one adopts its state.
+	dst := NewQuantile()
+	dst.Merge(q)
+	if got := dst.Snapshot(); got != want {
+		t.Errorf("empty.Merge(q): %+v, want %+v", got, want)
+	}
+}
+
+// TestRegistryMerge folds two registries and checks every instrument
+// kind: counters add, gauges high-water, histograms add buckets/sums,
+// quantiles merge, and instruments absent in the destination are
+// created.
+func TestRegistryMerge(t *testing.T) {
+	dst, src := NewRegistry(), NewRegistry()
+	dst.Counter("events").Add(10)
+	src.Counter("events").Add(32)
+	src.Counter("src_only").Add(7)
+	dst.Gauge("peak").Set(40)
+	src.Gauge("peak").Set(25)
+	src.Gauge("peak_hi").Set(99)
+	bounds := []float64{1, 10, 100}
+	for _, v := range []float64{0.5, 5, 50} {
+		dst.Histogram("lat", bounds...).Observe(v)
+	}
+	for _, v := range []float64{5, 500, 0.25} {
+		src.Histogram("lat", bounds...).Observe(v)
+	}
+	for i := 0; i < 100; i++ {
+		dst.Quantile("wait").Observe(float64(i))
+		src.Quantile("wait").Observe(float64(100 + i))
+	}
+
+	srcBefore := src.Snapshot()
+	dst.Merge(src)
+	dst.Merge(nil)
+	dst.Merge(dst)
+	var nilReg *Registry
+	nilReg.Merge(src) // must not panic
+
+	s := dst.Snapshot()
+	if got := s.Counters["events"]; got != 42 {
+		t.Errorf("events = %d, want 42", got)
+	}
+	if got := s.Counters["src_only"]; got != 7 {
+		t.Errorf("src_only = %d, want 7", got)
+	}
+	if got := s.Gauges["peak"]; got != 40 {
+		t.Errorf("peak = %d, want 40 (high-water, not overwrite)", got)
+	}
+	if got := s.Gauges["peak_hi"]; got != 99 {
+		t.Errorf("peak_hi = %d, want 99", got)
+	}
+	h := s.Histograms["lat"]
+	if h.Count != 6 || h.Sum != 560.75 {
+		t.Errorf("lat count/sum = %d/%v, want 6/560.75", h.Count, h.Sum)
+	}
+	if want := []int64{2, 2, 1, 1}; !reflect.DeepEqual(h.Counts, want) {
+		t.Errorf("lat buckets = %v, want %v", h.Counts, want)
+	}
+	q := s.Quantiles["wait"]
+	if q.Count != 200 || q.Min != 0 || q.Max != 199 {
+		t.Errorf("wait digest = %+v, want count 200 min 0 max 199", q)
+	}
+	if q.P50 < 80 || q.P50 > 120 {
+		t.Errorf("wait P50 = %v, want ≈ 99.5", q.P50)
+	}
+	if got := src.Snapshot(); !reflect.DeepEqual(got, srcBefore) {
+		t.Errorf("Merge mutated its source")
+	}
+}

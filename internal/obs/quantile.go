@@ -102,12 +102,17 @@ func (q *Quantile) compact() {
 		}
 	}
 	q.buf = q.buf[:0]
+	q.cs = regroup(merged)
+}
+
+// regroup collapses a sorted centroid sequence into at most
+// quantileCentroids equal-weight groups, in place; short sequences pass
+// through untouched. Consecutive entries collapse until each group
+// carries ceil(total/quantileCentroids) weight.
+func regroup(merged []qcentroid) []qcentroid {
 	if len(merged) <= quantileCentroids {
-		q.cs = merged
-		return
+		return merged
 	}
-	// Equal-weight grouping: consecutive entries collapse until each
-	// group carries ceil(total/quantileCentroids) weight.
 	var total int64
 	for _, c := range merged {
 		total += c.w
@@ -126,7 +131,67 @@ func (q *Quantile) compact() {
 	if cur.w > 0 {
 		out = append(out, cur)
 	}
-	q.cs = append(q.cs[:0], out...)
+	return out
+}
+
+// Merge absorbs another digest's state into q — the cross-shard fold of
+// the sharded simulator. o's staged observations and centroids merge
+// into q's centroid list in value order and the result recompacts, so
+// the outcome is deterministic given the two digests' states. It is a
+// digest of digests: its centroids need not equal those of one digest
+// fed the interleaved stream, but the rank-error bound composes (each
+// input's error is bounded, and grouping only coarsens by the same
+// budget rule). Count, min and max fold exactly. o is left unchanged;
+// merging nil into anything, anything into nil, or a digest into itself
+// is a no-op.
+func (q *Quantile) Merge(o *Quantile) {
+	if q == nil || o == nil || q == o {
+		return
+	}
+	o.mu.Lock()
+	ocs := append([]qcentroid(nil), o.cs...)
+	obuf := append([]float64(nil), o.buf...)
+	count, min, max := o.count, o.min, o.max
+	o.mu.Unlock()
+	if count == 0 {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.count += count
+	if min < q.min {
+		q.min = min
+	}
+	if max > q.max {
+		q.max = max
+	}
+	// Fold o's staging into its centroid sequence, value-ordered.
+	sort.Float64s(obuf)
+	oc := make([]qcentroid, 0, len(ocs)+len(obuf))
+	i, j := 0, 0
+	for i < len(ocs) || j < len(obuf) {
+		if j >= len(obuf) || (i < len(ocs) && ocs[i].mean <= obuf[j]) {
+			oc = append(oc, ocs[i])
+			i++
+		} else {
+			oc = append(oc, qcentroid{mean: obuf[j], w: 1})
+			j++
+		}
+	}
+	// Flush q's own staging, merge the two sorted lists, regroup.
+	q.compact()
+	merged := make([]qcentroid, 0, len(q.cs)+len(oc))
+	i, j = 0, 0
+	for i < len(q.cs) || j < len(oc) {
+		if j >= len(oc) || (i < len(q.cs) && q.cs[i].mean <= oc[j].mean) {
+			merged = append(merged, q.cs[i])
+			i++
+		} else {
+			merged = append(merged, oc[j])
+			j++
+		}
+	}
+	q.cs = regroup(merged)
 }
 
 // Count returns the number of observations; 0 on a nil receiver.

@@ -301,6 +301,73 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
+// Merge folds another registry's instruments into r — the cross-shard
+// fold of the sharded simulator. Counters add; gauges fold as
+// high-water marks (every gauge in this stack is one — peak active
+// servers, peak queue depth); histograms add per-bucket counts, counts
+// and sums (the destination is created with the source's bounds when
+// absent; a pre-existing destination keeps its own bounds and buckets
+// fold positionally up to the shorter length, which is exact whenever
+// the same instrument name is registered with the same bounds
+// everywhere, as the simulator's are); quantile digests merge sketches
+// (see Quantile.Merge). Instruments absent in r are created. The fold
+// is deterministic for deterministic inputs and call order — the
+// sharded runner merges per-shard registries in shard order at the
+// final barrier. Merging from nil, into nil, or a registry into itself
+// is a no-op; from is left unchanged.
+func (r *Registry) Merge(from *Registry) {
+	if r == nil || from == nil || r == from {
+		return
+	}
+	from.mu.Lock()
+	counters := make(map[string]*Counter, len(from.counters))
+	for name, c := range from.counters {
+		counters[name] = c
+	}
+	gauges := make(map[string]*Gauge, len(from.gauges))
+	for name, g := range from.gauges {
+		gauges[name] = g
+	}
+	histograms := make(map[string]*Histogram, len(from.histograms))
+	for name, h := range from.histograms {
+		histograms[name] = h
+	}
+	quantiles := make(map[string]*Quantile, len(from.quantiles))
+	for name, q := range from.quantiles {
+		quantiles[name] = q
+	}
+	from.mu.Unlock()
+
+	for _, name := range SortedNames(counters) {
+		r.Counter(name).Add(counters[name].Value())
+	}
+	for _, name := range SortedNames(gauges) {
+		r.Gauge(name).SetMax(gauges[name].Value())
+	}
+	for _, name := range SortedNames(histograms) {
+		h := histograms[name]
+		dst := r.Histogram(name, h.bounds...)
+		n := len(h.counts)
+		if len(dst.counts) < n {
+			n = len(dst.counts)
+		}
+		for i := 0; i < n; i++ {
+			dst.counts[i].Add(h.counts[i].Load())
+		}
+		dst.count.Add(h.Count())
+		for v := h.Sum(); ; {
+			old := dst.sum.Load()
+			new := math.Float64bits(math.Float64frombits(old) + v)
+			if dst.sum.CompareAndSwap(old, new) {
+				break
+			}
+		}
+	}
+	for _, name := range SortedNames(quantiles) {
+		r.Quantile(name).Merge(quantiles[name])
+	}
+}
+
 // published maps expvar names to the indirection cell their expvar.Func
 // reads, so re-publishing under a reused name (tests, repeated runs in
 // one process) swaps the registry instead of hitting expvar.Publish's

@@ -3,7 +3,10 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"math"
+	"strconv"
 	"sync"
+	"unicode/utf8"
 )
 
 // Tracer records a run timeline in the Chrome trace-event JSON format
@@ -33,18 +36,26 @@ const (
 
 // TraceEvent is one entry of the traceEvents array. Fields follow the
 // Chrome trace-event format; Ts and Dur are microseconds.
+//
+// Args is any JSON-serializable value. Hot emitters pass a small typed
+// struct instead of a map[string]any — a struct whose exported fields
+// are tagged in ascending key order serializes byte-identically to the
+// equivalent map (encoding/json sorts map keys) while costing one
+// interface allocation instead of a map plus one boxing allocation per
+// entry. Decoding (ReadTraceFile) always yields map[string]any, so
+// readers are unaffected.
 type TraceEvent struct {
-	Name  string         `json:"name"`
-	Cat   string         `json:"cat,omitempty"`
-	Phase string         `json:"ph"`
-	Ts    float64        `json:"ts"`
-	Dur   float64        `json:"dur,omitempty"`
-	Pid   int            `json:"pid"`
-	Tid   int            `json:"tid"`
-	ID    int            `json:"id,omitempty"`
-	Scope string         `json:"s,omitempty"`  // instant scope ("t" = thread)
-	BindP string         `json:"bp,omitempty"` // flow binding ("e" = enclosing slice)
-	Args  map[string]any `json:"args,omitempty"`
+	Name  string  `json:"name"`
+	Cat   string  `json:"cat,omitempty"`
+	Phase string  `json:"ph"`
+	Ts    float64 `json:"ts"`
+	Dur   float64 `json:"dur,omitempty"`
+	Pid   int     `json:"pid"`
+	Tid   int     `json:"tid"`
+	ID    int     `json:"id,omitempty"`
+	Scope string  `json:"s,omitempty"`  // instant scope ("t" = thread)
+	BindP string  `json:"bp,omitempty"` // flow binding ("e" = enclosing slice)
+	Args  any     `json:"args,omitempty"`
 }
 
 // TraceFile is the emitted JSON document: the trace-event envelope plus
@@ -77,8 +88,9 @@ func (t *Tracer) Emit(ev TraceEvent) {
 func usec(sec float64) float64 { return sec * 1e6 }
 
 // Span records a complete slice on (pid, tid) from start to end, both
-// in simulated seconds.
-func (t *Tracer) Span(name, cat string, pid, tid int, start, end float64, args map[string]any) {
+// in simulated seconds. args may be nil, a map, or a typed struct (see
+// TraceEvent.Args).
+func (t *Tracer) Span(name, cat string, pid, tid int, start, end float64, args any) {
 	if t == nil {
 		return
 	}
@@ -86,7 +98,7 @@ func (t *Tracer) Span(name, cat string, pid, tid int, start, end float64, args m
 }
 
 // Instant records a point event at ts simulated seconds.
-func (t *Tracer) Instant(name, cat string, pid, tid int, ts float64, args map[string]any) {
+func (t *Tracer) Instant(name, cat string, pid, tid int, ts float64, args any) {
 	if t == nil {
 		return
 	}
@@ -99,7 +111,104 @@ func (t *Tracer) Counter(name string, pid, tid int, ts float64, series string, v
 	if t == nil {
 		return
 	}
-	t.Emit(TraceEvent{Name: name, Phase: PhaseCounter, Ts: usec(ts), Pid: pid, Tid: tid, Args: map[string]any{series: value}})
+	t.Emit(TraceEvent{Name: name, Phase: PhaseCounter, Ts: usec(ts), Pid: pid, Tid: tid, Args: SeriesSample{Series: series, Value: value}})
+}
+
+// SeriesSample is the args payload of a counter event: one series name
+// mapped to one value. It hand-encodes the {"<series>":<value>} object
+// so the hottest periodic emitter (the simulator's queue-depth track)
+// skips the per-sample map and boxing allocations; the encoding matches
+// what encoding/json produces for the equivalent map[string]any byte
+// for byte (pinned by TestTypedArgsMatchMapEncoding).
+type SeriesSample struct {
+	Series string
+	Value  float64
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s SeriesSample) MarshalJSON() ([]byte, error) {
+	b := make([]byte, 0, len(s.Series)+27)
+	b = appendJSONString(append(b, '{'), s.Series)
+	b = appendJSONFloat(append(b, ':'), s.Value)
+	return append(b, '}'), nil
+}
+
+// appendJSONFloat renders a float64 exactly as encoding/json does:
+// shortest round-trip form, fixed notation inside [1e-6, 1e21), and the
+// exponent's leading zero trimmed outside it. Non-finite values are
+// invalid in JSON; encode them as null (encoding/json errors instead,
+// but a counter sample must never abort a trace flush).
+func appendJSONFloat(b []byte, f float64) []byte {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return append(b, "null"...)
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+// jsonHex is the lowercase alphabet \u00xx escapes use.
+const jsonHex = "0123456789abcdef"
+
+// appendJSONString renders a quoted string exactly as encoding/json
+// does with HTML escaping on (the json.Encoder default WriteTo uses):
+// printable ASCII passes through except ", \, <, > and &; control
+// bytes, invalid UTF-8 and the LINE/PARAGRAPH SEPARATOR runes escape.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&' {
+				i++
+				continue
+			}
+			b = append(b, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				b = append(b, '\\', c)
+			case '\n':
+				b = append(b, '\\', 'n')
+			case '\r':
+				b = append(b, '\\', 'r')
+			case '\t':
+				b = append(b, '\\', 't')
+			default:
+				b = append(b, '\\', 'u', '0', '0', jsonHex[c>>4], jsonHex[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if r == '\u2028' || r == '\u2029' {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', '2', '0', '2', jsonHex[r&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
 }
 
 // FlowStart/FlowFinish draw an arrow (id-matched, same name and cat)
