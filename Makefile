@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build verify test race race-sim race-faults race-shards audit-smoke fuzz-smoke vet bench bench-alloc bench-json cover trace clean
+.PHONY: all build verify test race race-sim race-faults race-shards audit-smoke scale-smoke fuzz-smoke vet bench bench-alloc bench-json profile-huge cover trace clean
 
 all: verify
 
@@ -10,7 +10,7 @@ build:
 # verify is the tier-1 gate: compile, static checks, full test suite,
 # the race detector over the simulator hot-path packages, and the
 # observability smoke.
-verify: build vet test race-sim race-faults race-shards audit-smoke
+verify: build vet test race-sim race-faults race-shards audit-smoke scale-smoke
 
 test:
 	$(GO) test ./...
@@ -44,6 +44,14 @@ race-shards:
 audit-smoke:
 	$(GO) test -count=1 -run 'TestRunAuditSeries' ./cmd/pacevm-sim
 
+# scale-smoke is the short-mode scaling gate: the fleet-scan counter
+# pins placement work to O(requests) regardless of fleet size, and the
+# wall-clock ratio test asserts per-request cost stays flat from a
+# 64-server to a 4096-server fleet — the cheap guard against an
+# O(servers)-per-event path creeping back in.
+scale-smoke:
+	$(GO) test -short -count=1 -run 'TestFleetScanScaling|TestPerRequestScalingSmoke' ./internal/cloudsim
+
 # fuzz-smoke gives each text-input parser a short adversarial burst
 # (one package per invocation, as go test -fuzz requires).
 fuzz-smoke:
@@ -65,12 +73,25 @@ bench-alloc:
 # bench-json records the large-simulation benchmarks (optimized event
 # loop vs the retained reference, the telemetry-on and sampler-on
 # overhead pairs, and the sharded-engine family) as BENCH_sim.json. The
-# 100k-server/10M-request SimHuge pair runs once per entry in a second
-# invocation — at 2x it would dominate the suite.
+# 100k-server/10M-request SimHuge pair gets its own invocation at
+# -benchtime 1x -count 2 — two single-iteration samples pacevm-benchjson
+# folds into one entry (at -benchtime 2x inside the main sweep it would
+# dominate the suite) — and the -require floor fails the recording if a
+# huge entry ever lands on a single noisy sample again.
 bench-json:
 	{ $(GO) test -run NONE -bench 'BenchmarkSim(Large|Trace)' -benchtime 2x -benchmem ./internal/cloudsim \
-		&& $(GO) test -run NONE -bench 'BenchmarkSimHuge' -benchtime 1x -benchmem ./internal/cloudsim; } \
-		| $(GO) run ./cmd/pacevm-benchjson -o BENCH_sim.json
+		&& $(GO) test -run NONE -bench 'BenchmarkSimHuge' -benchtime 1x -count 2 -benchmem ./internal/cloudsim; } \
+		| $(GO) run ./cmd/pacevm-benchjson -require 'SimHuge=2' -o BENCH_sim.json
+
+# profile-huge records a CPU profile of the 100k-server/10M-request
+# BenchmarkSimHuge and prints the top consumers — the reproducible
+# evidence behind the hot-path work (DESIGN.md, "Flat per-request cost
+# at fleet scale"). Artifacts: huge.cpu.out + huge.test.bin, inspect
+# interactively with `go tool pprof huge.test.bin huge.cpu.out`.
+profile-huge:
+	$(GO) test -run NONE -bench 'BenchmarkSimHuge$$' -benchtime 1x -cpu 1 -benchmem \
+		-cpuprofile huge.cpu.out -o huge.test.bin ./internal/cloudsim
+	$(GO) tool pprof -top -nodecount 25 huge.test.bin huge.cpu.out
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...
@@ -83,4 +104,4 @@ trace:
 
 clean:
 	$(GO) clean ./...
-	rm -f cover.out
+	rm -f cover.out huge.cpu.out huge.test.bin

@@ -6,6 +6,16 @@
 // Usage:
 //
 //	go test -bench Sim -benchmem ./internal/cloudsim | pacevm-benchjson -o BENCH_sim.json
+//
+// Repeated result lines for one benchmark (go test -count=N, or the
+// same benchmark fed from several invocations) fold into a single
+// entry: iteration counts sum, per-op values average weighted by
+// iterations, and the samples field records how many lines went in —
+// the per-benchmark count override that lets a heavyweight benchmark
+// run -benchtime 1x -count 2 and still land as one well-sampled entry.
+// A -require flag (repeatable, "regexp=minSamples") turns the sampling
+// floor into a hard failure, so a recording run cannot silently commit
+// a single noisy sample for an entry that needs more.
 package main
 
 import (
@@ -15,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 
@@ -33,6 +44,7 @@ type Benchmark struct {
 	Gomaxprocs  int                `json:"gomaxprocs"`
 	Shards      int                `json:"shards,omitempty"`
 	Runs        int64              `json:"runs"`
+	Samples     int                `json:"samples"`
 	NsPerOp     float64            `json:"ns_per_op"`
 	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
@@ -96,7 +108,7 @@ func parseLine(line string) (Benchmark, error) {
 	if err != nil {
 		return Benchmark{}, fmt.Errorf("bad run count in %q: %v", line, err)
 	}
-	b := Benchmark{Name: f[0], Gomaxprocs: 1, Runs: runs}
+	b := Benchmark{Name: f[0], Gomaxprocs: 1, Runs: runs, Samples: 1}
 	if i := strings.LastIndex(b.Name, "-"); i > 0 {
 		if n, err := strconv.Atoi(b.Name[i+1:]); err == nil && n > 0 {
 			b.Name, b.Gomaxprocs = b.Name[:i], n
@@ -131,13 +143,99 @@ func parseLine(line string) (Benchmark, error) {
 	return b, nil
 }
 
-func run(in io.Reader, outPath string) error {
+// merge folds repeated result lines for the same benchmark — same
+// name, GOMAXPROCS and shard count — into one entry: iterations sum,
+// per-op values become iteration-weighted averages, and samples counts
+// the folded lines. First-seen order is preserved.
+func merge(in []Benchmark) []Benchmark {
+	type key struct {
+		name          string
+		procs, shards int
+	}
+	idx := make(map[key]int)
+	out := make([]Benchmark, 0, len(in))
+	for _, b := range in {
+		k := key{b.Name, b.Gomaxprocs, b.Shards}
+		i, seen := idx[k]
+		if !seen {
+			idx[k] = len(out)
+			out = append(out, b)
+			continue
+		}
+		a := &out[i]
+		wa, wb := float64(a.Runs), float64(b.Runs)
+		wsum := wa + wb
+		avg := func(x, y float64) float64 { return (x*wa + y*wb) / wsum }
+		a.NsPerOp = avg(a.NsPerOp, b.NsPerOp)
+		a.BytesPerOp = avg(a.BytesPerOp, b.BytesPerOp)
+		a.AllocsPerOp = avg(a.AllocsPerOp, b.AllocsPerOp)
+		for unit, v := range b.Metrics {
+			if a.Metrics == nil {
+				a.Metrics = map[string]float64{}
+			}
+			a.Metrics[unit] = avg(a.Metrics[unit], v)
+		}
+		a.Runs += b.Runs
+		a.Samples += b.Samples
+	}
+	return out
+}
+
+// requirement is one parsed -require flag: every benchmark whose name
+// matches pat must carry at least minSamples folded samples, and at
+// least one benchmark must match.
+type requirement struct {
+	pat        *regexp.Regexp
+	minSamples int
+}
+
+func parseRequirement(s string) (requirement, error) {
+	eq := strings.LastIndex(s, "=")
+	if eq <= 0 {
+		return requirement{}, fmt.Errorf("bad -require %q, want regexp=minSamples", s)
+	}
+	n, err := strconv.Atoi(s[eq+1:])
+	if err != nil || n < 1 {
+		return requirement{}, fmt.Errorf("bad -require sample floor in %q", s)
+	}
+	pat, err := regexp.Compile(s[:eq])
+	if err != nil {
+		return requirement{}, fmt.Errorf("bad -require pattern in %q: %v", s, err)
+	}
+	return requirement{pat: pat, minSamples: n}, nil
+}
+
+func enforce(benchmarks []Benchmark, reqs []requirement) error {
+	for _, r := range reqs {
+		matched := false
+		for _, b := range benchmarks {
+			if !r.pat.MatchString(b.Name) {
+				continue
+			}
+			matched = true
+			if b.Samples < r.minSamples {
+				return fmt.Errorf("benchmark %s has %d samples, -require %s wants >= %d",
+					b.Name, b.Samples, r.pat, r.minSamples)
+			}
+		}
+		if !matched {
+			return fmt.Errorf("-require pattern %s matched no benchmark", r.pat)
+		}
+	}
+	return nil
+}
+
+func run(in io.Reader, outPath string, reqs []requirement) error {
 	rep, err := parse(in)
 	if err != nil {
 		return err
 	}
 	if len(rep.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark result lines found on input")
+	}
+	rep.Benchmarks = merge(rep.Benchmarks)
+	if err := enforce(rep.Benchmarks, reqs); err != nil {
+		return err
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -154,6 +252,8 @@ func run(in io.Reader, outPath string) error {
 func main() {
 	out := flag.String("o", "-", "output file ('-' for stdout)")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address (e.g. :6060)")
+	var requires requireFlags
+	flag.Var(&requires, "require", "regexp=minSamples sampling floor (repeatable); fails if a matching benchmark folded fewer samples")
 	flag.Parse()
 	if *debugAddr != "" {
 		ds, err := obs.ServeDebug(*debugAddr, nil)
@@ -164,8 +264,22 @@ func main() {
 		defer ds.Close()
 		fmt.Fprintf(os.Stderr, "debug server: http://%s/debug/pprof/ and /debug/vars\n", ds.Addr())
 	}
-	if err := run(os.Stdin, *out); err != nil {
+	if err := run(os.Stdin, *out, requires); err != nil {
 		fmt.Fprintln(os.Stderr, "pacevm-benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// requireFlags accumulates repeated -require flags.
+type requireFlags []requirement
+
+func (r *requireFlags) String() string { return fmt.Sprint(len(*r), " requirements") }
+
+func (r *requireFlags) Set(s string) error {
+	req, err := parseRequirement(s)
+	if err != nil {
+		return err
+	}
+	*r = append(*r, req)
+	return nil
 }

@@ -86,13 +86,84 @@ func TestParseLineRejectsGarbage(t *testing.T) {
 }
 
 func TestParseEmptyInput(t *testing.T) {
-	if err := run(strings.NewReader("PASS\n"), "-"); err == nil {
+	if err := run(strings.NewReader("PASS\n"), "-", nil); err == nil {
 		t.Error("run accepted input with no benchmark lines")
 	}
 }
 
 func TestRunRejectsUnwritableOutput(t *testing.T) {
-	if err := run(strings.NewReader(sample), "/proc/definitely/not/writable.json"); err == nil {
+	if err := run(strings.NewReader(sample), "/proc/definitely/not/writable.json", nil); err == nil {
 		t.Error("unwritable output path should fail")
+	}
+}
+
+// TestMerge: repeated result lines for one benchmark (go test -count=N)
+// fold into a single entry — iterations summed, per-op values averaged
+// weighted by iterations, samples counting the folded lines — while
+// distinct parallelism stays distinct.
+func TestMerge(t *testing.T) {
+	const counted = `goos: linux
+BenchmarkSimHuge 	       1	 100 ns/op	    1000 req/s
+BenchmarkSimHuge 	       1	 300 ns/op	    3000 req/s
+BenchmarkSimHuge-8 	       2	  50 ns/op
+BenchmarkSimLarge 	       5	 200 ns/op
+`
+	rep, err := parse(strings.NewReader(counted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := merge(rep.Benchmarks)
+	if len(merged) != 3 {
+		t.Fatalf("merged to %d entries, want 3: %+v", len(merged), merged)
+	}
+	h := merged[0]
+	if h.Name != "BenchmarkSimHuge" || h.Gomaxprocs != 1 {
+		t.Fatalf("merge reordered entries: %+v", merged)
+	}
+	if h.Samples != 2 || h.Runs != 2 {
+		t.Errorf("folded entry carries %d samples over %d runs, want 2/2", h.Samples, h.Runs)
+	}
+	if h.NsPerOp != 200 {
+		t.Errorf("weighted ns/op = %v, want 200", h.NsPerOp)
+	}
+	if h.Metrics["req/s"] != 2000 {
+		t.Errorf("weighted req/s = %v, want 2000", h.Metrics["req/s"])
+	}
+	if merged[1].Name != "BenchmarkSimHuge" || merged[1].Gomaxprocs != 8 || merged[1].Samples != 1 {
+		t.Errorf("distinct GOMAXPROCS folded together: %+v", merged[1])
+	}
+	if merged[2].Samples != 1 || merged[2].Runs != 5 {
+		t.Errorf("singleton entry altered: %+v", merged[2])
+	}
+}
+
+// TestRequire: the sampling floor fails the run when a matching
+// benchmark folded too few samples or the pattern matches nothing.
+func TestRequire(t *testing.T) {
+	mustReq := func(s string) requirement {
+		t.Helper()
+		r, err := parseRequirement(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	const counted = `BenchmarkSimHuge 	       1	 100 ns/op
+BenchmarkSimHuge 	       1	 300 ns/op
+BenchmarkSimLarge 	       5	 200 ns/op
+`
+	if err := run(strings.NewReader(counted), "-", []requirement{mustReq("SimHuge=2")}); err != nil {
+		t.Errorf("satisfied floor rejected: %v", err)
+	}
+	if err := run(strings.NewReader(counted), "-", []requirement{mustReq("SimLarge=2")}); err == nil {
+		t.Error("single-sample benchmark passed a 2-sample floor")
+	}
+	if err := run(strings.NewReader(counted), "-", []requirement{mustReq("SimColossal=1")}); err == nil {
+		t.Error("pattern matching no benchmark passed")
+	}
+	for _, bad := range []string{"=2", "SimHuge", "SimHuge=0", "SimHuge=x", "(=1"} {
+		if _, err := parseRequirement(bad); err == nil {
+			t.Errorf("parseRequirement accepted %q", bad)
+		}
 	}
 }

@@ -30,7 +30,8 @@
 // groups simulated in parallel and merged deterministically at windowed
 // barriers (see cloudsim.RunSharded for the protocol and its documented
 // relaxations of global FCFS); -shard-window tunes the simulated-time
-// window between barriers.
+// window between barriers, and -steal lets a shard hand a provably
+// stuck queue head to a shard with proven free capacity at a barrier.
 package main
 
 import (
@@ -83,6 +84,7 @@ type options struct {
 	seriesCap   int
 
 	shards      int
+	steal       bool
 	shardWindow float64
 }
 
@@ -110,6 +112,7 @@ func main() {
 	flag.IntVar(&opt.seriesCap, "series-cap", 0, "bound on retained series samples before deterministic downsampling halves resolution; 0 = default 4096")
 	flag.IntVar(&opt.shards, "shards", 1, "partition the fleet into this many shards simulated in parallel (deterministic; 1 = the single event loop)")
 	flag.Float64Var(&opt.shardWindow, "shard-window", 0, "simulated seconds per parallel window between shard barriers; 0 = auto from the arrival span")
+	flag.BoolVar(&opt.steal, "steal", false, "with -shards: hand a provably stuck queue head to a shard with proven capacity at each barrier (relaxes per-shard FCFS)")
 	flag.Parse()
 
 	if err := run(opt); err != nil {
@@ -144,6 +147,9 @@ func run(opt options) error {
 	}
 	if opt.shards > 1 && opt.tracePath != "" {
 		return fmt.Errorf("-trace records one global event timeline; drop -shards (or use -shards 1)")
+	}
+	if opt.steal && opt.shards <= 1 {
+		return fmt.Errorf("-steal needs -shards > 1; a single shard has nowhere to hand work off")
 	}
 	checkpoint, err := parseCheckpoint(opt.checkpoint)
 	if err != nil {
@@ -231,7 +237,7 @@ func run(opt options) error {
 		simulate = cloudsim.RunReference
 	}
 	if opt.shards > 1 {
-		sc := cloudsim.ShardConfig{Shards: opt.shards, Window: units.Seconds(opt.shardWindow)}
+		sc := cloudsim.ShardConfig{Shards: opt.shards, Window: units.Seconds(opt.shardWindow), Steal: opt.steal}
 		simulate = func(cfg cloudsim.Config, reqs []trace.Request) (cloudsim.Result, error) {
 			return cloudsim.RunSharded(cfg, reqs, sc)
 		}

@@ -184,6 +184,7 @@ func TestRunErrorPaths(t *testing.T) {
 		{"shards with reference loop", func(o *options) { o.shards = 2; o.reference = true }},
 		{"trace with shards", func(o *options) { o.shards = 2; o.tracePath = filepath.Join(dir, "t.json") }},
 		{"more shards than servers", func(o *options) { o.shards = 8 }},
+		{"steal without shards", func(o *options) { o.steal = true }},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

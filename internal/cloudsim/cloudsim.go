@@ -28,6 +28,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
+	"slices"
 	"strconv"
 
 	"pacevm/internal/core"
@@ -237,17 +239,21 @@ const maxJobVMs = 4
 // form; the golden tests prove the outputs match).
 var vmSlotIDs = [maxJobVMs]string{"0", "1", "2", "3"}
 
-// simVM is one running VM.
+// simVM is one running VM. Its work-left counter does NOT live here:
+// remaining is owned by the hosting server's rem slice, parallel to
+// vms, so that advance/reschedule — the integration loops that run on
+// every event — stream two compact arrays instead of chasing a pointer
+// per VM (the single largest cost at the 100k-server scale). rem[i]
+// and cls[i] describe vms[i]; every splice maintains all three.
 type simVM struct {
-	id        int    // dense uid; the "vm<id>" string forms lazily
-	uid       string // cached string form, built only for migration snapshots
-	jobID     int
-	class     workload.Class
-	remaining float64 // nominal-seconds of work left
-	submit    units.Seconds
-	placed    units.Seconds
-	deadline  units.Seconds // absolute; 0 = unconstrained
-	nominal   units.Seconds
+	id       int    // dense uid; the "vm<id>" string forms lazily
+	uid      string // cached string form, built only for migration snapshots
+	jobID    int
+	class    workload.Class
+	submit   units.Seconds
+	placed   units.Seconds
+	deadline units.Seconds // absolute; 0 = unconstrained
+	nominal  units.Seconds
 	// attempt is the VM's 1-based requeue-chain number; only maintained
 	// when Config.Audit is attached (zero otherwise, and unread).
 	attempt int
@@ -263,8 +269,13 @@ func (vm *simVM) uidString() string {
 
 // simServer is one physical server's live state.
 type simServer struct {
-	id         int
-	vms        []*simVM
+	id  int
+	vms []*simVM
+	// rem[i]/cls[i] are vms[i]'s nominal-seconds of work left and its
+	// workload class — the structure-of-arrays mirror the per-event
+	// integration loops run over (see simVM).
+	rem        []float64
+	cls        []uint8
 	alloc      model.Key
 	lastUpdate units.Seconds
 	energy     units.Joules
@@ -274,12 +285,13 @@ type simServer struct {
 	// the remainder of the workload span is billed at idle power.
 	hostedSeconds float64
 	// ai memoizes the pricing of the current allocation (valid while
-	// aiOK and aiKey == alloc): advance and reschedule price the same
+	// non-nil and aiKey == alloc): advance and reschedule price the same
 	// unchanged allocation on every completion event, so the memo turns
-	// two map lookups per event into two struct reads.
-	ai    allocInfo
+	// two cache lookups per event into one pointer read. The pointee
+	// lives in the dense pricing table (or its spill map), whose entries
+	// are write-once — the pointer never dangles.
+	ai    *allocInfo
 	aiKey model.Key
-	aiOK  bool
 }
 
 // allocInfo caches model-database pricing per allocation key.
@@ -288,7 +300,39 @@ type allocInfo struct {
 	power units.Watts
 }
 
-// Event kinds on the simulator's future-event list.
+// denseCachePerClass bounds the dense pricing array: keys whose
+// per-class counts all fall below this are cached in a flat
+// (bound+1)³-entry table indexed arithmetically from the key, anything
+// larger (consolidator overfill past a huge admission limit) falls back
+// to a lazily-allocated map. Placement prices a handful of candidate
+// keys per request, and at 10M requests the map's hashing was ~10% of
+// the whole run; the dense table turns a lookup into one multiply-add
+// and two slab reads. 16 mirrors the resident-slab carve-out bound.
+const denseCachePerClass = 16
+
+// denseCache is one database's pricing cache: the dense table plus the
+// out-of-range spill map (nil until first needed).
+type denseCache struct {
+	d    int // exclusive per-component bound of the dense table
+	ok   []bool
+	info []allocInfo
+	over map[model.Key]*allocInfo
+}
+
+// slot maps a key to its dense-table index, or -1 when any component
+// falls outside [0, d) and the key must take the spill map.
+func (c *denseCache) slot(k model.Key) int {
+	d := c.d
+	if uint(k.NCPU) < uint(d) && uint(k.NMEM) < uint(d) && uint(k.NIO) < uint(d) {
+		return (k.NCPU*d+k.NMEM)*d + k.NIO
+	}
+	return -1
+}
+
+// Event kinds on the simulator's future-event list. Arrivals no longer
+// appear on the list — they live on the sim's sorted arrival cursor and
+// merge at pop time — but the kind keeps its historical slot so the
+// fault/completion values stay stable.
 const (
 	evKindArrival eventq.Kind = iota
 	evKindCompletion
@@ -296,23 +340,39 @@ const (
 	evKindRecover
 )
 
-// Sequence bands for the future-event list. Arrivals and fault events
-// are scheduled under pre-assigned sequence numbers (arrival i gets
+// Sequence bands for the deterministic event order. Arrivals and fault
+// events carry pre-assigned sequence numbers (arrival i gets
 // seqArrivalBase+i in routed order, the sorted fault schedule's entry j
 // gets seqFaultBase+2j / +2j+1 for its crash/recover pair), while
 // everything scheduled during the run — completions — lands in the
-// queue's own band above eventq.SeqRuntimeBase. At equal timestamps the
-// pop order is therefore arrivals, then crashes/recoveries (with a
-// touching Up/Down pair on one server resolving recover-first), then
-// completions in scheduling order — exactly the order the historical
-// schedule-everything-up-front loop produced, but now independent of
-// *when* the events are placed on the list. That independence is what
-// lets the sharded engine admit arrivals and faults lazily, one time
-// window at a time, and still replay the monolithic run byte for byte.
+// event queue's own band above eventq.SeqRuntimeBase. At equal
+// timestamps the pop order is therefore arrivals, then
+// crashes/recoveries (with a touching Up/Down pair on one server
+// resolving recover-first), then completions in scheduling order —
+// exactly the order the historical schedule-everything-up-front loop
+// produced, but now independent of *when* the events are admitted.
+// That independence is what lets the sharded engine admit arrivals and
+// faults lazily, one time window at a time, and still replay the
+// monolithic run byte for byte. Arrivals live on the sim's cursor
+// rather than the heap; the cursor's tie rule — an arrival at time t
+// pops before any heap event at t — is this band order restated, since
+// the arrival band lies below both others.
 const (
 	seqArrivalBase uint64 = 0
 	seqFaultBase   uint64 = 1 << 40
 )
+
+// pendingArrival is one not-yet-admitted request on the arrival
+// cursor: its index into sim.reqs plus the arrival-band sequence
+// number admission assigned. The submit instant is denormalized into
+// the entry so that sorting and the pop-loop's head peeks touch only
+// this compact array, never the fat request structs (at 10M requests
+// the comparator's random reads into reqs dominated the sort).
+type pendingArrival struct {
+	sub units.Seconds
+	seq uint64
+	idx int32
+}
 
 type sim struct {
 	cfg    Config
@@ -320,6 +380,22 @@ type sim struct {
 	events eventq.Queue
 	now    units.Seconds
 	srv    []*simServer
+	// arrQ is the pending-arrival stream, ordered by (Submit, seq) with
+	// arrNext as its cursor. Arrivals used to be scheduled on the
+	// future-event list up front, which made the heap O(requests): at
+	// the 10M-request scale the sift path's cache misses dominated the
+	// whole run (BENCH_sim.json's SimHuge gap). Keeping them in a flat
+	// sorted array caps the heap at O(busy servers + pending faults) and
+	// pops arrivals in O(1); the merge rule at pop time — an arrival
+	// wins any tie on the timestamp — is exactly the sequence-band order
+	// (arrivals < faults < completions) the heap produced, so the event
+	// order is unchanged byte for byte. Run admits the whole input and
+	// sorts once if it was not already sorted (arrDirty); the sharded
+	// coordinator's windowed admission appends in routed order, which is
+	// nondecreasing in (Submit, seq) by construction.
+	arrQ     []pendingArrival
+	arrNext  int
+	arrDirty bool
 	// queue is the FIFO of request indices awaiting placement; qhead is
 	// its logical start (popping slides the head instead of reslicing,
 	// with periodic compaction).
@@ -330,16 +406,25 @@ type sim struct {
 	// rebuilt on every tryPlace.
 	views []strategy.Server
 	// fleet/indexed are set when the strategy places through the
-	// capacity index.
+	// capacity index; hinter additionally when it can answer job
+	// feasibility from the index's free-capacity summary, which lets
+	// drainQueue skip provably futile placement attempts.
 	fleet   *strategy.FleetIndex
 	indexed strategy.IndexedPlacer
+	hinter  strategy.CapacityHinter
 	// active is the incrementally-tracked count of servers currently
 	// hosting at least one VM.
 	active int
+	// occ is the occupied-server bitmap (bit i set iff server i hosts at
+	// least one VM), maintained at every residency 0↔>0 transition. The
+	// consolidation sweep iterates set bits in id order instead of the
+	// whole fleet, so a mostly-idle large fleet pays O(occupied), not
+	// O(servers), per consolidation event.
+	occ []uint64
 	// dbs lists the distinct databases in use; caches and reference
 	// times are kept per database.
 	dbs   []*model.DB
-	cache []map[model.Key]allocInfo
+	cache []denseCache
 	refT  [][workload.NumClasses]units.Seconds
 	// dbOf maps a server index to its database index.
 	dbOf []int
@@ -505,7 +590,10 @@ func Run(cfg Config, reqs []trace.Request) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	s.events.Reserve(len(reqs) + cfg.Servers + 2*len(cfg.Faults))
+	// The heap only ever holds one pending completion per server plus
+	// the admitted fault events; arrivals live on the cursor.
+	s.events.Reserve(cfg.Servers + 2*len(cfg.Faults))
+	s.arrQ = make([]pendingArrival, 0, len(reqs))
 	for i := range reqs {
 		s.scheduleArrival(i, uint64(i))
 	}
@@ -540,9 +628,13 @@ func newSim(cfg Config, reqs []trace.Request) (*sim, error) {
 	if s.dbs, s.refT, s.dbOf, err = registerDBs(cfg); err != nil {
 		return nil, err
 	}
-	s.cache = make([]map[model.Key]allocInfo, len(s.dbs))
+	d := cfg.MaxVMsPerServer + 1
+	if d > denseCachePerClass+1 {
+		d = denseCachePerClass + 1
+	}
+	s.cache = make([]denseCache, len(s.dbs))
 	for i := range s.cache {
-		s.cache[i] = map[model.Key]allocInfo{}
+		s.cache[i] = denseCache{d: d, ok: make([]bool, d*d*d), info: make([]allocInfo, d*d*d)}
 	}
 	// Server state lives in two slabs — the structs themselves and a
 	// shared resident-VM backing carved into per-server capped slices —
@@ -556,16 +648,27 @@ func newSim(cfg Config, reqs []trace.Request) (*sim, error) {
 		resCap = 16
 	}
 	residents := make([]*simVM, cfg.Servers*resCap)
+	remSlab := make([]float64, cfg.Servers*resCap)
+	clsSlab := make([]uint8, cfg.Servers*resCap)
 	s.srv = make([]*simServer, cfg.Servers)
 	s.views = make([]strategy.Server, cfg.Servers)
+	s.occ = make([]uint64, (cfg.Servers+63)/64)
 	for i := range s.srv {
-		slab[i] = simServer{id: i, activeFrom: -1, vms: residents[i*resCap : i*resCap : (i+1)*resCap]}
+		slab[i] = simServer{
+			id: i, activeFrom: -1,
+			vms: residents[i*resCap : i*resCap : (i+1)*resCap],
+			rem: remSlab[i*resCap : i*resCap : (i+1)*resCap],
+			cls: clsSlab[i*resCap : i*resCap : (i+1)*resCap],
+		}
 		s.srv[i] = &slab[i]
 		s.views[i] = strategy.Server{ID: i}
 	}
 	if ip, ok := cfg.Strategy.(strategy.IndexedPlacer); ok {
 		s.indexed = ip
 		s.fleet = strategy.NewFleetIndex(cfg.Servers, cfg.MaxVMsPerServer)
+		if ch, ok := cfg.Strategy.(strategy.CapacityHinter); ok {
+			s.hinter = ch
+		}
 	}
 	s.traceSetup()
 	if len(cfg.Faults) > 0 {
@@ -574,28 +677,127 @@ func newSim(cfg Config, reqs []trace.Request) (*sim, error) {
 	return s, nil
 }
 
-// scheduleArrival admits request idx into the event stream under a
+// scheduleArrival admits request idx onto the arrival cursor under a
 // pre-assigned arrival-band sequence number and accounts its workload
 // totals. In a monolithic run seq is simply idx; the sharded
-// coordinator assigns global routing order instead.
+// coordinator assigns global routing order instead. Admissions whose
+// submit instants regress mark the cursor dirty; runUntil restores the
+// sorted invariant before consuming it.
 func (s *sim) scheduleArrival(idx int, seq uint64) {
 	r := &s.reqs[idx]
 	if r.Submit < s.firstSubmit {
 		s.firstSubmit = r.Submit
 	}
-	s.events.ScheduleSequenced(r.Submit, seqArrivalBase+seq, eventq.Event{Kind: evKindArrival, Arg: int32(idx)})
+	if n := len(s.arrQ); n > s.arrNext && s.arrQ[n-1].sub > r.Submit {
+		s.arrDirty = true
+	}
+	s.arrQ = append(s.arrQ, pendingArrival{sub: r.Submit, seq: seqArrivalBase + seq, idx: int32(idx)})
 	s.metrics.TotalJobs++
 	s.metrics.TotalVMs += r.VMs
 	s.metrics.NominalWork += r.NominalTime * units.Seconds(r.VMs)
 	s.loadLeft += float64(r.NominalTime) * float64(r.VMs)
 }
 
+// admitStolen admits a job handed off from another shard at a window
+// barrier (see stealHandoff): the same accounting as scheduleArrival,
+// but the cursor instant is the handoff time `at`, not the original
+// Submit — the receiving shard's clock has moved past the submit, and
+// re-entering in the past would rewind it. The request itself keeps its
+// Submit, so wait and deadline accounting still span the whole queue
+// time including the donor shard's.
+func (s *sim) admitStolen(idx int, seq uint64, at units.Seconds) {
+	r := &s.reqs[idx]
+	if r.Submit < s.firstSubmit {
+		s.firstSubmit = r.Submit
+	}
+	if n := len(s.arrQ); n > s.arrNext && s.arrQ[n-1].sub > at {
+		s.arrDirty = true
+	}
+	s.arrQ = append(s.arrQ, pendingArrival{sub: at, seq: seqArrivalBase + seq, idx: int32(idx)})
+	s.metrics.TotalJobs++
+	s.metrics.TotalVMs += r.VMs
+	s.metrics.NominalWork += r.NominalTime * units.Seconds(r.VMs)
+	s.loadLeft += float64(r.NominalTime) * float64(r.VMs)
+}
+
+// unadmit reverses a queued job's admission accounting so it can be
+// handed off to another shard; the caller pops it from the queue.
+func (s *sim) unadmit(idx int) {
+	r := &s.reqs[idx]
+	s.metrics.TotalJobs--
+	s.metrics.TotalVMs -= r.VMs
+	s.metrics.NominalWork -= r.NominalTime * units.Seconds(r.VMs)
+	s.loadLeft -= float64(r.NominalTime) * float64(r.VMs)
+}
+
+// sortArrivals restores the cursor's (Submit, seq) order after
+// out-of-order admissions — an unsorted input stream handed to Run.
+// Admissions carry strictly increasing seqs, so ordering by (sub, seq)
+// with an unstable sort reproduces exactly the stable-by-Submit order
+// the future-event list used to pop them in, without the stable sort's
+// merge passes or the reflection-based swapper.
+func (s *sim) sortArrivals() {
+	slices.SortFunc(s.arrQ[s.arrNext:], func(a, b pendingArrival) int {
+		switch {
+		case a.sub != b.sub:
+			if a.sub < b.sub {
+				return -1
+			}
+			return 1
+		case a.seq < b.seq:
+			return -1
+		default:
+			return 1
+		}
+	})
+	s.arrDirty = false
+}
+
+// nextPendingInstant is the earliest instant anything is scheduled to
+// happen: the arrival cursor's head or the future-event list's top.
+// The sharded coordinator reads it at barriers to bound its windows.
+func (s *sim) nextPendingInstant() (units.Seconds, bool) {
+	at, ok := s.events.Peek()
+	if s.arrNext < len(s.arrQ) {
+		if a := s.arrQ[s.arrNext].sub; !ok || a < at {
+			return a, true
+		}
+	}
+	return at, ok
+}
+
 // runUntil processes events with timestamps strictly below limit (pass
 // +Inf to drain the list). On return every effect of events before
 // limit — placements, completions, fault re-queues — has been applied.
+// The arrival cursor merges with the future-event list here: at equal
+// timestamps an arrival pops first, which is the sequence-band order
+// (arrivals < faults < completions) of the historical all-on-one-heap
+// loop, so the event order is unchanged.
 func (s *sim) runUntil(limit units.Seconds) error {
+	if s.arrDirty {
+		s.sortArrivals()
+	}
 	for {
 		at, ok := s.events.Peek()
+		if s.arrNext < len(s.arrQ) {
+			if a := s.arrQ[s.arrNext].sub; !ok || a <= at {
+				if a >= limit {
+					return nil
+				}
+				idx := int(s.arrQ[s.arrNext].idx)
+				s.arrNext++
+				s.now = a
+				s.stats.eventsPopped.Inc()
+				s.queue = append(s.queue, idx)
+				s.stats.queueDepthHW.SetMax(int64(s.qlen()))
+				s.traceArrival(idx)
+				s.traceQueueDepth()
+				if err := s.drainQueue(); err != nil {
+					return err
+				}
+				continue
+			}
+		}
 		if !ok || at >= limit {
 			return nil
 		}
@@ -603,14 +805,6 @@ func (s *sim) runUntil(limit units.Seconds) error {
 		s.now = at
 		s.stats.eventsPopped.Inc()
 		switch ev.Kind {
-		case evKindArrival:
-			s.queue = append(s.queue, int(ev.Arg))
-			s.stats.queueDepthHW.SetMax(int64(s.qlen()))
-			s.traceArrival(int(ev.Arg))
-			s.traceQueueDepth()
-			if err := s.drainQueue(); err != nil {
-				return err
-			}
 		case evKindCompletion:
 			if err := s.complete(int(ev.Arg)); err != nil {
 				return err
@@ -648,6 +842,9 @@ func (s *sim) runUntil(limit units.Seconds) error {
 func (s *sim) finalize(first, last units.Seconds) (Result, error) {
 	if n := s.qlen(); n > 0 {
 		return Result{}, fmt.Errorf("cloudsim: %d jobs still queued at end of simulation (strategy starved them)", n)
+	}
+	if n := len(s.arrQ) - s.arrNext; n > 0 {
+		return Result{}, fmt.Errorf("cloudsim: %d admitted arrivals never reached the event loop", n)
 	}
 	s.firstSubmit, s.lastFinish = first, last
 
@@ -708,50 +905,72 @@ func (s *sim) qremove(i int) {
 	s.queue = s.queue[:len(s.queue)-1]
 }
 
+// zeroAllocInfo is what an empty allocation prices to: no progress, no
+// power. Shared so info can hand out a pointer without allocating.
+var zeroAllocInfo allocInfo
+
 // info prices an allocation on a given server, caching database
-// estimates per hardware class.
-func (s *sim) info(server int, k model.Key) (allocInfo, error) {
+// estimates per hardware class. The returned pointer aims into the
+// dense table (or its spill map), whose entries are write-once, so
+// callers and the per-server memo may hold it indefinitely.
+func (s *sim) info(server int, k model.Key) (*allocInfo, error) {
 	if k.IsZero() {
-		return allocInfo{}, nil
+		return &zeroAllocInfo, nil
 	}
 	di := s.dbOf[server]
-	if ai, ok := s.cache[di][k]; ok {
+	ca := &s.cache[di]
+	slot := ca.slot(k)
+	if slot >= 0 {
+		if ca.ok[slot] {
+			s.stats.pricingHits.Inc()
+			return &ca.info[slot], nil
+		}
+	} else if ai, ok := ca.over[k]; ok {
 		s.stats.pricingHits.Inc()
 		return ai, nil
 	}
 	s.stats.pricingMisses.Inc()
 	rec, err := s.dbs[di].Estimate(k)
 	if err != nil {
-		return allocInfo{}, fmt.Errorf("cloudsim: pricing %v: %w", k, err)
+		return nil, fmt.Errorf("cloudsim: pricing %v: %w", k, err)
 	}
 	var ai allocInfo
 	ai.power = rec.AvgPower()
 	for _, c := range workload.Classes {
 		ct := rec.ClassTime(c)
 		if ct <= 0 {
-			return allocInfo{}, fmt.Errorf("cloudsim: record %v has no usable time for %v", k, c)
+			return nil, fmt.Errorf("cloudsim: record %v has no usable time for %v", k, c)
 		}
 		ai.rate[c] = float64(s.refT[di][c]) / float64(ct)
 	}
-	s.cache[di][k] = ai
-	return ai, nil
+	if slot >= 0 {
+		ca.info[slot], ca.ok[slot] = ai, true
+		return &ca.info[slot], nil
+	}
+	if ca.over == nil {
+		ca.over = map[model.Key]*allocInfo{}
+	}
+	p := new(allocInfo)
+	*p = ai
+	ca.over[k] = p
+	return p, nil
 }
 
 // infoFor prices a server's *current* allocation, memoized on the
 // server until the allocation changes. advance and reschedule price the
 // same unchanged key on every completion event, so the memo replaces
-// the per-database map lookup with two struct compares on the hot path;
-// a memo hit still counts as a pricing-cache hit.
-func (s *sim) infoFor(sv *simServer) (allocInfo, error) {
-	if sv.aiOK && sv.aiKey == sv.alloc {
+// the per-database cache probe with one pointer read on the hot path; a
+// memo hit still counts as a pricing-cache hit.
+func (s *sim) infoFor(sv *simServer) (*allocInfo, error) {
+	if sv.ai != nil && sv.aiKey == sv.alloc {
 		s.stats.pricingHits.Inc()
 		return sv.ai, nil
 	}
 	ai, err := s.info(sv.id, sv.alloc)
 	if err != nil {
-		return ai, err
+		return nil, err
 	}
-	sv.ai, sv.aiKey, sv.aiOK = ai, sv.alloc, true
+	sv.ai, sv.aiKey = ai, sv.alloc
 	return ai, nil
 }
 
@@ -781,8 +1000,10 @@ func (s *sim) advance(sv *simServer) error {
 		if err != nil {
 			return err
 		}
-		for _, vm := range sv.vms {
-			vm.remaining -= ai.rate[vm.class] * float64(dt)
+		fdt := float64(dt)
+		rem, cls := sv.rem, sv.cls
+		for i := range rem {
+			rem[i] -= ai.rate[cls[i]] * fdt
 		}
 		sv.energy += ai.power.Times(dt)
 		// One Fig.-4 interval closed: the resident set was constant over
@@ -796,33 +1017,39 @@ func (s *sim) advance(sv *simServer) error {
 	return nil
 }
 
-// reschedule recomputes the server's next completion event.
+// reschedule recomputes the server's next completion event, moving the
+// pending one in place when there is one (an in-place move costs one
+// sift; a cancel-and-reinsert pair costs two on a heap this hot).
 func (s *sim) reschedule(sv *simServer) error {
-	s.events.Cancel(sv.next)
-	sv.next = eventq.Handle{}
 	if len(sv.vms) == 0 {
+		s.events.Cancel(sv.next)
+		sv.next = eventq.Handle{}
 		return nil
 	}
 	ai, err := s.infoFor(sv)
 	if err != nil {
 		return err
 	}
-	best := -1.0
-	for _, vm := range sv.vms {
-		rate := ai.rate[vm.class]
-		if rate <= 0 {
-			return fmt.Errorf("cloudsim: zero progress rate on server %d alloc %v", sv.id, sv.alloc)
-		}
-		rem := vm.remaining
+	// Rates are validated at allocInfo construction (info errors on any
+	// non-positive class time), and a server with residents always has a
+	// non-zero alloc key, so every rate read here is positive — no
+	// per-VM guard in the scan.
+	best := math.MaxFloat64
+	for i, rem := range sv.rem {
 		if rem < 0 {
 			rem = 0
 		}
-		fin := rem / rate
-		if best < 0 || fin < best {
+		fin := rem / ai.rate[sv.cls[i]]
+		if fin < best {
 			best = fin
 		}
 	}
-	sv.next = s.events.Schedule(s.now+units.Seconds(best), eventq.Event{Kind: evKindCompletion, Arg: int32(sv.id)})
+	ev := eventq.Event{Kind: evKindCompletion, Arg: int32(sv.id)}
+	if h, ok := s.events.Reschedule(sv.next, s.now+units.Seconds(best), ev); ok {
+		sv.next = h
+		return nil
+	}
+	sv.next = s.events.Schedule(s.now+units.Seconds(best), ev)
 	return nil
 }
 
@@ -830,26 +1057,57 @@ func (s *sim) reschedule(sv *simServer) error {
 // work has run out.
 func (s *sim) complete(serverIdx int) error {
 	sv := s.srv[serverIdx]
-	if err := s.advance(sv); err != nil {
-		return err
+	// Fused advance + retirement scan: one pass over the resident slabs
+	// both integrates progress and splits out finished VMs, where a
+	// s.advance(sv) call followed by the compaction would walk them
+	// twice. The arithmetic is advance's exactly (r -= rate*dt in slab
+	// order), so results stay bit-identical to the unfused path.
+	dt := s.now - sv.lastUpdate
+	if dt < 0 {
+		return fmt.Errorf("cloudsim: time ran backwards on server %d", sv.id)
 	}
+	ai := &zeroAllocInfo
+	fdt := float64(dt)
+	if dt > 0 && len(sv.vms) > 0 {
+		var err error
+		ai, err = s.infoFor(sv)
+		if err != nil {
+			return err
+		}
+		sv.energy += ai.power.Times(dt)
+		// One Fig.-4 interval closed: the resident set was constant over
+		// [lastUpdate, now) and its progress/energy just integrated.
+		s.stats.intervalsClosed.Inc()
+		if s.sampler != nil {
+			s.sampler.interval(s.now, sv.id, ai.power, len(sv.vms), dt, s.active, s.qlen())
+		}
+	}
+	sv.lastUpdate = s.now
 	const eps = 1e-6
 	wasHosting := len(sv.vms) > 0
-	kept := sv.vms[:0]
-	for _, vm := range sv.vms {
-		if vm.remaining > eps {
-			kept = append(kept, vm)
+	w := 0
+	for i, vm := range sv.vms {
+		// When dt == 0 the zero-valued ai contributes rate 0 and the
+		// subtraction is exact identity, matching advance's skip.
+		r := sv.rem[i] - ai.rate[sv.cls[i]]*fdt
+		if r > eps {
+			if w != i {
+				sv.vms[w], sv.cls[w] = vm, sv.cls[i]
+			}
+			sv.rem[w] = r
+			w++
 			continue
 		}
 		s.applyAlloc(sv, vm.class, -1)
 		s.retire(sv, vm)
 		s.recycle(vm)
 	}
-	for i := len(kept); i < len(sv.vms); i++ {
+	for i := w; i < len(sv.vms); i++ {
 		sv.vms[i] = nil
 	}
-	sv.vms = kept
+	sv.vms, sv.rem, sv.cls = sv.vms[:w], sv.rem[:w], sv.cls[:w]
 	if len(sv.vms) == 0 {
+		s.clearOcc(sv.id)
 		if sv.activeFrom >= 0 {
 			s.traceHosting(sv, sv.activeFrom)
 			hosted := float64(s.now - sv.activeFrom)
@@ -909,6 +1167,12 @@ func (s *sim) recycle(vm *simVM) {
 // vmChunkSize is the arena block newVM carves fresh structs from.
 const vmChunkSize = 256
 
+// setOcc / clearOcc maintain the occupied-server bitmap; both are
+// idempotent, so transition sites may call them without re-checking the
+// previous residency.
+func (s *sim) setOcc(id int)   { s.occ[id>>6] |= 1 << (id & 63) }
+func (s *sim) clearOcc(id int) { s.occ[id>>6] &^= 1 << (id & 63) }
+
 // newVM takes a VM struct from the pool, or carves one from the arena.
 func (s *sim) newVM() *simVM {
 	if n := len(s.vmfree); n > 0 {
@@ -935,33 +1199,44 @@ func (s *sim) consolidate() error {
 	allocs := make([]model.Key, len(s.srv))
 	var snapshot []migrate.VM
 	byUID := map[string]*simVM{}
-	for i, sv := range s.srv {
-		// Bring accounting up to now so Remaining values are current.
-		if err := s.advance(sv); err != nil {
-			return err
-		}
-		allocs[i] = sv.alloc
-		for _, vm := range sv.vms {
-			budget := units.Seconds(0)
-			if vm.deadline > 0 {
-				budget = vm.deadline - s.now
-				if budget < 0 {
-					budget = 0 // already violated; free to move
+	// Walk only the occupied servers, in id order (bit order). An empty
+	// server contributes a zero alloc key (already the slice's zero
+	// value) and no snapshot entries, and advancing it would only touch
+	// lastUpdate — no energy, intervals, or samples accrue without
+	// residents — so skipping it is observationally identical and the
+	// sweep is O(occupied servers), not O(fleet).
+	for w, word := range s.occ {
+		for word != 0 {
+			i := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			sv := s.srv[i]
+			// Bring accounting up to now so Remaining values are current.
+			if err := s.advance(sv); err != nil {
+				return err
+			}
+			allocs[i] = sv.alloc
+			for vi, vm := range sv.vms {
+				budget := units.Seconds(0)
+				if vm.deadline > 0 {
+					budget = vm.deadline - s.now
+					if budget < 0 {
+						budget = 0 // already violated; free to move
+					}
 				}
+				rem := sv.rem[vi]
+				if rem < 0 {
+					rem = 0
+				}
+				uid := vm.uidString()
+				snapshot = append(snapshot, migrate.VM{
+					ID:        uid,
+					Class:     vm.class,
+					Server:    i,
+					Remaining: units.Seconds(rem),
+					Budget:    budget,
+				})
+				byUID[uid] = vm
 			}
-			rem := vm.remaining
-			if rem < 0 {
-				rem = 0
-			}
-			uid := vm.uidString()
-			snapshot = append(snapshot, migrate.VM{
-				ID:        uid,
-				Class:     vm.class,
-				Server:    i,
-				Remaining: units.Seconds(rem),
-				Budget:    budget,
-			})
-			byUID[uid] = vm
 		}
 	}
 	if len(snapshot) == 0 {
@@ -974,7 +1249,7 @@ func (s *sim) consolidate() error {
 	if len(plan.Moves) == 0 {
 		return nil
 	}
-	touched := map[int]bool{}
+	touched := make([]int, 0, 2*len(plan.Moves))
 	for _, mv := range plan.Moves {
 		vm := byUID[mv.VMID]
 		if vm == nil || mv.From < 0 || mv.From >= len(s.srv) || mv.To < 0 || mv.To >= len(s.srv) || mv.From == mv.To {
@@ -998,36 +1273,48 @@ func (s *sim) consolidate() error {
 		if idx < 0 {
 			return fmt.Errorf("cloudsim: move %+v: VM not on source server", mv)
 		}
+		movedRem := from.rem[idx] + float64(s.cfg.MigrationCost)
+		movedCls := from.cls[idx]
 		from.vms = append(from.vms[:idx], from.vms[idx+1:]...)
+		from.rem = append(from.rem[:idx], from.rem[idx+1:]...)
+		from.cls = append(from.cls[:idx], from.cls[idx+1:]...)
 		s.applyAlloc(from, vm.class, -1)
 		if len(to.vms) == 0 && to.activeFrom < 0 {
 			to.activeFrom = s.now
 			s.active++
 		}
-		vm.remaining += float64(s.cfg.MigrationCost)
 		to.vms = append(to.vms, vm)
+		to.rem = append(to.rem, movedRem)
+		to.cls = append(to.cls, movedCls)
+		s.setOcc(mv.To)
 		s.applyAlloc(to, vm.class, 1)
-		touched[mv.From] = true
-		touched[mv.To] = true
+		touched = append(touched, mv.From, mv.To)
 		s.metrics.Migrations++
 	}
 	s.metrics.ServersDrained += plan.ServersDrained
 	// Server-order iteration keeps event tie-breaking deterministic (see
-	// tryPlace).
-	for i := 0; i < len(s.srv); i++ {
-		if !touched[i] {
+	// tryPlace): sort the touched ids and skip duplicates instead of
+	// probing a membership map across the whole fleet.
+	slices.Sort(touched)
+	prev := -1
+	for _, i := range touched {
+		if i == prev {
 			continue
 		}
+		prev = i
 		sv := s.srv[i]
-		if len(sv.vms) == 0 && sv.activeFrom >= 0 {
-			s.traceHosting(sv, sv.activeFrom)
-			hosted := float64(s.now - sv.activeFrom)
-			s.metrics.ActiveServerSeconds += hosted
-			sv.hostedSeconds += hosted
-			sv.activeFrom = -1
-			s.active--
-			if s.sampler != nil {
-				s.sampler.serverIdle(sv.id)
+		if len(sv.vms) == 0 {
+			s.clearOcc(i)
+			if sv.activeFrom >= 0 {
+				s.traceHosting(sv, sv.activeFrom)
+				hosted := float64(s.now - sv.activeFrom)
+				s.metrics.ActiveServerSeconds += hosted
+				sv.hostedSeconds += hosted
+				sv.activeFrom = -1
+				s.active--
+				if s.sampler != nil {
+					s.sampler.serverIdle(sv.id)
+				}
 			}
 		}
 		if err := s.reschedule(sv); err != nil {
@@ -1045,12 +1332,22 @@ func (s *sim) consolidate() error {
 // splices the job out (the next candidate slides into its position) and
 // re-checks the head, rather than restarting the window from scratch.
 func (s *sim) drainQueue() error {
+	// noFit memoizes the smallest VM count the capacity summary has
+	// proved unplaceable during this drain. Free capacity only shrinks
+	// while draining (placements consume it, nothing releases it), and
+	// exact CanFit answers are monotone in job size, so the threshold
+	// stays valid for the whole call.
+	noFit := int(^uint(0) >> 1)
 	for s.qlen() > 0 {
-		ok, err := s.tryPlace(s.qat(0))
-		if err != nil {
-			return err
+		headOK := false
+		if s.mayFit(s.qat(0), &noFit) {
+			ok, err := s.tryPlace(s.qat(0))
+			if err != nil {
+				return err
+			}
+			headOK = ok
 		}
-		if ok {
+		if headOK {
 			s.qpophead()
 			s.traceQueueDepth()
 			continue
@@ -1058,6 +1355,10 @@ func (s *sim) drainQueue() error {
 		// Head blocked: one pass over the backfill window.
 		headPlaced := false
 		for i := 1; i < s.qlen() && i <= s.cfg.BackfillDepth; {
+			if !s.mayFit(s.qat(i), &noFit) {
+				i++
+				continue
+			}
 			ok, err := s.tryPlace(s.qat(i))
 			if err != nil {
 				return err
@@ -1072,6 +1373,9 @@ func (s *sim) drainQueue() error {
 			// Re-check the head right after a successful backfill: if it
 			// fits now, the FCFS drain resumes; otherwise keep scanning
 			// from the same position.
+			if !s.mayFit(s.qat(0), &noFit) {
+				continue
+			}
 			ok, err = s.tryPlace(s.qat(0))
 			if err != nil {
 				return err
@@ -1088,6 +1392,32 @@ func (s *sim) drainQueue() error {
 		}
 	}
 	return nil
+}
+
+// mayFit reports whether a placement attempt for request idx could
+// possibly succeed right now. A false return is backed by the capacity
+// summary's exact first-fit feasibility count — the attempt is provably
+// futile and drainQueue skips it, which is what turns a long blocked
+// queue's per-event rescan from O(queue × placement) into O(queue)
+// summary lookups. noFit is the caller's scan memo (see drainQueue):
+// jobs at or above an already-proved-unplaceable size skip the summary
+// query too. Without a hinting strategy every attempt proceeds.
+func (s *sim) mayFit(idx int, noFit *int) bool {
+	if s.hinter == nil {
+		return true
+	}
+	n := s.reqs[idx].VMs
+	if n >= *noFit {
+		s.stats.fitSkips.Inc()
+		return false
+	}
+	fits, exact := s.hinter.CanFit(s.fleet, n)
+	if fits || !exact {
+		return true
+	}
+	*noFit = n
+	s.stats.fitSkips.Inc()
+	return false
 }
 
 // tryPlace asks the strategy to place one request and commits the
@@ -1124,6 +1454,8 @@ func (s *sim) tryPlace(idx int) (bool, error) {
 			// by server ID, so the compacted view needs no translation.
 			views = s.upViews
 		}
+		// A linear Place walks the whole (up-)fleet view: O(servers).
+		s.stats.fleetScans.Inc()
 		assign, ok = s.cfg.Strategy.Place(views, vms)
 	}
 	if !ok {
@@ -1187,13 +1519,13 @@ func (s *sim) tryPlace(idx int) (bool, error) {
 				sv.activeFrom = s.now
 			}
 			s.active++
+			s.setOcc(a)
 		}
 		s.uidSeq++
 		vm := s.newVM()
 		vm.id = s.uidSeq
 		vm.jobID = req.ID
 		vm.class = req.Class
-		vm.remaining = float64(req.NominalTime)
 		vm.submit = req.Submit
 		vm.placed = s.now
 		vm.deadline = deadline
@@ -1202,6 +1534,8 @@ func (s *sim) tryPlace(idx int) (bool, error) {
 			vm.attempt = s.audit.attemptOf(idx)
 		}
 		sv.vms = append(sv.vms, vm)
+		sv.rem = append(sv.rem, float64(req.NominalTime))
+		sv.cls = append(sv.cls, uint8(req.Class))
 		s.applyAlloc(sv, req.Class, 1)
 	}
 	for t := 0; t < nt; t++ {

@@ -105,18 +105,19 @@ func (s *sim) crash(serverIdx int) error {
 	wasHosting := len(sv.vms) > 0
 	for i, vm := range sv.vms {
 		s.applyAlloc(sv, vm.class, -1)
-		if vm.remaining <= eps {
+		if sv.rem[i] <= eps {
 			// The VM's work ran out at or before the crash instant (its
 			// completion event may still be pending behind this one):
 			// it finished, it is not a casualty.
 			s.retire(sv, vm)
 		} else {
-			s.kill(sv, vm)
+			s.kill(sv, vm, sv.rem[i])
 		}
 		s.recycle(vm)
 		sv.vms[i] = nil
 	}
-	sv.vms = sv.vms[:0]
+	sv.vms, sv.rem, sv.cls = sv.vms[:0], sv.rem[:0], sv.cls[:0]
+	s.clearOcc(serverIdx)
 	if wasHosting {
 		if sv.activeFrom >= 0 {
 			s.traceHosting(sv, sv.activeFrom)
@@ -146,9 +147,11 @@ func (s *sim) crash(serverIdx int) error {
 // kill discards a resident VM: the checkpoint policy decides how much
 // of its progress survives, the lost remainder is accounted, and the
 // still-owed work re-enters the queue as a synthetic single-VM request
-// under the VM's original submit time and response bound.
-func (s *sim) kill(sv *simServer, vm *simVM) {
-	done := float64(vm.nominal) - vm.remaining
+// under the VM's original submit time and response bound. remaining is
+// the VM's work-left counter, read from the server's rem slice before
+// the resident arrays are truncated.
+func (s *sim) kill(sv *simServer, vm *simVM, remaining float64) {
+	done := float64(vm.nominal) - remaining
 	if done < 0 {
 		done = 0
 	}

@@ -98,10 +98,27 @@ func (q *refQueue) pop() (units.Seconds, interface{}, bool) {
 type refArrival struct{ req int }
 type refCompletion struct{ server int }
 
+// refVM is one running VM in the reference path. It keeps the original
+// array-of-structs layout — remaining lives on the VM — deliberately:
+// the oracle stays a direct transcription, while the optimized
+// simulator's simVM moved its work-left counter into the server's
+// structure-of-arrays mirror.
+type refVM struct {
+	id        int
+	uid       string
+	jobID     int
+	class     workload.Class
+	remaining float64 // nominal-seconds of work left
+	submit    units.Seconds
+	placed    units.Seconds
+	deadline  units.Seconds // absolute; 0 = unconstrained
+	nominal   units.Seconds
+}
+
 // refServer is one physical server's live state in the reference path.
 type refServer struct {
 	id            int
-	vms           []*simVM
+	vms           []*refVM
 	alloc         model.Key
 	lastUpdate    units.Seconds
 	energy        units.Joules
@@ -322,7 +339,7 @@ func (s *refSim) complete(serverIdx int) error {
 	return s.reschedule(sv)
 }
 
-func (s *refSim) retire(sv *refServer, vm *simVM) {
+func (s *refSim) retire(sv *refServer, vm *refVM) {
 	if s.now > s.lastFinish {
 		s.lastFinish = s.now
 	}
@@ -353,7 +370,7 @@ func (s *refSim) consolidate() error {
 	}
 	allocs := make([]model.Key, len(s.srv))
 	var snapshot []migrate.VM
-	byUID := map[string]*simVM{}
+	byUID := map[string]*refVM{}
 	for i, sv := range s.srv {
 		if err := s.advance(sv); err != nil {
 			return err
@@ -533,7 +550,7 @@ func (s *refSim) tryPlace(idx int) (bool, error) {
 			sv.activeFrom = s.now
 		}
 		s.uidSeq++
-		sv.vms = append(sv.vms, &simVM{
+		sv.vms = append(sv.vms, &refVM{
 			id:        s.uidSeq,
 			uid:       fmt.Sprintf("vm%d", s.uidSeq),
 			jobID:     req.ID,

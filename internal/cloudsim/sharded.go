@@ -72,6 +72,16 @@ type ShardConfig struct {
 	// shared across concurrently-running shards. Nil shares
 	// Config.Strategy, which is safe for the stateless built-ins.
 	Strategy func(shard int) (strategy.Strategy, error)
+	// Steal opts into admission handoff at window barriers: a queued
+	// head job its owning shard provably cannot host (by the capacity
+	// summary) is re-admitted on the least-loaded shard that provably
+	// can, entering that shard's stream at the barrier instant while
+	// keeping its original submit time for wait/deadline accounting.
+	// Off by default — stealing trades strict per-shard FCFS for
+	// utilization. Requeued fault work (synthetic shard-local requests)
+	// is never stolen, and the handoff remains deterministic: it runs in
+	// shard-id order on barrier state only.
+	Steal bool
 }
 
 // defaultShardWindows is the auto-window divisor: the arrival span is
@@ -89,6 +99,32 @@ type shardState struct {
 	reg     *obs.Registry
 	audit   *VMAudit
 	sampler *FleetSampler
+}
+
+// fitsNow reports whether the shard's capacity summary proves n VM
+// slots are open right now. Only a provable fit may promote a shard in
+// capacity-aware routing or accept a stolen job; an absent or inexact
+// summary reports false and the caller falls back to the load
+// heuristic. Pure — safe to call from the coordinator at a barrier.
+func (st *shardState) fitsNow(n int) bool {
+	s := st.sim
+	if s.hinter == nil {
+		return false
+	}
+	fits, exact := s.hinter.CanFit(s.fleet, n)
+	return fits && exact
+}
+
+// stuckHead reports whether the shard's queue head provably cannot be
+// hosted on the shard right now — the justification required before a
+// barrier handoff violates the shard's FCFS order.
+func (st *shardState) stuckHead(n int) bool {
+	s := st.sim
+	if s.hinter == nil {
+		return false
+	}
+	fits, exact := s.hinter.CanFit(s.fleet, n)
+	return !fits && exact
 }
 
 // RunSharded simulates the request stream across sc.Shards fleet
@@ -195,7 +231,12 @@ func RunSharded(cfg Config, reqs []trace.Request, sc ShardConfig) (Result, error
 		if st.sim, err = newSim(scfg, reqs); err != nil {
 			return Result{}, err
 		}
-		st.sim.events.Reserve(len(reqs)/S + st.servers + 2*len(scfg.Faults))
+		// Same formula as Run: the heap holds at most one completion per
+		// server plus the fault events; arrivals live on the cursor. (The
+		// match matters at S == 1, where the obs registry — including the
+		// slab-growth counters — must stay byte-identical to Run's.)
+		st.sim.events.Reserve(st.servers + 2*len(scfg.Faults))
+		st.sim.arrQ = make([]pendingArrival, 0, len(reqs)/S+1)
 		shards[k] = st
 	}
 
@@ -225,11 +266,17 @@ func RunSharded(cfg Config, reqs []trace.Request, sc ShardConfig) (Result, error
 	inf := units.Seconds(math.Inf(1))
 	nextReq := 0
 	var arrSeq uint64
+	// pend counts VMs routed (or stolen) to each shard since its last
+	// window ran: they are admitted but not yet placed, so the capacity
+	// summary cannot see them and routing must account them on top.
+	pend := make([]int, S)
 	for {
 		// The conservative bound: nothing anywhere can happen before T.
 		T := inf
 		for _, st := range shards {
-			if at, ok := st.sim.events.Peek(); ok && at < T {
+			// nextPendingInstant folds in routed-but-not-yet-run arrivals
+			// sitting on the shard's arrival cursor, not just heap events.
+			if at, ok := st.sim.nextPendingInstant(); ok && at < T {
 				T = at
 			}
 			if fn := st.sim.faultNext; fn < len(st.sim.faultSch) && st.sim.faultSch[fn].Down < T {
@@ -243,15 +290,33 @@ func RunSharded(cfg Config, reqs []trace.Request, sc ShardConfig) (Result, error
 			break
 		}
 		limit := T + window
-		// Route this window's arrivals in global submission order to the
-		// least-loaded shard, under globally-sequenced arrival seqs.
+		// Route this window's arrivals in global submission order, under
+		// globally-sequenced arrival seqs. The router is capacity-aware:
+		// each job goes to the least-loaded shard among those whose
+		// capacity summary proves it fits right now (with this window's
+		// already-routed VMs counted on top), ties to the lowest shard
+		// id; when no shard can prove a fit the pure least-outstanding-
+		// work-per-server heuristic decides, as before. All inputs are
+		// barrier state, so routing stays deterministic.
 		for nextReq < len(order) && reqs[order[nextReq]].Submit < limit {
-			best, bestLoad := 0, math.Inf(1)
+			n := reqs[order[nextReq]].VMs
+			best, bestLoad := -1, math.Inf(1)
 			for k, st := range shards {
+				if !st.fitsNow(n + pend[k]) {
+					continue
+				}
 				if load := st.sim.loadLeft / float64(st.servers); load < bestLoad {
 					best, bestLoad = k, load
 				}
 			}
+			if best < 0 {
+				for k, st := range shards {
+					if load := st.sim.loadLeft / float64(st.servers); load < bestLoad {
+						best, bestLoad = k, load
+					}
+				}
+			}
+			pend[best] += n
 			shards[best].sim.scheduleArrival(order[nextReq], arrSeq)
 			arrSeq++
 			nextReq++
@@ -268,6 +333,12 @@ func RunSharded(cfg Config, reqs []trace.Request, sc ShardConfig) (Result, error
 		if runErr != nil {
 			stop()
 			return Result{}, runErr
+		}
+		for k := range pend {
+			pend[k] = 0
+		}
+		if sc.Steal && S > 1 {
+			arrSeq = stealHandoff(shards, len(reqs), arrSeq, limit, pend)
 		}
 	}
 	stop()
@@ -367,6 +438,53 @@ func RunSharded(cfg Config, reqs []trace.Request, sc ShardConfig) (Result, error
 		}
 	}
 	return Result{Metrics: m, VMs: recs}, nil
+}
+
+// stealHandoff is the barrier admission handoff behind ShardConfig.
+// Steal: walking shards in id order, each donor's queue head is moved —
+// while it is an original (never a synthetic requeued) request the
+// donor's capacity summary proves unplaceable — to the least-loaded
+// other shard whose summary proves it fits, counting VMs already stolen
+// this barrier against the receiver. The job's admission accounting
+// (TotalJobs, TotalVMs, NominalWork, loadLeft) moves with it and it
+// re-enters the receiver's arrival cursor at the barrier instant, so no
+// shard's clock rewinds and the receiver's next window places it
+// through normal admission. Stops at the first head that might fit
+// locally, keeping the donor's FCFS order otherwise intact. Returns the
+// advanced global arrival sequence.
+func stealHandoff(shards []*shardState, nOrig int, arrSeq uint64, at units.Seconds, pend []int) uint64 {
+	for k, donor := range shards {
+		ds := donor.sim
+		for ds.qlen() > 0 {
+			idx := ds.qat(0)
+			if idx >= nOrig {
+				break // synthetic fault requeue: shard-local by contract
+			}
+			n := ds.reqs[idx].VMs
+			if !donor.stuckHead(n) {
+				break // might fit here — leave FCFS alone
+			}
+			best, bestLoad := -1, math.Inf(1)
+			for j, st := range shards {
+				if j == k || !st.fitsNow(n+pend[j]) {
+					continue
+				}
+				if load := st.sim.loadLeft / float64(st.servers); load < bestLoad {
+					best, bestLoad = j, load
+				}
+			}
+			if best < 0 {
+				break // nowhere provably better
+			}
+			ds.unadmit(idx)
+			ds.qpophead()
+			ds.stats.admissionSteals.Inc()
+			shards[best].sim.admitStolen(idx, arrSeq, at)
+			arrSeq++
+			pend[best] += n
+		}
+	}
+	return arrSeq
 }
 
 // absorbShards folds per-shard audits into the user's collector:

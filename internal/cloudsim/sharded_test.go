@@ -6,11 +6,13 @@ import (
 	"testing"
 
 	"pacevm/internal/core"
+	"pacevm/internal/faults"
 	"pacevm/internal/migrate"
 	"pacevm/internal/obs"
 	"pacevm/internal/strategy"
 	"pacevm/internal/trace"
 	"pacevm/internal/units"
+	"pacevm/internal/workload"
 )
 
 // shardedCompare requires RunSharded under sc to reproduce Run exactly:
@@ -370,5 +372,110 @@ func TestShardedValidation(t *testing.T) {
 	}
 	if c.Tracer.Len() == 0 {
 		t.Error("one-shard run recorded no trace events")
+	}
+}
+
+// plainReq builds one hand-shaped request for the routing tests: no
+// deadline, explicit nominal work, CPU class.
+func plainReq(id int, at units.Seconds, vms int, nominal units.Seconds) trace.Request {
+	return trace.Request{ID: id, Submit: at, Class: workload.ClassCPU, VMs: vms, NominalTime: nominal}
+}
+
+// TestShardedRouterCapacityAware: the router must prefer a shard whose
+// capacity summary proves the job fits over a merely less-loaded one
+// that is already full. Two one-server shards under FirstFit ×1 (four
+// slots each): job 1's four tiny VMs fill shard 0, job 2's single huge
+// VM lands on shard 1. Job 3 (one tiny VM) then sees shard 0 with far
+// less outstanding work — the old least-load heuristic's pick — but no
+// free slot; capacity-aware routing must send it to shard 1, where it
+// starts the instant it is submitted.
+func TestShardedRouterCapacityAware(t *testing.T) {
+	db := sharedDB(t)
+	reqs := []trace.Request{
+		plainReq(1, 0, 4, 10),       // ties break to shard 0; fills it
+		plainReq(2, 0.5, 1, 100000), // only shard 1 has slots; huge load
+		plainReq(3, 1, 1, 10),       // the probe
+	}
+	cfg := Config{DB: db, Servers: 2, Strategy: ff(t, 1), RecordVMs: true}
+	res, err := RunSharded(cfg, reqs, ShardConfig{Shards: 2, Window: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range res.VMs {
+		if r.JobID != 3 {
+			continue
+		}
+		found = true
+		if r.Server != 1 {
+			t.Errorf("job 3 hosted on server %d; capacity-aware routing should pick shard 1's server", r.Server)
+		}
+		if r.Placed != r.Submit {
+			t.Errorf("job 3 waited %v; a free slot on shard 1 means zero wait", r.Placed-r.Submit)
+		}
+	}
+	if !found {
+		t.Fatal("job 3 retired no VM record")
+	}
+}
+
+// TestShardedSteal: a queued job whose own shard provably cannot host
+// it (the shard's only server is down) must be handed off at a window
+// barrier once another shard can provably take it — and the handoff
+// must show in the merged steal counter, shrink wait and makespan
+// against the steal-off run, conserve the workload totals, and stay
+// deterministic across repeats.
+func TestShardedSteal(t *testing.T) {
+	db := sharedDB(t)
+	reqs := []trace.Request{
+		plainReq(1, 0, 4, 400), // fills shard 0 until well past job 2's arrival
+		plainReq(2, 200, 1, 50),
+	}
+	// Shard 1's server is down when job 2 arrives; the load fallback
+	// routes the job there (shard 0 carries all the outstanding work),
+	// where it is stuck until the distant recovery — unless stolen.
+	sch := faults.Schedule{{Server: 1, Down: 100, Up: 20000}}
+	run := func(steal bool) (Result, int64) {
+		cfg := Config{DB: db, Servers: 2, Strategy: ff(t, 1), RecordVMs: true,
+			Obs: obs.NewRegistry(), Faults: sch}
+		res, err := RunSharded(cfg, reqs, ShardConfig{Shards: 2, Steal: steal})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, cfg.Obs.Snapshot().Counters["sim_admission_steals_total"]
+	}
+	kept, keptSteals := run(false)
+	stolen, stolenSteals := run(true)
+
+	if keptSteals != 0 {
+		t.Errorf("steal-off run counted %d steals", keptSteals)
+	}
+	if stolenSteals < 1 {
+		t.Errorf("steal-on run counted %d steals, want >= 1", stolenSteals)
+	}
+	if stolen.Metrics.AvgWait >= kept.Metrics.AvgWait {
+		t.Errorf("stealing did not shrink wait: %v vs %v", stolen.Metrics.AvgWait, kept.Metrics.AvgWait)
+	}
+	if stolen.Metrics.Makespan >= kept.Metrics.Makespan {
+		t.Errorf("stealing did not shrink makespan: %v vs %v", stolen.Metrics.Makespan, kept.Metrics.Makespan)
+	}
+	if stolen.Metrics.TotalJobs != kept.Metrics.TotalJobs || stolen.Metrics.TotalVMs != kept.Metrics.TotalVMs {
+		t.Errorf("stealing changed workload totals: %+v vs %+v", stolen.Metrics, kept.Metrics)
+	}
+	for _, r := range stolen.VMs {
+		if r.JobID == 2 && r.Server != 0 {
+			t.Errorf("stolen job hosted on server %d, want shard 0's server 0", r.Server)
+		}
+		if r.JobID == 2 && r.Submit != 200 {
+			t.Errorf("stolen job's submit rewritten to %v; wait accounting needs the original", r.Submit)
+		}
+	}
+
+	again, _ := run(true)
+	if stolen.Metrics != again.Metrics {
+		t.Errorf("steal run not deterministic:\nfirst %+v\nagain %+v", stolen.Metrics, again.Metrics)
+	}
+	if !reflect.DeepEqual(stolen.VMs, again.VMs) {
+		t.Error("steal run VM records not deterministic")
 	}
 }

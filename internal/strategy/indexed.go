@@ -44,11 +44,26 @@ type FleetIndex struct {
 	// An occupancy step o -> o+1 leaves exactly levels[o]; a step
 	// o -> o-1 re-enters exactly levels[o-1]: O(1) per change.
 	levels []bitset
+	// cnt[k] tracks |levels[k]| so prefix sums answer "how many free
+	// slots exist under cap c" exactly, without touching a bitmap:
+	// Σ_{k<c} cnt[k] = Σ_{up servers} max(0, c-used). See FreeSlotsBelow.
+	cnt    []int
 	maxOcc int
 	// down marks crashed servers. A down server is a member of no
 	// threshold set regardless of occupancy, so indexed placement skips
 	// it for free; SetUp restores membership from used without a rebuild.
 	down []bool
+	// over holds the up servers whose occupancy exceeds maxOcc (a
+	// consolidator may overfill past the admission limit). They belong to
+	// no threshold set, so the wide-cap placement path (cap > maxOcc+1)
+	// scans exactly levels[maxOcc] ∪ over instead of the whole fleet.
+	over  bitset
+	nOver int
+	// freeSum caches Σ_{up servers} max(0, maxOcc+1-used) — the full
+	// prefix sum over cnt — so the common FreeSlotsBelow query (cap at
+	// the indexed ceiling, issued once per queued job per drain) is one
+	// load instead of an O(maxOcc) sum.
+	freeSum int
 }
 
 // NewFleetIndex builds an index over n empty servers whose occupancy
@@ -57,11 +72,20 @@ func NewFleetIndex(n, maxOcc int) *FleetIndex {
 	if n < 0 || maxOcc < 1 {
 		return nil
 	}
-	f := &FleetIndex{used: make([]int, n), levels: make([]bitset, maxOcc+1), maxOcc: maxOcc, down: make([]bool, n)}
+	f := &FleetIndex{
+		used:   make([]int, n),
+		levels: make([]bitset, maxOcc+1),
+		cnt:    make([]int, maxOcc+1),
+		maxOcc: maxOcc,
+		down:   make([]bool, n),
+		over:   newBitset(n),
+	}
 	for i := range f.levels {
 		f.levels[i] = newBitset(n)
 		f.levels[i].setAll()
+		f.cnt[i] = n
 	}
+	f.freeSum = n * (maxOcc + 1)
 	return f
 }
 
@@ -70,6 +94,35 @@ func (f *FleetIndex) Len() int { return len(f.used) }
 
 // Used returns server i's current occupancy.
 func (f *FleetIndex) Used(i int) int { return f.used[i] }
+
+// MaxOcc returns the indexed occupancy ceiling (the admission limit the
+// index was built with).
+func (f *FleetIndex) MaxOcc() int { return f.maxOcc }
+
+// FreeSlotsBelow returns the number of VM slots open across up servers
+// under a per-server cap: exactly Σ max(0, cap-used) over up servers
+// when cap <= MaxOcc()+1, and a lower bound on it for wider caps
+// (overfilled and wide headroom beyond the indexed range is not
+// counted). O(cap) integer adds, no bitmap traffic.
+func (f *FleetIndex) FreeSlotsBelow(cap int) int {
+	if cap >= f.maxOcc+1 {
+		return f.freeSum
+	}
+	total := 0
+	for k := 0; k < cap; k++ {
+		total += f.cnt[k]
+	}
+	return total
+}
+
+// slotsUnderCeil is server i's freeSum contribution: its free slots
+// under the indexed ceiling, zero when overfilled.
+func (f *FleetIndex) slotsUnderCeil(i int) int {
+	if c := f.maxOcc + 1 - f.used[i]; c > 0 {
+		return c
+	}
+	return 0
+}
 
 // Add applies an occupancy delta to server i. Occupancy may exceed
 // maxOcc (the simulator's consolidator can overfill a server past the
@@ -88,14 +141,32 @@ func (f *FleetIndex) Add(i, delta int) {
 		// membership from the tracked occupancy.
 		return
 	}
+	if co, cn := f.maxOcc+1-o, f.maxOcc+1-n; co > 0 || cn > 0 {
+		if co < 0 {
+			co = 0
+		}
+		if cn < 0 {
+			cn = 0
+		}
+		f.freeSum += cn - co
+	}
+	if o <= f.maxOcc && n > f.maxOcc {
+		f.over.set(i)
+		f.nOver++
+	} else if o > f.maxOcc && n <= f.maxOcc {
+		f.over.clear(i)
+		f.nOver--
+	}
 	for ; o < n; o++ {
 		if o < len(f.levels) {
 			f.levels[o].clear(i) // left levels[c-1] for c = o+1
+			f.cnt[o]--
 		}
 	}
 	for ; o > n; o-- {
 		if o-1 < len(f.levels) {
 			f.levels[o-1].set(i) // rejoined levels[c-1] for c = o
+			f.cnt[o-1]++
 		}
 	}
 }
@@ -112,9 +183,15 @@ func (f *FleetIndex) SetDown(i int) {
 		panic("strategy: FleetIndex server already down")
 	}
 	f.down[i] = true
+	f.freeSum -= f.slotsUnderCeil(i)
 	// Membership invariant while up: i ∈ levels[k] iff used[i] <= k.
 	for k := f.used[i]; k < len(f.levels); k++ {
 		f.levels[k].clear(i)
+		f.cnt[k]--
+	}
+	if f.used[i] > f.maxOcc {
+		f.over.clear(i)
+		f.nOver--
 	}
 }
 
@@ -125,17 +202,26 @@ func (f *FleetIndex) SetUp(i int) {
 		panic("strategy: FleetIndex server already up")
 	}
 	f.down[i] = false
+	f.freeSum += f.slotsUnderCeil(i)
 	for k := f.used[i]; k < len(f.levels); k++ {
 		f.levels[k].set(i)
+		f.cnt[k]++
+	}
+	if f.used[i] > f.maxOcc {
+		f.over.set(i)
+		f.nOver++
 	}
 }
 
 // FirstBelow returns the lowest server id >= from whose occupancy is
 // strictly below cap, or -1 when no such server exists. Caps within the
 // indexed range resolve through the threshold bitmaps; a cap beyond
-// maxOcc+1 (a strategy multiplexing past the admission limit) falls
-// back to an exact linear scan so the answer always matches what a scan
-// of the view would report.
+// maxOcc+1 (a strategy multiplexing past the admission limit) resolves
+// through levels[maxOcc] merged with the overfilled set — every up
+// server with used <= maxOcc qualifies outright, and the few past the
+// limit are checked individually — so the former full-fleet linear
+// fallback is gone and the answer still matches what a scan of the
+// view would report.
 func (f *FleetIndex) FirstBelow(cap, from int) int {
 	if cap < 1 || from >= len(f.used) {
 		return -1
@@ -144,12 +230,15 @@ func (f *FleetIndex) FirstBelow(cap, from int) int {
 		from = 0
 	}
 	if cap > f.maxOcc+1 {
-		for i := from; i < len(f.used); i++ {
-			if !f.down[i] && f.used[i] < cap {
-				return i
+		c := f.levels[f.maxOcc].firstFrom(from)
+		if f.nOver > 0 {
+			for i := f.over.firstFrom(from); i >= 0 && (c < 0 || i < c); i = f.over.firstFrom(i + 1) {
+				if f.used[i] < cap {
+					return i
+				}
 			}
 		}
-		return -1
+		return c
 	}
 	return f.levels[cap-1].firstFrom(from)
 }
@@ -191,13 +280,48 @@ func (f *FirstFit) PlaceIndexed(idx *FleetIndex, vms []core.VMRequest, dst []int
 	return assign, true
 }
 
+// CapacityHinter is implemented by indexed strategies that can answer
+// "could a job of n VMs be placed right now?" from the index's
+// free-capacity summary without running the placement. The contract is
+// one-sided where it must be: when exact is true the answer equals what
+// PlaceIndexed would report, so a caller may skip a provably futile
+// attempt (the drainQueue early-stop); when exact is false the caller
+// must attempt anyway. fits=false with exact=true is therefore the only
+// combination that changes control flow, and it must never be wrong.
+// Exact answers must additionally be monotone in n — if n VMs provably
+// cannot fit, no larger job can — which lets the caller reuse one
+// no-fit answer for every bigger job while the index only loses
+// capacity (the drainQueue scan memo).
+type CapacityHinter interface {
+	CanFit(idx *FleetIndex, n int) (fits, exact bool)
+}
+
+// CanFit answers first-fit feasibility exactly from the occupancy
+// summary: with a per-server cap c, PlaceIndexed succeeds iff the fleet
+// holds at least n free slots under c — the greedy walk consumes one
+// counted slot per VM and never strands one. Caps beyond the indexed
+// range carry headroom the summary does not count, so those report
+// inexact and force an attempt.
+func (f *FirstFit) CanFit(idx *FleetIndex, n int) (fits, exact bool) {
+	cap := f.Cap()
+	if cap > idx.MaxOcc()+1 {
+		return true, false
+	}
+	return idx.FreeSlotsBelow(cap) >= n, true
+}
+
 // bitset is a two-level bitmap over server ids: summary bit w is set
 // iff word w has any bit set, so firstFrom skips empty regions 4096
-// servers at a time.
+// servers at a time. low is a lazily maintained frontier hint — a lower
+// bound on the first set id (n when provably empty) — so the dominant
+// query pattern, firstFrom(0) against a fleet whose low ids are packed
+// solid, resolves in O(1) instead of re-walking the full prefix of
+// cleared summary words on every placement.
 type bitset struct {
 	words   []uint64
 	summary []uint64
 	n       int
+	low     int
 }
 
 func newBitset(n int) bitset {
@@ -225,14 +349,20 @@ func (b *bitset) setAll() {
 			b.summary[w/64] |= 1 << (w % 64)
 		}
 	}
+	b.low = 0
 }
 
 func (b *bitset) set(i int) {
 	w := i / 64
 	b.words[w] |= 1 << (i % 64)
 	b.summary[w/64] |= 1 << (w % 64)
+	if i < b.low {
+		b.low = i
+	}
 }
 
+// clear leaves low untouched: the hint is a lower bound, and clearing a
+// bit can only move the true first set id upward.
 func (b *bitset) clear(i int) {
 	w := i / 64
 	b.words[w] &^= 1 << (i % 64)
@@ -241,11 +371,30 @@ func (b *bitset) clear(i int) {
 	}
 }
 
-// firstFrom returns the lowest set id >= from, or -1.
+// firstFrom returns the lowest set id >= from, or -1. Queries from at
+// or below the frontier hint start the walk at the hint and refresh it
+// with the exact answer on the way out.
 func (b *bitset) firstFrom(from int) int {
 	if from < 0 {
 		from = 0
 	}
+	useHint := from <= b.low
+	if useHint {
+		from = b.low
+	}
+	r := b.scanFrom(from)
+	if useHint {
+		if r < 0 {
+			b.low = b.n
+		} else {
+			b.low = r
+		}
+	}
+	return r
+}
+
+// scanFrom is the hint-free bitmap walk behind firstFrom.
+func (b *bitset) scanFrom(from int) int {
 	if from >= b.n {
 		return -1
 	}
