@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build verify test race race-sim race-faults race-shards audit-smoke scale-smoke fuzz-smoke vet bench bench-alloc bench-json profile-huge cover trace clean
+.PHONY: all build verify test race race-sim race-faults race-shards audit-smoke scale-smoke explain-smoke fuzz-smoke vet bench bench-alloc bench-json bench-diff profile-huge cover trace clean
 
 all: verify
 
@@ -10,7 +10,7 @@ build:
 # verify is the tier-1 gate: compile, static checks, full test suite,
 # the race detector over the simulator hot-path packages, and the
 # observability smoke.
-verify: build vet test race-sim race-faults race-shards audit-smoke scale-smoke
+verify: build vet test race-sim race-faults race-shards audit-smoke scale-smoke explain-smoke bench-diff
 
 test:
 	$(GO) test ./...
@@ -52,6 +52,19 @@ audit-smoke:
 scale-smoke:
 	$(GO) test -short -count=1 -run 'TestFleetScanScaling|TestPerRequestScalingSmoke' ./internal/cloudsim
 
+# explain-smoke is the flight-recorder acceptance path: a faulted,
+# sharded, steal-enabled run records its decision log and watchdog
+# sweeps, then pacevm-explain reconstructs VM 1's placement chain from
+# the log — asserting a place decision exists end-to-end through the
+# cross-shard merge. The run itself exits non-zero on any invariant
+# violation, so this doubles as the online-watchdog gate.
+explain-smoke:
+	$(GO) run ./cmd/pacevm-sim -strategy FF-3 -servers 64 -vms 2000 -shards 4 -steal \
+		-mtbf 20000 -mttr 600 -watchdog 1024 -decision-log explain-smoke.jsonl
+	$(GO) run ./cmd/pacevm-explain -log explain-smoke.jsonl -vm 1 | tee explain-smoke.txt
+	grep -q 'place' explain-smoke.txt
+	$(GO) run ./cmd/pacevm-explain -log explain-smoke.jsonl -windows
+
 # fuzz-smoke gives each text-input parser a short adversarial burst
 # (one package per invocation, as go test -fuzz requires).
 fuzz-smoke:
@@ -83,6 +96,23 @@ bench-json:
 		&& $(GO) test -run NONE -bench 'BenchmarkSimHuge' -benchtime 1x -count 2 -benchmem ./internal/cloudsim; } \
 		| $(GO) run ./cmd/pacevm-benchjson -require 'SimHuge=2' -o BENCH_sim.json
 
+# bench-diff compares a freshly recorded (or provided) benchmark
+# document against the committed BENCH_sim.json baseline and reports
+# ns/op regressions beyond the bound. Advisory inside verify — the
+# committed baseline may come from different hardware, so it warns, it
+# does not gate; run `make bench-json && make bench-diff ADVISORY=` on
+# pinned hardware for a hard check. Skips quietly when NEW is absent.
+OLD ?= BENCH_sim.json
+NEW ?= BENCH_new.json
+MAX_REGRESS ?= 10
+ADVISORY ?= -advisory
+bench-diff:
+	@if [ -f "$(NEW)" ]; then \
+		$(GO) run ./cmd/pacevm-benchdiff $(ADVISORY) -max-regress $(MAX_REGRESS) "$(OLD)" "$(NEW)"; \
+	else \
+		echo "bench-diff: $(NEW) not found, skipping (record one with: make bench-json, then mv BENCH_sim.json $(NEW))"; \
+	fi
+
 # profile-huge records a CPU profile of the 100k-server/10M-request
 # BenchmarkSimHuge and prints the top consumers — the reproducible
 # evidence behind the hot-path work (DESIGN.md, "Flat per-request cost
@@ -104,4 +134,4 @@ trace:
 
 clean:
 	$(GO) clean ./...
-	rm -f cover.out huge.cpu.out huge.test.bin
+	rm -f cover.out huge.cpu.out huge.test.bin explain-smoke.jsonl explain-smoke.txt

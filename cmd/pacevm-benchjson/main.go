@@ -25,7 +25,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -51,13 +53,37 @@ type Benchmark struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
+// Provenance records where a benchmark document came from, so two
+// BENCH_sim.json files can be compared knowing which commit, toolchain
+// and machine produced each (pacevm-benchdiff prints it in its header).
+type Provenance struct {
+	GitCommit string `json:"git_commit,omitempty"`
+	GoVersion string `json:"go_version,omitempty"`
+	Host      string `json:"host,omitempty"`
+}
+
 // Report is the emitted document.
 type Report struct {
 	GOOS       string      `json:"goos,omitempty"`
 	GOARCH     string      `json:"goarch,omitempty"`
 	Pkg        string      `json:"pkg,omitempty"`
 	CPU        string      `json:"cpu,omitempty"`
+	Provenance *Provenance `json:"provenance,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// collectProvenance gathers the recording environment. Best-effort by
+// design: outside a git checkout (or without git on PATH) the commit is
+// simply empty — parse stays pure and the document stays valid.
+func collectProvenance() *Provenance {
+	p := &Provenance{GoVersion: runtime.Version()}
+	if host, err := os.Hostname(); err == nil {
+		p.Host = host
+	}
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		p.GitCommit = strings.TrimSpace(string(out))
+	}
+	return p
 }
 
 // parse consumes go-test benchmark output and collects result lines and
@@ -225,7 +251,7 @@ func enforce(benchmarks []Benchmark, reqs []requirement) error {
 	return nil
 }
 
-func run(in io.Reader, outPath string, reqs []requirement) error {
+func run(in io.Reader, outPath string, reqs []requirement, prov *Provenance) error {
 	rep, err := parse(in)
 	if err != nil {
 		return err
@@ -233,6 +259,7 @@ func run(in io.Reader, outPath string, reqs []requirement) error {
 	if len(rep.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark result lines found on input")
 	}
+	rep.Provenance = prov
 	rep.Benchmarks = merge(rep.Benchmarks)
 	if err := enforce(rep.Benchmarks, reqs); err != nil {
 		return err
@@ -264,7 +291,7 @@ func main() {
 		defer ds.Close()
 		fmt.Fprintf(os.Stderr, "debug server: http://%s/debug/pprof/ and /debug/vars\n", ds.Addr())
 	}
-	if err := run(os.Stdin, *out, requires); err != nil {
+	if err := run(os.Stdin, *out, requires, collectProvenance()); err != nil {
 		fmt.Fprintln(os.Stderr, "pacevm-benchjson:", err)
 		os.Exit(1)
 	}

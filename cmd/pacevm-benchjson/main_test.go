@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -86,14 +89,49 @@ func TestParseLineRejectsGarbage(t *testing.T) {
 }
 
 func TestParseEmptyInput(t *testing.T) {
-	if err := run(strings.NewReader("PASS\n"), "-", nil); err == nil {
+	if err := run(strings.NewReader("PASS\n"), "-", nil, nil); err == nil {
 		t.Error("run accepted input with no benchmark lines")
 	}
 }
 
 func TestRunRejectsUnwritableOutput(t *testing.T) {
-	if err := run(strings.NewReader(sample), "/proc/definitely/not/writable.json", nil); err == nil {
+	if err := run(strings.NewReader(sample), "/proc/definitely/not/writable.json", nil, nil); err == nil {
 		t.Error("unwritable output path should fail")
+	}
+}
+
+// TestProvenance: the recording environment is injected by main, never
+// synthesized by parse (which must stay a pure text transform), and the
+// collector always knows the toolchain it was built with.
+func TestProvenance(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Provenance != nil {
+		t.Errorf("parse synthesized provenance: %+v", rep.Provenance)
+	}
+
+	p := collectProvenance()
+	if !strings.HasPrefix(p.GoVersion, "go") {
+		t.Errorf("go version %q does not look like a toolchain version", p.GoVersion)
+	}
+
+	out := filepath.Join(t.TempDir(), "bench.json")
+	prov := &Provenance{GitCommit: "deadbeef", GoVersion: "go1.99", Host: "rig"}
+	if err := run(strings.NewReader(sample), out, nil, prov); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Report
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Provenance == nil || *got.Provenance != *prov {
+		t.Errorf("provenance round-trip = %+v, want %+v", got.Provenance, prov)
 	}
 }
 
@@ -152,13 +190,13 @@ func TestRequire(t *testing.T) {
 BenchmarkSimHuge 	       1	 300 ns/op
 BenchmarkSimLarge 	       5	 200 ns/op
 `
-	if err := run(strings.NewReader(counted), "-", []requirement{mustReq("SimHuge=2")}); err != nil {
+	if err := run(strings.NewReader(counted), "-", []requirement{mustReq("SimHuge=2")}, nil); err != nil {
 		t.Errorf("satisfied floor rejected: %v", err)
 	}
-	if err := run(strings.NewReader(counted), "-", []requirement{mustReq("SimLarge=2")}); err == nil {
+	if err := run(strings.NewReader(counted), "-", []requirement{mustReq("SimLarge=2")}, nil); err == nil {
 		t.Error("single-sample benchmark passed a 2-sample floor")
 	}
-	if err := run(strings.NewReader(counted), "-", []requirement{mustReq("SimColossal=1")}); err == nil {
+	if err := run(strings.NewReader(counted), "-", []requirement{mustReq("SimColossal=1")}, nil); err == nil {
 		t.Error("pattern matching no benchmark passed")
 	}
 	for _, bad := range []string{"=2", "SimHuge", "SimHuge=0", "SimHuge=x", "(=1"} {

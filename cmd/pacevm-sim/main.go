@@ -10,15 +10,27 @@
 //	pacevm-sim -strategy PA-1 -faults outages.csv -search-budget 5000
 //	pacevm-sim -strategy PA-0.5 -vm-audit audit.csv -series series.csv
 //	pacevm-sim -strategy FF-3 -servers 1000 -shards 8
+//	pacevm-sim -strategy PA-0.5 -decision-log decisions.jsonl -watchdog 4096
 //
 // With -trace the run is recorded as Chrome trace-event JSON over
 // simulated time (load it at https://ui.perfetto.dev), alongside a
 // <out>.manifest.json run manifest listing every sibling artifact;
-// -vm-audit exports one lifecycle span per VM attempt (wait, service,
-// stretch, requeue chain, deadline-miss attribution) and -series the
-// fleet power/occupancy time series, both as CSV; -debug-addr serves
+// with -shards the per-shard streams are merged onto one timeline with
+// the coordinator's windows and steals as their own process. -vm-audit
+// exports one lifecycle span per VM attempt (wait, service, stretch,
+// requeue chain, deadline-miss attribution) and -series the fleet
+// power/occupancy time series, both as CSV; -debug-addr serves
 // net/http/pprof, expvar (including the live metrics registry) and the
 // /debug/dash live HTML dashboard while the simulation runs.
+//
+// With -decision-log every admit/route/place/reject/steal/requeue/
+// migrate decision is appended to a JSONL flight-recorder log —
+// candidate counts, rejection reasons, search statistics, chosen
+// servers — which cmd/pacevm-explain replays to reconstruct any VM's
+// placement chain. With -watchdog N the online invariant watchdog
+// re-derives energy integrals, work conservation and capacity sums
+// every N events; violations are reported after the run (and on
+// /debug/dash) and the process exits non-zero if any fired.
 //
 // With -mtbf (seeded generation) or -faults (a stored schedule) servers
 // crash and recover during the run: resident VMs are killed — losing
@@ -83,6 +95,9 @@ type options struct {
 	seriesPath  string
 	seriesCap   int
 
+	decisionLog   string
+	watchdogEvery int
+
 	shards      int
 	steal       bool
 	shardWindow float64
@@ -110,6 +125,8 @@ func main() {
 	flag.StringVar(&opt.vmAuditPath, "vm-audit", "", "write the per-attempt VM lifecycle audit as CSV (submit/place/finish spans with wait, stretch and deadline-miss attribution)")
 	flag.StringVar(&opt.seriesPath, "series", "", "write the fleet power/occupancy time series as CSV (one row per sampled accounting interval)")
 	flag.IntVar(&opt.seriesCap, "series-cap", 0, "bound on retained series samples before deterministic downsampling halves resolution; 0 = default 4096")
+	flag.StringVar(&opt.decisionLog, "decision-log", "", "write the placement decision flight-recorder log as JSONL (replay with pacevm-explain)")
+	flag.IntVar(&opt.watchdogEvery, "watchdog", 0, "run the online invariant watchdog every N events (0 = off; negative = default period)")
 	flag.IntVar(&opt.shards, "shards", 1, "partition the fleet into this many shards simulated in parallel (deterministic; 1 = the single event loop)")
 	flag.Float64Var(&opt.shardWindow, "shard-window", 0, "simulated seconds per parallel window between shard barriers; 0 = auto from the arrival span")
 	flag.BoolVar(&opt.steal, "steal", false, "with -shards: hand a provably stuck queue head to a shard with proven capacity at each barrier (relaxes per-shard FCFS)")
@@ -131,6 +148,9 @@ func run(opt options) error {
 	if opt.reference && (opt.vmAuditPath != "" || opt.seriesPath != "") {
 		return fmt.Errorf("-vm-audit/-series need the optimized simulator; drop -reference (the reference loop carries no observation hooks)")
 	}
+	if opt.reference && (opt.decisionLog != "" || opt.watchdogEvery != 0) {
+		return fmt.Errorf("-decision-log/-watchdog need the optimized simulator; drop -reference (the reference loop carries no observation hooks)")
+	}
 	if opt.seriesCap < 0 {
 		return fmt.Errorf("-series-cap %d must be non-negative", opt.seriesCap)
 	}
@@ -145,9 +165,6 @@ func run(opt options) error {
 	if opt.shards > 1 && opt.reference {
 		return fmt.Errorf("-shards needs the optimized simulator; drop -reference")
 	}
-	if opt.shards > 1 && opt.tracePath != "" {
-		return fmt.Errorf("-trace records one global event timeline; drop -shards (or use -shards 1)")
-	}
 	if opt.steal && opt.shards <= 1 {
 		return fmt.Errorf("-steal needs -shards > 1; a single shard has nowhere to hand work off")
 	}
@@ -157,7 +174,8 @@ func run(opt options) error {
 	}
 
 	var reg *obs.Registry
-	if opt.tracePath != "" || opt.debugAddr != "" || opt.searchBudget > 0 {
+	if opt.tracePath != "" || opt.debugAddr != "" || opt.searchBudget > 0 ||
+		opt.decisionLog != "" || opt.watchdogEvery != 0 {
 		reg = obs.NewRegistry()
 	}
 	// The sampler feeds both the -series CSV and the live dashboard, so a
@@ -166,6 +184,10 @@ func run(opt options) error {
 	if opt.seriesPath != "" || opt.debugAddr != "" {
 		sampler = cloudsim.NewFleetSampler(opt.seriesCap)
 	}
+	var wd *obs.Watchdog
+	if opt.watchdogEvery != 0 {
+		wd = obs.NewWatchdog(opt.watchdogEvery)
+	}
 	if opt.debugAddr != "" {
 		ds, err := obs.ServeDebug(opt.debugAddr, reg)
 		if err != nil {
@@ -173,6 +195,7 @@ func run(opt options) error {
 		}
 		defer ds.Close()
 		ds.AddSeries(sampler.Series)
+		ds.AddWatchdog(wd)
 		fmt.Printf("debug server: http://%s/debug/dash (also /debug/pprof/ and /debug/vars)\n", ds.Addr())
 	}
 
@@ -232,6 +255,10 @@ func run(opt options) error {
 	if opt.vmAuditPath != "" {
 		cfg.Audit = cloudsim.NewVMAudit()
 	}
+	if opt.decisionLog != "" {
+		cfg.Recorder = cloudsim.NewDecisionRecorder()
+	}
+	cfg.Watchdog = wd
 	simulate := cloudsim.Run
 	if opt.reference {
 		simulate = cloudsim.RunReference
@@ -286,10 +313,28 @@ func run(opt options) error {
 		}
 		fmt.Printf("series: %d samples (stride %d) -> %s\n", sampler.Len(), sampler.Stride(), opt.seriesPath)
 	}
+	if opt.decisionLog != "" {
+		if err := writeCSVFile(opt.decisionLog, cfg.Recorder.WriteJSONL); err != nil {
+			return err
+		}
+		fmt.Printf("decision log: %d records -> %s (replay with pacevm-explain)\n", cfg.Recorder.Len(), opt.decisionLog)
+	}
+	if wd != nil {
+		viols := wd.Violations()
+		snap := reg.Snapshot()
+		fmt.Printf("watchdog:     %d invariant checks, %d violations\n",
+			snap.Counters["sim_invariant_checks_total"], len(viols))
+		for _, v := range viols {
+			fmt.Fprintln(os.Stderr, "pacevm-sim: invariant violation:", v)
+		}
+	}
 	if opt.tracePath != "" {
 		if err := writeTrace(opt, cfg.Tracer, reg, m, wall); err != nil {
 			return err
 		}
+	}
+	if wd != nil && len(wd.Violations()) > 0 {
+		return fmt.Errorf("%d invariant violations (see above)", len(wd.Violations()))
 	}
 	return nil
 }
@@ -337,6 +382,9 @@ func writeTrace(opt options, tr *obs.Tracer, reg *obs.Registry, m cloudsim.Metri
 	if opt.seriesPath != "" {
 		artifacts["series"] = opt.seriesPath
 	}
+	if opt.decisionLog != "" {
+		artifacts["decision_log"] = opt.decisionLog
+	}
 	manifest := obs.Manifest{
 		Command: "pacevm-sim",
 		Config: map[string]any{
@@ -345,6 +393,8 @@ func writeTrace(opt options, tr *obs.Tracer, reg *obs.Registry, m cloudsim.Metri
 			"always_on": opt.alwaysOn, "consolidate": opt.consolidate,
 			"mtbf": opt.mtbf, "mttr": opt.mttr, "faults": opt.faultsPath,
 			"checkpoint": opt.checkpoint, "search_budget": opt.searchBudget,
+			"shards": opt.shards, "steal": opt.steal, "shard_window": opt.shardWindow,
+			"watchdog": opt.watchdogEvery,
 		},
 		Seed:             opt.seed,
 		WallClockSeconds: wall.Seconds(),

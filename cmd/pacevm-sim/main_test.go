@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"pacevm/internal/campaign"
+	"pacevm/internal/cloudsim"
 	"pacevm/internal/model"
 	"pacevm/internal/obs"
 )
@@ -182,9 +183,11 @@ func TestRunErrorPaths(t *testing.T) {
 		{"negative shards", func(o *options) { o.shards = -1 }},
 		{"negative shard window", func(o *options) { o.shards = 2; o.shardWindow = -10 }},
 		{"shards with reference loop", func(o *options) { o.shards = 2; o.reference = true }},
-		{"trace with shards", func(o *options) { o.shards = 2; o.tracePath = filepath.Join(dir, "t.json") }},
 		{"more shards than servers", func(o *options) { o.shards = 8 }},
 		{"steal without shards", func(o *options) { o.steal = true }},
+		{"decision log with reference loop", func(o *options) { o.decisionLog = filepath.Join(dir, "d.jsonl"); o.reference = true }},
+		{"watchdog with reference loop", func(o *options) { o.watchdogEvery = 100; o.reference = true }},
+		{"unwritable decision log output", func(o *options) { o.decisionLog = filepath.Join(dir, "no", "such", "dir", "d.jsonl") }},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -387,6 +390,45 @@ func TestRunSharded(t *testing.T) {
 	opt.vmAuditPath, opt.seriesPath = "", ""
 	if err := run(opt); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunDecisionLogAndWatchdog is the flight-recorder wiring smoke: a
+// sharded, faulted, traced run with the recorder and watchdog on must
+// succeed (zero invariant violations), write a replayable decision log,
+// and register the artifact in the trace manifest. Decision semantics
+// are pinned by the cloudsim tests.
+func TestRunDecisionLogAndWatchdog(t *testing.T) {
+	dir := modelDir(t)
+	out := t.TempDir()
+	opt := options{
+		stratName: "FF-3", servers: 4, seed: 1, vms: 60, modelDir: dir,
+		shards: 2, mtbf: 2000, mttr: 200,
+		decisionLog:   filepath.Join(out, "decisions.jsonl"),
+		watchdogEvery: 64,
+		tracePath:     filepath.Join(out, "t.json"),
+	}
+	if err := run(opt); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(opt.decisionLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := cloudsim.ReadDecisionLog(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("decision log does not replay: %v", err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("decision log is empty")
+	}
+	man, err := os.ReadFile(opt.tracePath + ".manifest.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(man), "decision_log") {
+		t.Error("manifest does not name the decision log artifact")
 	}
 }
 

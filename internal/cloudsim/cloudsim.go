@@ -128,6 +128,19 @@ type Config struct {
 	// crash (the remainder is re-done by the re-queued VM). Nil defaults
 	// to faults.Restart — all progress lost. Ignored without Faults.
 	Checkpoint faults.CheckpointPolicy
+	// Recorder, when non-nil, captures the placement decision flight
+	// log: every admit/route/place/reject/steal/requeue/migrate decision
+	// with its candidate set, rejection reason and search statistics
+	// (see decision.go; cmd/pacevm-explain reconstructs per-VM chains
+	// from it). Passive and free when nil; ignored by RunReference.
+	Recorder *DecisionRecorder
+	// Watchdog, when non-nil, periodically re-derives the simulator's
+	// core invariants — work conservation, queue sanity, capacity-index
+	// sums, occupancy, energy integrals — during the run (see
+	// watchdog.go). Checks are read-only: the run stays byte-identical
+	// with or without it. Passive and free when nil; ignored by
+	// RunReference.
+	Watchdog *obs.Watchdog
 }
 
 // Consolidator proposes VM migrations for a live cloud snapshot.
@@ -468,6 +481,14 @@ type sim struct {
 	audit   *VMAudit
 	sampler *FleetSampler
 	nameBuf []byte
+	// rec/wd are the decision flight recorder and the invariant
+	// watchdog (nil when off, like the other telemetry handles).
+	// explain is the strategy's Explainer view, resolved only when the
+	// recorder is attached: PlaceExplained decides identically to Place
+	// but also surfaces the search statistics the log captures.
+	rec     *DecisionRecorder
+	wd      *obs.Watchdog
+	explain strategy.Explainer
 
 	uidSeq      int
 	records     []VMRecord
@@ -623,6 +644,20 @@ func newSim(cfg Config, reqs []trace.Request) (*sim, error) {
 	}
 	if s.sampler = cfg.Sampler; s.sampler != nil {
 		s.sampler.reset(cfg.Servers)
+	}
+	if s.rec = cfg.Recorder; s.rec != nil {
+		s.rec.reset()
+		// The decision counters register only when a recorder is
+		// attached, so recorder-off registry snapshots are unchanged.
+		s.stats.initDecision(cfg.Obs)
+		if ex, ok := cfg.Strategy.(strategy.Explainer); ok {
+			s.explain = ex
+		}
+	}
+	if s.wd = cfg.Watchdog; s.wd != nil {
+		s.wd.Reset()
+		s.wd.Bind(cfg.Obs)
+		s.registerWatchdogChecks()
 	}
 	var err error
 	if s.dbs, s.refT, s.dbOf, err = registerDBs(cfg); err != nil {
@@ -792,9 +827,15 @@ func (s *sim) runUntil(limit units.Seconds) error {
 				s.stats.queueDepthHW.SetMax(int64(s.qlen()))
 				s.traceArrival(idx)
 				s.traceQueueDepth()
+				if s.rec != nil {
+					s.recordAdmit(idx)
+				}
 				if err := s.drainQueue(); err != nil {
 					return err
 				}
+				// Tick after the event's effects are applied: a sweep must
+				// see consistent state, never a popped-but-unqueued request.
+				s.wd.Tick(float64(a))
 				continue
 			}
 		}
@@ -832,6 +873,7 @@ func (s *sim) runUntil(limit units.Seconds) error {
 		default:
 			return fmt.Errorf("cloudsim: unknown event kind %d", ev.Kind)
 		}
+		s.wd.Tick(float64(at))
 	}
 }
 
@@ -840,6 +882,9 @@ func (s *sim) runUntil(limit units.Seconds) error {
 // its own events established; the sharded coordinator passes the global
 // span so every shard bills idle power over the same window.
 func (s *sim) finalize(first, last units.Seconds) (Result, error) {
+	// One last watchdog sweep over the end-of-run state, before the
+	// idle-energy fold below rewrites the per-server integrals.
+	s.wd.RunChecks(float64(s.now))
 	if n := s.qlen(); n > 0 {
 		return Result{}, fmt.Errorf("cloudsim: %d jobs still queued at end of simulation (strategy starved them)", n)
 	}
@@ -1260,6 +1305,9 @@ func (s *sim) consolidate() error {
 			// may target a crashed server; skip the move (counted) rather
 			// than abort a healthy run.
 			s.stats.movesToDownSkipped.Inc()
+			if s.rec != nil {
+				s.recordMigrate(vm.id, vm.jobID, mv.From, mv.To, MigrateTargetDown)
+			}
 			continue
 		}
 		from, to := s.srv[mv.From], s.srv[mv.To]
@@ -1290,6 +1338,9 @@ func (s *sim) consolidate() error {
 		s.applyAlloc(to, vm.class, 1)
 		touched = append(touched, mv.From, mv.To)
 		s.metrics.Migrations++
+		if s.rec != nil {
+			s.recordMigrate(vm.id, vm.jobID, mv.From, mv.To, "")
+		}
 	}
 	s.metrics.ServersDrained += plan.ServersDrained
 	// Server-order iteration keeps event tie-breaking deterministic (see
@@ -1409,6 +1460,9 @@ func (s *sim) mayFit(idx int, noFit *int) bool {
 	n := s.reqs[idx].VMs
 	if n >= *noFit {
 		s.stats.fitSkips.Inc()
+		if s.rec != nil {
+			s.recordReject(idx, RejectFitWatermark)
+		}
 		return false
 	}
 	fits, exact := s.hinter.CanFit(s.fleet, n)
@@ -1417,6 +1471,9 @@ func (s *sim) mayFit(idx int, noFit *int) bool {
 	}
 	*noFit = n
 	s.stats.fitSkips.Inc()
+	if s.rec != nil {
+		s.recordReject(idx, RejectFitSummary)
+	}
 	return false
 }
 
@@ -1444,6 +1501,7 @@ func (s *sim) tryPlace(idx int) (bool, error) {
 	}
 	var assign []int
 	var ok bool
+	var info *strategy.PlaceInfo
 	if s.indexed != nil {
 		// The index itself excludes down servers (FleetIndex.SetDown).
 		assign, ok = s.indexed.PlaceIndexed(s.fleet, vms, s.assignBuf[:])
@@ -1456,15 +1514,34 @@ func (s *sim) tryPlace(idx int) (bool, error) {
 		}
 		// A linear Place walks the whole (up-)fleet view: O(servers).
 		s.stats.fleetScans.Inc()
-		assign, ok = s.cfg.Strategy.Place(views, vms)
+		if s.explain != nil {
+			// Recorder on and the strategy explains itself: decide through
+			// PlaceExplained — identical decisions by the Explainer
+			// contract, plus the search stats the flight log captures.
+			var pi strategy.PlaceInfo
+			assign, ok, pi = s.explain.PlaceExplained(views, vms)
+			info = &pi
+		} else {
+			assign, ok = s.cfg.Strategy.Place(views, vms)
+		}
 	}
 	if !ok {
 		s.stats.placeRejected.Inc()
+		if s.rec != nil {
+			reason := RejectStrategy
+			if info != nil && info.Waited {
+				reason = RejectQoSWait
+			}
+			s.recordReject(idx, reason)
+		}
 		return false, nil
 	}
 	if len(assign) != len(vms) {
 		// A strategy bug; refuse the placement rather than corrupt state.
 		s.stats.placeRejected.Inc()
+		if s.rec != nil {
+			s.recordReject(idx, RejectStrategyInvalid)
+		}
 		return false, nil
 	}
 	// Validate before mutating: server bounds and the admission cap,
@@ -1475,6 +1552,9 @@ func (s *sim) tryPlace(idx int) (bool, error) {
 		if a < 0 || a >= len(s.srv) || (s.faulty && s.downSince[a] >= 0) {
 			// Out-of-range or down target: a strategy bug; refuse it.
 			s.stats.placeRejected.Inc()
+			if s.rec != nil {
+				s.recordReject(idx, RejectStrategyInvalid)
+			}
 			return false, nil
 		}
 		seen := false
@@ -1493,6 +1573,9 @@ func (s *sim) tryPlace(idx int) (bool, error) {
 	for t := 0; t < nt; t++ {
 		if s.srv[targets[t]].alloc.Total()+counts[t] > s.cfg.MaxVMsPerServer {
 			s.stats.placeRejected.Inc()
+			if s.rec != nil {
+				s.recordReject(idx, RejectAdmissionCap)
+			}
 			return false, nil
 		}
 	}
@@ -1512,7 +1595,8 @@ func (s *sim) tryPlace(idx int) (bool, error) {
 		}
 	}
 	deadline := req.Submit + req.MaxResponse
-	for _, a := range assign {
+	var uids [maxJobVMs]int
+	for vi, a := range assign {
 		sv := s.srv[a]
 		if len(sv.vms) == 0 {
 			if sv.activeFrom < 0 {
@@ -1522,6 +1606,7 @@ func (s *sim) tryPlace(idx int) (bool, error) {
 			s.setOcc(a)
 		}
 		s.uidSeq++
+		uids[vi] = s.uidSeq
 		vm := s.newVM()
 		vm.id = s.uidSeq
 		vm.jobID = req.ID
@@ -1547,5 +1632,8 @@ func (s *sim) tryPlace(idx int) (bool, error) {
 		s.metrics.PeakActiveServers = s.active
 	}
 	s.tracePlaced(idx, assign[0])
+	if s.rec != nil {
+		s.recordPlace(idx, assign, uids[:len(vms)], info)
+	}
 	return true, nil
 }

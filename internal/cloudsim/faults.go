@@ -194,6 +194,9 @@ func (s *sim) kill(sv *simServer, vm *simVM, remaining float64) {
 	if s.audit != nil {
 		s.audit.kill(vm, sv.id, s.now, units.Seconds(done-surviving), ridx)
 	}
+	if s.rec != nil {
+		s.recordRequeue(vm.id, vm.jobID, sv.id, ridx, done-surviving)
+	}
 }
 
 // recoverServer brings a crashed server back: the outage is logged, the

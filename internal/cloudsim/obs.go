@@ -21,6 +21,10 @@ import (
 const (
 	tracePidServers  = 1
 	tracePidWorkload = 2
+	// tracePidCoord is the sharded coordinator's process in a merged
+	// cross-shard timeline (tid 0 = synchronization windows, tid 1 =
+	// admission steals); never emitted by a monolithic run.
+	tracePidCoord = 3
 )
 
 // simStats is the registry-backed counter set of one run.
@@ -54,6 +58,13 @@ type simStats struct {
 	// and stretch ((end − submit) / nominal).
 	vmWait    *obs.Quantile
 	vmStretch *obs.Quantile
+	// Decision flight-recorder counters, resolved by initDecision only
+	// when Config.Recorder is attached so that a recorder-off run's
+	// registry snapshot is unchanged (the routes counter lives in
+	// RunSharded, the steals counter above moves either way).
+	decisionAdmits  *obs.Counter
+	decisionPlaces  *obs.Counter
+	decisionRejects *obs.Counter
 }
 
 // init resolves the handles; from a nil registry every handle is nil
@@ -77,6 +88,14 @@ func (st *simStats) init(reg *obs.Registry) {
 	st.movesToDownSkipped = reg.Counter("sim_consolidator_moves_to_down_skipped")
 	st.vmWait = reg.Quantile("sim_vm_wait_seconds")
 	st.vmStretch = reg.Quantile("sim_vm_stretch")
+}
+
+// initDecision resolves the flight-recorder counters; called only when
+// a DecisionRecorder is attached (see simStats).
+func (st *simStats) initDecision(reg *obs.Registry) {
+	st.decisionAdmits = reg.Counter("sim_decision_admits_total")
+	st.decisionPlaces = reg.Counter("sim_decision_places_total")
+	st.decisionRejects = reg.Counter("sim_decision_rejects_total")
 }
 
 // traceSetup names the trace tracks. Thread-name metadata is emitted

@@ -42,7 +42,6 @@ package cloudsim
 // simultaneous).
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -99,6 +98,9 @@ type shardState struct {
 	reg     *obs.Registry
 	audit   *VMAudit
 	sampler *FleetSampler
+	tr      *obs.Tracer
+	rec     *DecisionRecorder
+	wd      *obs.Watchdog
 }
 
 // fitsNow reports whether the shard's capacity summary proves n VM
@@ -130,11 +132,17 @@ func (st *shardState) stuckHead(n int) bool {
 // RunSharded simulates the request stream across sc.Shards fleet
 // partitions advancing in parallel. With sc.Shards == 1 the caller's
 // telemetry handles are passed straight through and the run — Metrics,
-// VMRecords, obs counters, audit spans, sampler series — is identical
-// to Run's. With more shards the run is deterministic for fixed inputs
-// and shard count, and per-shard telemetry is merged into the caller's
-// handles at the end; tracing requires Shards == 1 (a trace is a total
-// order the parallel run does not produce).
+// VMRecords, obs counters, audit spans, sampler series, trace events,
+// decision log — is identical to Run's. With more shards the run is
+// deterministic for fixed inputs and shard count, and per-shard
+// telemetry is merged into the caller's handles at the end: each shard
+// records into private handles, and the folds remap server ids, VM
+// uids and synthetic request indices into the global space. A tracer
+// receives one merged timeline (per-shard server and queue tracks plus
+// a coordinator process carrying window spans and steal instants); a
+// recorder receives the time-ordered cross-shard decision log with
+// the coordinator's route/steal decisions interleaved; a watchdog
+// receives every shard's violations stamped with their shard.
 func RunSharded(cfg Config, reqs []trace.Request, sc ShardConfig) (Result, error) {
 	cfg, err := validateConfig(cfg, reqs)
 	if err != nil {
@@ -146,9 +154,6 @@ func RunSharded(cfg Config, reqs []trace.Request, sc ShardConfig) (Result, error
 	}
 	if S > cfg.Servers {
 		return Result{}, fmt.Errorf("cloudsim: %d shards over %d servers (at most one shard per server)", S, cfg.Servers)
-	}
-	if S > 1 && cfg.Tracer != nil {
-		return Result{}, errors.New("cloudsim: tracing requires Shards == 1")
 	}
 	if sc.Window < 0 {
 		return Result{}, fmt.Errorf("cloudsim: negative shard window %v", sc.Window)
@@ -217,6 +222,18 @@ func RunSharded(cfg Config, reqs []trace.Request, sc ShardConfig) (Result, error
 				st.sampler = NewFleetSampler(cfg.Sampler.capacity)
 				scfg.Sampler = st.sampler
 			}
+			if cfg.Tracer != nil {
+				st.tr = obs.NewTracer()
+				scfg.Tracer = st.tr
+			}
+			if cfg.Recorder != nil {
+				st.rec = NewDecisionRecorder()
+				scfg.Recorder = st.rec
+			}
+			if cfg.Watchdog != nil {
+				st.wd = obs.NewWatchdog(cfg.Watchdog.Every())
+				scfg.Watchdog = st.wd
+			}
 		}
 		if sc.Strategy != nil {
 			strat, err := sc.Strategy(k)
@@ -270,6 +287,25 @@ func RunSharded(cfg Config, reqs []trace.Request, sc ShardConfig) (Result, error
 	// window ran: they are admitted but not yet placed, so the capacity
 	// summary cannot see them and routing must account them on top.
 	pend := make([]int, S)
+	// Coordinator-side observability, only above one shard so the S == 1
+	// pass-through stays byte-identical to Run: a private recorder for
+	// route/steal decisions and a private tracer for window spans and
+	// steal instants, both folded into the user's handles after the run,
+	// plus the routing counter (registered only alongside a recorder so
+	// recorder-off registry snapshots stay unchanged).
+	var coordRec *DecisionRecorder
+	var coordTr *obs.Tracer
+	var routes *obs.Counter
+	if S > 1 {
+		if cfg.Recorder != nil {
+			coordRec = NewDecisionRecorder()
+			routes = cfg.Obs.Counter("sim_decision_routes_total")
+		}
+		if cfg.Tracer != nil {
+			coordTr = obs.NewTracer()
+		}
+	}
+	windowN := 0
 	for {
 		// The conservative bound: nothing anywhere can happen before T.
 		T := inf
@@ -290,6 +326,8 @@ func RunSharded(cfg Config, reqs []trace.Request, sc ShardConfig) (Result, error
 			break
 		}
 		limit := T + window
+		windowN++
+		routed := 0
 		// Route this window's arrivals in global submission order, under
 		// globally-sequenced arrival seqs. The router is capacity-aware:
 		// each job goes to the least-loaded shard among those whose
@@ -317,9 +355,19 @@ func RunSharded(cfg Config, reqs []trace.Request, sc ShardConfig) (Result, error
 				}
 			}
 			pend[best] += n
+			if coordRec != nil {
+				r := &reqs[order[nextReq]]
+				coordRec.recordRoute(float64(r.Submit), order[nextReq], r.ID, n, best, windowN)
+				routes.Inc()
+			}
 			shards[best].sim.scheduleArrival(order[nextReq], arrSeq)
 			arrSeq++
 			nextReq++
+			routed++
+		}
+		if coordTr != nil {
+			coordTr.Span("window", "coord", tracePidCoord, 0,
+				float64(T), float64(limit), traceWindowArgs{Routed: routed, Window: windowN})
 		}
 		for k := range shards {
 			starts[k] <- limit
@@ -338,7 +386,7 @@ func RunSharded(cfg Config, reqs []trace.Request, sc ShardConfig) (Result, error
 			pend[k] = 0
 		}
 		if sc.Steal && S > 1 {
-			arrSeq = stealHandoff(shards, len(reqs), arrSeq, limit, pend)
+			arrSeq = stealHandoff(shards, len(reqs), arrSeq, limit, pend, coordRec, coordTr, windowN)
 		}
 	}
 	stop()
@@ -419,22 +467,52 @@ func RunSharded(cfg Config, reqs []trace.Request, sc ShardConfig) (Result, error
 				cfg.Obs.Merge(st.reg)
 			}
 		}
-		if cfg.Audit != nil || cfg.Sampler != nil {
+		// Shared remap tables for every cross-shard fold: global server
+		// base, running VM-uid base, and the base of each shard's
+		// synthetic (fault-requeued) request range past the original
+		// stream.
+		bases := make([]int, S)
+		uidBases := make([]int, S)
+		reqBase := make([]int, S)
+		uid, synth := 0, 0
+		for k, st := range shards {
+			bases[k], uidBases[k], reqBase[k] = st.base, uid, synth
+			uid += st.sim.uidSeq
+			synth += len(st.sim.reqs) - len(reqs)
+		}
+		if cfg.Audit != nil {
 			audits := make([]*VMAudit, S)
-			samplers := make([]*FleetSampler, S)
-			bases := make([]int, S)
-			uidBases := make([]int, S)
-			uid := 0
 			for k, st := range shards {
-				audits[k], samplers[k], bases[k], uidBases[k] = st.audit, st.sampler, st.base, uid
-				uid += st.sim.uidSeq
+				audits[k] = st.audit
 			}
-			if cfg.Audit != nil {
-				cfg.Audit.absorbShards(audits, bases, uidBases)
+			cfg.Audit.absorbShards(audits, bases, uidBases)
+		}
+		if cfg.Sampler != nil {
+			samplers := make([]*FleetSampler, S)
+			for k, st := range shards {
+				samplers[k] = st.sampler
 			}
-			if cfg.Sampler != nil {
-				cfg.Sampler.absorbShards(samplers, bases, cfg.Servers)
+			cfg.Sampler.absorbShards(samplers, bases, cfg.Servers)
+		}
+		if cfg.Recorder != nil {
+			parts := make([]*DecisionRecorder, S)
+			for k, st := range shards {
+				parts[k] = st.rec
 			}
+			cfg.Recorder.absorbShards(coordRec, parts, bases, uidBases, reqBase, len(reqs))
+		}
+		if cfg.Watchdog != nil {
+			cfg.Watchdog.Reset()
+			for k, st := range shards {
+				cfg.Watchdog.Absorb(st.wd, k)
+			}
+		}
+		if cfg.Tracer != nil {
+			trs := make([]*obs.Tracer, S)
+			for k, st := range shards {
+				trs[k] = st.tr
+			}
+			mergeShardTraces(cfg.Tracer, coordTr, trs, bases, cfg.Servers, len(reqs), reqBase)
 		}
 	}
 	return Result{Metrics: m, VMs: recs}, nil
@@ -452,7 +530,7 @@ func RunSharded(cfg Config, reqs []trace.Request, sc ShardConfig) (Result, error
 // through normal admission. Stops at the first head that might fit
 // locally, keeping the donor's FCFS order otherwise intact. Returns the
 // advanced global arrival sequence.
-func stealHandoff(shards []*shardState, nOrig int, arrSeq uint64, at units.Seconds, pend []int) uint64 {
+func stealHandoff(shards []*shardState, nOrig int, arrSeq uint64, at units.Seconds, pend []int, coordRec *DecisionRecorder, coordTr *obs.Tracer, windowN int) uint64 {
 	for k, donor := range shards {
 		ds := donor.sim
 		for ds.qlen() > 0 {
@@ -479,6 +557,13 @@ func stealHandoff(shards []*shardState, nOrig int, arrSeq uint64, at units.Secon
 			ds.unadmit(idx)
 			ds.qpophead()
 			ds.stats.admissionSteals.Inc()
+			if coordRec != nil {
+				coordRec.recordSteal(float64(at), idx, ds.reqs[idx].ID, n, k, best, windowN)
+			}
+			if coordTr != nil {
+				coordTr.Instant("steal", "coord", tracePidCoord, 1,
+					float64(at), traceStealArgs{From: k, Job: ds.reqs[idx].ID, To: best})
+			}
 			shards[best].sim.admitStolen(idx, arrSeq, at)
 			arrSeq++
 			pend[best] += n

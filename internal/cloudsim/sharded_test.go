@@ -353,25 +353,23 @@ func TestShardedValidation(t *testing.T) {
 		{"zero-shards", base, ShardConfig{Shards: 0}},
 		{"more-shards-than-servers", base, ShardConfig{Shards: 5}},
 		{"negative-window", base, ShardConfig{Shards: 2, Window: -1}},
-		{"tracer-multi-shard", func() Config {
-			c := base
-			c.Tracer = obs.NewTracer()
-			return c
-		}(), ShardConfig{Shards: 2}},
 	}
 	for _, c := range cases {
 		if _, err := RunSharded(c.cfg, reqs, c.sc); err == nil {
 			t.Errorf("%s: no error", c.name)
 		}
 	}
-	// A tracer with one shard is fine — the monolithic path.
-	c := base
-	c.Tracer = obs.NewTracer()
-	if _, err := RunSharded(c, reqs, ShardConfig{Shards: 1}); err != nil {
-		t.Errorf("tracer with one shard rejected: %v", err)
-	}
-	if c.Tracer.Len() == 0 {
-		t.Error("one-shard run recorded no trace events")
+	// A tracer works at any shard count: one shard takes the monolithic
+	// pass-through, more get the merged cross-shard timeline.
+	for _, shards := range []int{1, 2} {
+		c := base
+		c.Tracer = obs.NewTracer()
+		if _, err := RunSharded(c, reqs, ShardConfig{Shards: shards}); err != nil {
+			t.Errorf("tracer with %d shard(s) rejected: %v", shards, err)
+		}
+		if c.Tracer.Len() == 0 {
+			t.Errorf("%d-shard run recorded no trace events", shards)
+		}
 	}
 }
 

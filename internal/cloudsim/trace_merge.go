@@ -1,0 +1,94 @@
+package cloudsim
+
+// Cross-shard trace merge: each shard records its window events into a
+// private tracer over shard-local server ids, and this fold rewrites
+// them onto one global Perfetto timeline — per-server tracks remapped
+// by the shard's base, each shard's workload track (arrivals, queue
+// depth, flow tails) kept as its own named thread, synthetic requeue
+// flow ids moved into disjoint per-shard ranges, and the coordinator's
+// window spans and steal instants added as a third process. Metadata
+// is regenerated globally (per-shard name events are dropped), and
+// events are ordered by timestamp with coordinator-then-shard-order
+// tie-breaking — deterministic for a deterministic run, so two
+// identical sharded runs serialize byte-identical trace files.
+
+import (
+	"sort"
+	"strconv"
+
+	"pacevm/internal/obs"
+)
+
+// traceWindowArgs is the args payload of a coordinator window span.
+// Fields are tagged in ascending key order (see obs.TraceEvent.Args).
+type traceWindowArgs struct {
+	Routed int `json:"routed"`
+	Window int `json:"window"`
+}
+
+// traceStealArgs is the args payload of a coordinator steal instant.
+type traceStealArgs struct {
+	From int `json:"from"`
+	Job  int `json:"job"`
+	To   int `json:"to"`
+}
+
+// mergeShardTraces folds the per-shard tracers and the coordinator's
+// into dst. bases[k] is shard k's first global server id, servers the
+// global fleet size, nOrig the original request-stream length and
+// reqBase[k] the shard's synthetic-request base (see RunSharded).
+func mergeShardTraces(dst, coord *obs.Tracer, parts []*obs.Tracer, bases []int, servers, nOrig int, reqBase []int) {
+	// Regenerated global metadata first: Perfetto reads naming events
+	// position-independently, but leading with them keeps the file
+	// layout stable and human-scannable.
+	dst.NameProcess(tracePidServers, "servers")
+	dst.NameProcess(tracePidWorkload, "workload")
+	for k := range parts {
+		dst.NameThread(tracePidWorkload, k, "queue shard "+strconv.Itoa(k))
+	}
+	for i := 0; i < servers; i++ {
+		dst.NameThread(tracePidServers, i, "server "+strconv.Itoa(i))
+	}
+	if coord != nil {
+		dst.NameProcess(tracePidCoord, "coordinator")
+		dst.NameThread(tracePidCoord, 0, "windows")
+		dst.NameThread(tracePidCoord, 1, "steals")
+	}
+
+	var events []obs.TraceEvent
+	for _, ev := range coord.Events() {
+		if ev.Phase == obs.PhaseMetadata {
+			continue
+		}
+		events = append(events, ev)
+	}
+	for k, tr := range parts {
+		for _, ev := range tr.Events() {
+			if ev.Phase == obs.PhaseMetadata {
+				continue
+			}
+			switch ev.Pid {
+			case tracePidServers:
+				ev.Tid += bases[k]
+			case tracePidWorkload:
+				// The monolithic queue/arrival track (tid 0) becomes this
+				// shard's own workload thread.
+				ev.Tid = k
+			}
+			// Flow ids are request index + 1. Original requests are routed
+			// to exactly one shard, so their ids stay globally unique;
+			// synthetic fault requeues are shard-local indices past the
+			// original stream and must move into the shard's global range.
+			if ev.ID > nOrig {
+				ev.ID = nOrig + reqBase[k] + (ev.ID - 1 - nOrig) + 1
+			}
+			events = append(events, ev)
+		}
+	}
+	// Stable sort by timestamp: each source is already time-ordered, so
+	// ties resolve coordinator-first then by shard id.
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Ts < events[j].Ts })
+	for _, ev := range events {
+		dst.Emit(ev)
+	}
+}

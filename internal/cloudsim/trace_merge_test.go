@@ -1,0 +1,93 @@
+package cloudsim
+
+// Cross-shard trace merge acceptance: a sharded traced run serializes
+// one deterministic global timeline — coordinator process included —
+// and a one-shard traced run stays byte-identical to the monolithic
+// loop's trace.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pacevm/internal/obs"
+)
+
+func traceBytes(t *testing.T, tr *obs.Tracer) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteTo(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestShardedTraceMergeDeterministic(t *testing.T) {
+	cfg, reqs := shardedStressConfig(t)
+	var first []byte
+	for run := 0; run < 2; run++ {
+		cfg.Obs = obs.NewRegistry()
+		cfg.Tracer = obs.NewTracer()
+		if _, err := RunSharded(cfg, reqs, ShardConfig{Shards: 4, Steal: true}); err != nil {
+			t.Fatal(err)
+		}
+		out := traceBytes(t, cfg.Tracer)
+		if run == 0 {
+			first = out
+			continue
+		}
+		if !bytes.Equal(first, out) {
+			t.Fatal("two identical sharded traced runs serialized different timelines")
+		}
+	}
+
+	got := string(first)
+	for _, want := range []string{
+		`"coordinator"`, `"windows"`, `"steals"`, // coordinator process + threads
+		`"queue shard 0"`, `"queue shard 3"`, // per-shard workload tracks
+		`"window"`, `"routed"`, // window spans with routing args
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("merged timeline missing %s", want)
+		}
+	}
+
+	// Every merged event must live in the global id spaces: known pids,
+	// server tids within the fleet, workload tids within the shard count.
+	for _, ev := range cfg.Tracer.Events() {
+		switch ev.Pid {
+		case tracePidServers:
+			if ev.Phase != obs.PhaseMetadata && (ev.Tid < 0 || ev.Tid >= cfg.Servers) {
+				t.Fatalf("server-track event on tid %d outside the %d-server fleet", ev.Tid, cfg.Servers)
+			}
+		case tracePidWorkload:
+			if ev.Phase != obs.PhaseMetadata && (ev.Tid < 0 || ev.Tid >= 4) {
+				t.Fatalf("workload event on tid %d outside 4 shards", ev.Tid)
+			}
+		case tracePidCoord:
+		default:
+			t.Fatalf("event with unknown pid %d", ev.Pid)
+		}
+	}
+}
+
+// One shard must pass the user's tracer through untouched: the trace
+// bytes equal the monolithic run's exactly.
+func TestShardedOneShardTraceByteIdentical(t *testing.T) {
+	cfg, reqs := shardedStressConfig(t)
+	cfg.Obs = obs.NewRegistry()
+	cfg.Tracer = obs.NewTracer()
+	if _, err := Run(cfg, reqs); err != nil {
+		t.Fatal(err)
+	}
+	mono := traceBytes(t, cfg.Tracer)
+
+	cfg.Obs = obs.NewRegistry()
+	cfg.Tracer = obs.NewTracer()
+	if _, err := RunSharded(cfg, reqs, ShardConfig{Shards: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if sharded := traceBytes(t, cfg.Tracer); !bytes.Equal(mono, sharded) {
+		t.Fatal("one-shard trace diverges from the monolithic timeline")
+	}
+}

@@ -247,6 +247,23 @@ func (a *Allocator) FitsAlone(vm VMRequest) bool {
 	return err == nil && est <= vm.MaxTime
 }
 
+// SearchStats summarizes the partition search behind one Allocate call:
+// how many partitions the generator produced, how many the signature
+// dedup skipped, how the scored candidates split into feasible /
+// infeasible / Pareto-pruned, and whether the budget exhausted into the
+// first-fit degradation. The counts are exact (plain integers local to
+// the call, not sampled registry counters), so a flight recorder can
+// attribute them to the single placement decision they belong to.
+type SearchStats struct {
+	Enumerated int
+	Deduped    int
+	Feasible   int
+	Infeasible int
+	Pruned     int
+	Exhausted  bool
+	Degraded   bool
+}
+
 // Allocate runs the partition search and returns the best allocation
 // for the goal, or ErrInfeasible when no candidate satisfies QoS.
 //
@@ -265,28 +282,40 @@ func (a *Allocator) FitsAlone(vm VMRequest) bool {
 // Allocate then degrades to the deterministic first-fit fallback and
 // marks the result Allocation.Degraded (see allocateFirstFit).
 func (a *Allocator) Allocate(goal Goal, servers []ServerState, vms []VMRequest) (Allocation, error) {
+	out, _, err := a.AllocateExplained(goal, servers, vms)
+	return out, err
+}
+
+// AllocateExplained is Allocate plus the per-call SearchStats — the
+// decision-attribution variant the simulator's flight recorder consumes.
+// The returned Allocation is identical to Allocate's; the stats are
+// meaningful even on an ErrInfeasible return (they describe the search
+// that proved infeasibility).
+func (a *Allocator) AllocateExplained(goal Goal, servers []ServerState, vms []VMRequest) (Allocation, SearchStats, error) {
 	if err := a.validateRequest(goal, servers, vms); err != nil {
-		return Allocation{}, err
+		return Allocation{}, SearchStats{}, err
 	}
 	sc := newSearchCtx(a, goal, servers, vms)
 	frontier, maxT, maxE, exhausted, err := sc.search(a.cfg.SearchWorkers)
 	if err != nil {
-		return Allocation{}, err
+		return Allocation{}, sc.stats, err
 	}
+	sc.stats.Exhausted = exhausted
 	if exhausted {
 		sc.exhausted.Inc()
 		out, err := a.allocateFirstFit(servers, vms)
 		if err != nil {
-			return Allocation{}, err
+			return Allocation{}, sc.stats, err
 		}
 		sc.degraded.Inc()
-		return out, nil
+		sc.stats.Degraded = true
+		return out, sc.stats, nil
 	}
 	if len(frontier) == 0 {
-		return Allocation{}, ErrInfeasible
+		return Allocation{}, sc.stats, ErrInfeasible
 	}
 	best := pickBest(goal, frontier, maxT, maxE)
-	return sc.materialize(frontier[best]), nil
+	return sc.materialize(frontier[best]), sc.stats, nil
 }
 
 // validateRequest checks the inputs shared by Allocate and

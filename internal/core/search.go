@@ -174,6 +174,12 @@ type searchCtx struct {
 	degraded   *obs.Counter // allocations served by the first-fit fallback
 	workerLoad *obs.Histogram
 
+	// stats is the exact per-call tally behind AllocateExplained.
+	// Enumerated/Deduped are bumped by the sequential producer; the
+	// per-worker tallies are summed in after the pool drains, so no
+	// atomic traffic joins the hot path.
+	stats SearchStats
+
 	blockMu   sync.RWMutex
 	blockMemo map[blockMemoKey]blockMemoVal
 }
@@ -339,6 +345,11 @@ type searchWorker struct {
 	// jobs counts partitions this worker evaluated (pool-utilization
 	// telemetry; a plain int — each worker is single-goroutine state).
 	jobs int
+	// Per-worker exact tallies folded into searchCtx.stats after the
+	// pool drains (plain ints for the same single-goroutine reason).
+	nFeasible   int
+	nInfeasible int
+	nPruned     int
 }
 
 type blockOption struct {
@@ -365,9 +376,11 @@ func (w *searchWorker) consider(idx int, blocks [][]int, owned bool) {
 	w.jobs++
 	ok := w.evalPartition(blocks)
 	if !ok {
+		w.nInfeasible++
 		w.sc.infeasible.Inc()
 		return
 	}
+	w.nFeasible++
 	w.sc.feasible.Inc()
 	var candT units.Seconds
 	var candE units.Joules
@@ -390,6 +403,7 @@ func (w *searchWorker) consider(idx int, blocks [][]int, owned bool) {
 	for i := range w.frontier {
 		f := &w.frontier[i]
 		if f.time <= candT && f.energy <= candE {
+			w.nPruned++
 			w.sc.pruned.Inc()
 			return
 		}
@@ -548,9 +562,11 @@ func (sc *searchCtx) searchSerial(n int) ([]candidate, units.Seconds, units.Joul
 	exhausted := false
 	idx := 0
 	_, err := partition.ForEachIndexed(n, func(_ int, blocks [][]int) bool {
+		sc.stats.Enumerated++
 		sc.enumerated.Inc()
 		ps := sigOfPartition(sc.typeOf, blocks)
 		if _, dup := seen[ps]; dup {
+			sc.stats.Deduped++
 			sc.deduped.Inc()
 			return true
 		}
@@ -566,8 +582,17 @@ func (sc *searchCtx) searchSerial(n int) ([]candidate, units.Seconds, units.Joul
 	if err != nil {
 		return nil, 0, 0, false, err
 	}
+	sc.foldWorkerStats(w)
 	sc.workerLoad.Observe(float64(w.jobs))
 	return w.frontier, w.maxT, w.maxE, exhausted, nil
+}
+
+// foldWorkerStats sums one drained worker's tallies into the per-call
+// stats; callers must only invoke it after the worker has stopped.
+func (sc *searchCtx) foldWorkerStats(w *searchWorker) {
+	sc.stats.Feasible += w.nFeasible
+	sc.stats.Infeasible += w.nInfeasible
+	sc.stats.Pruned += w.nPruned
 }
 
 // searchJob is one deduplicated partition shipped to a worker, tagged
@@ -602,9 +627,11 @@ func (sc *searchCtx) searchParallel(n, workers int) ([]candidate, units.Seconds,
 	exhausted := false
 	idx := 0
 	_, err := partition.ForEachIndexed(n, func(_ int, blocks [][]int) bool {
+		sc.stats.Enumerated++
 		sc.enumerated.Inc()
 		ps := sigOfPartition(sc.typeOf, blocks)
 		if _, dup := seen[ps]; dup {
+			sc.stats.Deduped++
 			sc.deduped.Inc()
 			return true
 		}
@@ -623,6 +650,7 @@ func (sc *searchCtx) searchParallel(n, workers int) ([]candidate, units.Seconds,
 		return nil, 0, 0, false, err
 	}
 	for _, w := range ws {
+		sc.foldWorkerStats(w)
 		sc.workerLoad.Observe(float64(w.jobs))
 	}
 
@@ -653,6 +681,7 @@ func (sc *searchCtx) searchParallel(n, workers int) ([]candidate, units.Seconds,
 		if !dominated {
 			kept = append(kept, c)
 		} else {
+			sc.stats.Pruned++
 			sc.pruned.Inc()
 		}
 	}

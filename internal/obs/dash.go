@@ -43,6 +43,29 @@ func (d *DebugServer) AddSeries(fn SeriesFunc) {
 	d.mu.Unlock()
 }
 
+// AddWatchdog registers an invariant watchdog whose violation report
+// the dashboard renders. Safe to call while serving; nil is ignored.
+func (d *DebugServer) AddWatchdog(wd *Watchdog) {
+	if d == nil || wd == nil {
+		return
+	}
+	d.mu.Lock()
+	d.watchdogs = append(d.watchdogs, wd)
+	d.mu.Unlock()
+}
+
+// decisionPanelCounters names the counters the dedicated decision /
+// steal / invariant panel pulls out of the snapshot, in display order.
+var decisionPanelCounters = []string{
+	"sim_decision_admits_total",
+	"sim_decision_places_total",
+	"sim_decision_rejects_total",
+	"sim_decision_routes_total",
+	"sim_admission_steals_total",
+	"sim_invariant_checks_total",
+	"sim_invariant_violations_total",
+}
+
 // handleDash renders the dashboard page.
 func (d *DebugServer) handleDash(w http.ResponseWriter, _ *http.Request) {
 	var snap Snapshot
@@ -51,6 +74,7 @@ func (d *DebugServer) handleDash(w http.ResponseWriter, _ *http.Request) {
 	}
 	d.mu.Lock()
 	fns := append([]SeriesFunc(nil), d.series...)
+	wds := append([]*Watchdog(nil), d.watchdogs...)
 	d.mu.Unlock()
 
 	var b strings.Builder
@@ -87,6 +111,42 @@ func (d *DebugServer) handleDash(w http.ResponseWriter, _ *http.Request) {
 			b.WriteString(sparklineSVG(s.Points, 360, 48))
 			b.WriteString(`</div>`)
 		}
+	}
+
+	// Decision / steal / invariant panel: the flight-recorder and
+	// watchdog counters pulled out of the flat table, plus each
+	// registered watchdog's violation report.
+	anyDecision := false
+	for _, name := range decisionPanelCounters {
+		if _, ok := snap.Counters[name]; ok {
+			anyDecision = true
+			break
+		}
+	}
+	if anyDecision || len(wds) > 0 {
+		b.WriteString(`<h2>decisions &amp; invariants</h2>`)
+	}
+	if anyDecision {
+		b.WriteString(`<table><tr><th>counter</th><th>value</th></tr>`)
+		for _, name := range decisionPanelCounters {
+			if v, ok := snap.Counters[name]; ok {
+				fmt.Fprintf(&b, `<tr><td>%s</td><td>%d</td></tr>`, html.EscapeString(name), v)
+			}
+		}
+		b.WriteString(`</table>`)
+	}
+	for _, wd := range wds {
+		vs := wd.Violations()
+		if len(vs) == 0 {
+			b.WriteString(`<p>watchdog: no invariant violations</p>`)
+			continue
+		}
+		b.WriteString(`<table><tr><th>violation</th><th>shard</th><th>t</th><th>detail</th></tr>`)
+		for _, v := range vs {
+			fmt.Fprintf(&b, `<tr><td>%s</td><td>%d</td><td>%.4g</td><td>%s</td></tr>`,
+				html.EscapeString(v.Check), v.Shard, v.At, html.EscapeString(v.Detail))
+		}
+		b.WriteString(`</table>`)
 	}
 
 	if len(snap.Counters) > 0 {

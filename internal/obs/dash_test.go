@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"errors"
 	"io"
 	"net/http"
 	"strings"
@@ -74,6 +75,58 @@ func TestDashboard(t *testing.T) {
 	reg.Counter("sim_events_popped").Add(1)
 	if !strings.Contains(dashGet(t, d), "42") {
 		t.Error("dashboard not live across scrapes")
+	}
+}
+
+// TestDashboardDecisionPanel drives the decisions & invariants panel:
+// the flight-recorder and watchdog counters render as their own table,
+// a clean watchdog reports no violations, and a firing one renders its
+// structured report rows.
+func TestDashboardDecisionPanel(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sim_decision_admits_total").Add(7)
+	reg.Counter("sim_decision_places_total").Add(6)
+	reg.Counter("sim_decision_routes_total").Add(5)
+	reg.Counter("sim_invariant_checks_total").Add(20)
+	d, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	wd := NewWatchdog(1)
+	d.AddWatchdog(wd)
+
+	body := dashGet(t, d)
+	for _, want := range []string{
+		"decisions &amp; invariants",
+		"sim_decision_admits_total",
+		"sim_decision_routes_total",
+		"sim_invariant_checks_total",
+		"watchdog: no invariant violations",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("decision panel missing %q:\n%.600s", want, body)
+		}
+	}
+
+	// A violation recorded mid-run appears as a report row on the next
+	// scrape, with the detail HTML-escaped.
+	wd.Register("work-conservation", func() error {
+		return errors.New("loadLeft 10 but re-derived 3 (<drift>)")
+	})
+	wd.RunChecks(42)
+	body = dashGet(t, d)
+	for _, want := range []string{
+		"work-conservation",
+		"&lt;drift&gt;",
+		"42",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("violation report missing %q:\n%.600s", want, body)
+		}
+	}
+	if strings.Contains(body, "watchdog: no invariant violations") {
+		t.Error("firing watchdog still reported clean")
 	}
 }
 

@@ -56,8 +56,9 @@ type DebugServer struct {
 	lis net.Listener
 	reg *Registry
 
-	mu     sync.Mutex
-	series []SeriesFunc
+	mu        sync.Mutex
+	series    []SeriesFunc
+	watchdogs []*Watchdog
 }
 
 // ServeDebug publishes reg under the "pacevm" expvar name (when

@@ -246,6 +246,17 @@ func (t *Tracer) NameThread(pid, tid int, name string) {
 	t.Emit(TraceEvent{Name: "thread_name", Phase: PhaseMetadata, Pid: pid, Tid: tid, Args: map[string]any{"name": name}})
 }
 
+// Events returns a copy of the recorded events (nil on a nil tracer) —
+// the export the sharded simulator's cross-shard timeline merge reads.
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceEvent(nil), t.events...)
+}
+
 // Len returns the number of recorded events (0 on a nil tracer).
 func (t *Tracer) Len() int {
 	if t == nil {

@@ -1,0 +1,171 @@
+package obs
+
+// Watchdog is the online invariant checker: callers register named
+// checks that re-derive a system invariant from first principles (energy
+// = busy+idle integrals, queue/work conservation, capacity-index sums)
+// and the owner ticks the watchdog from its event loop. Every `every`
+// ticks the full check set runs; a check returning a non-nil error
+// becomes one structured Violation, the sim_invariant_violations_total
+// counter moves, and /debug/dash surfaces the report.
+//
+// The contract matches the rest of the package: a nil *Watchdog is a
+// no-op on every method (one predictable branch per Tick, nothing
+// allocated), and checks are read-only — a run with the watchdog on
+// must stay byte-identical to the same run with it off. Violations are
+// mutex-guarded so a debug server may read them while the run ticks.
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Violation is one failed invariant check.
+type Violation struct {
+	// Check is the registered check name.
+	Check string `json:"check"`
+	// At is the simulated time the sweep ran at.
+	At float64 `json:"at"`
+	// Detail is the check's error text — what was re-derived vs what the
+	// incremental state claimed.
+	Detail string `json:"detail"`
+	// Shard identifies the shard-private simulator the violation came
+	// from in a sharded run; 0 in monolithic runs.
+	Shard int `json:"shard"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[shard %d] t=%g %s: %s", v.Shard, v.At, v.Check, v.Detail)
+}
+
+type watchdogCheck struct {
+	name string
+	fn   func() error
+}
+
+// Watchdog runs registered invariant checks every N ticks. Build one
+// with NewWatchdog, Bind it to a registry for the counters, Register
+// the checks, then Tick it from the event loop and RunChecks once at
+// the end of the run.
+type Watchdog struct {
+	every  int
+	left   int
+	checks []watchdogCheck
+
+	checksRun  *Counter // sim_invariant_checks_total
+	violations *Counter // sim_invariant_violations_total
+
+	mu       sync.Mutex
+	failures []Violation
+}
+
+// DefaultWatchdogEvery is the tick period used when NewWatchdog is
+// given a non-positive one: frequent enough to localize a corruption to
+// a few thousand events, rare enough to stay invisible in profiles.
+const DefaultWatchdogEvery = 4096
+
+// NewWatchdog returns a watchdog sweeping every `every` ticks.
+func NewWatchdog(every int) *Watchdog {
+	if every <= 0 {
+		every = DefaultWatchdogEvery
+	}
+	return &Watchdog{every: every, left: every}
+}
+
+// Reset clears the registered checks, the recorded violations and the
+// tick countdown, preparing the watchdog for a new run (the simulator
+// resets an attached watchdog the way it resets an attached audit).
+func (w *Watchdog) Reset() {
+	if w == nil {
+		return
+	}
+	w.checks = w.checks[:0]
+	w.left = w.every
+	w.mu.Lock()
+	w.failures = nil
+	w.mu.Unlock()
+}
+
+// Every returns the sweep period in ticks (0 on a nil watchdog).
+func (w *Watchdog) Every() int {
+	if w == nil {
+		return 0
+	}
+	return w.every
+}
+
+// Bind resolves the watchdog's registry counters. A nil watchdog or
+// registry leaves the counters as nil no-ops.
+func (w *Watchdog) Bind(reg *Registry) {
+	if w == nil {
+		return
+	}
+	w.checksRun = reg.Counter("sim_invariant_checks_total")
+	w.violations = reg.Counter("sim_invariant_violations_total")
+}
+
+// Register adds a named check. Checks run in registration order; fn
+// must be read-only with respect to the system under watch and must
+// return nil when the invariant holds.
+func (w *Watchdog) Register(name string, fn func() error) {
+	if w == nil {
+		return
+	}
+	w.checks = append(w.checks, watchdogCheck{name: name, fn: fn})
+}
+
+// Tick counts one event-loop iteration at simulated time `at` and runs
+// the check sweep when the period elapses. Nil-safe: the disabled path
+// is one branch.
+func (w *Watchdog) Tick(at float64) {
+	if w == nil {
+		return
+	}
+	w.left--
+	if w.left > 0 {
+		return
+	}
+	w.left = w.every
+	w.RunChecks(at)
+}
+
+// RunChecks runs every registered check now, recording violations.
+func (w *Watchdog) RunChecks(at float64) {
+	if w == nil {
+		return
+	}
+	for _, c := range w.checks {
+		w.checksRun.Inc()
+		if err := c.fn(); err != nil {
+			w.violations.Inc()
+			w.mu.Lock()
+			w.failures = append(w.failures, Violation{Check: c.name, At: at, Detail: err.Error()})
+			w.mu.Unlock()
+		}
+	}
+}
+
+// Violations returns a copy of the recorded violations (nil when clean
+// or on a nil watchdog).
+func (w *Watchdog) Violations() []Violation {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]Violation(nil), w.failures...)
+}
+
+// Absorb folds another watchdog's violations into w, stamping them with
+// the originating shard — the cross-shard merge of the sharded
+// simulator (counters merge separately through Registry.Merge).
+func (w *Watchdog) Absorb(from *Watchdog, shard int) {
+	if w == nil || from == nil || w == from {
+		return
+	}
+	for _, v := range from.Violations() {
+		v.Shard = shard
+		w.mu.Lock()
+		w.failures = append(w.failures, v)
+		w.mu.Unlock()
+	}
+}

@@ -16,6 +16,7 @@ package strategy
 // golden tests in internal/cloudsim prove both paths place identically.
 
 import (
+	"fmt"
 	"math/bits"
 
 	"pacevm/internal/core"
@@ -280,6 +281,62 @@ func (f *FirstFit) PlaceIndexed(idx *FleetIndex, vms []core.VMRequest, dst []int
 	return assign, true
 }
 
+// AuditInvariants re-derives every structural invariant of the index
+// from first principles and reports the first violation found, or nil.
+// used is the caller's ground-truth occupancy for server i (the
+// simulator derives it from the servers' resident VM lists, a source
+// the index never reads). The walk is O(servers × maxOcc) — read-only,
+// intended for a periodic watchdog, not a hot path.
+func (f *FleetIndex) AuditInvariants(used func(i int) int) error {
+	freeSum, nOver := 0, 0
+	for i := range f.used {
+		if g := used(i); f.used[i] != g {
+			return fmt.Errorf("strategy: index occupancy for server %d is %d, ground truth %d", i, f.used[i], g)
+		}
+		inOver := f.over.has(i)
+		if f.down[i] {
+			if inOver {
+				return fmt.Errorf("strategy: down server %d is in the overfilled set", i)
+			}
+			for k := range f.levels {
+				if f.levels[k].has(i) {
+					return fmt.Errorf("strategy: down server %d is in threshold set %d", i, k)
+				}
+			}
+			continue
+		}
+		freeSum += f.slotsUnderCeil(i)
+		if wantOver := f.used[i] > f.maxOcc; inOver != wantOver {
+			return fmt.Errorf("strategy: server %d (used %d, ceiling %d) overfilled-set membership is %v",
+				i, f.used[i], f.maxOcc, inOver)
+		}
+		if inOver {
+			nOver++
+		}
+		for k := range f.levels {
+			if want := f.used[i] <= k; f.levels[k].has(i) != want {
+				return fmt.Errorf("strategy: server %d (used %d) threshold-set %d membership is %v",
+					i, f.used[i], k, !want)
+			}
+		}
+	}
+	for k := range f.levels {
+		if pc := f.levels[k].count(); f.cnt[k] != pc {
+			return fmt.Errorf("strategy: cnt[%d] = %d, bitmap holds %d servers", k, f.cnt[k], pc)
+		}
+	}
+	if pc := f.over.count(); f.nOver != pc {
+		return fmt.Errorf("strategy: nOver = %d, overfilled bitmap holds %d servers", f.nOver, pc)
+	}
+	if nOver != f.nOver {
+		return fmt.Errorf("strategy: nOver = %d, ground-truth overfilled count is %d", f.nOver, nOver)
+	}
+	if freeSum != f.freeSum {
+		return fmt.Errorf("strategy: freeSum = %d, re-derived free-slot sum is %d", f.freeSum, freeSum)
+	}
+	return nil
+}
+
 // CapacityHinter is implemented by indexed strategies that can answer
 // "could a job of n VMs be placed right now?" from the index's
 // free-capacity summary without running the placement. The contract is
@@ -359,6 +416,20 @@ func (b *bitset) set(i int) {
 	if i < b.low {
 		b.low = i
 	}
+}
+
+// has reports whether id i is set.
+func (b *bitset) has(i int) bool {
+	return b.words[i/64]>>(i%64)&1 != 0
+}
+
+// count returns the number of set ids.
+func (b *bitset) count() int {
+	total := 0
+	for _, w := range b.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
 }
 
 // clear leaves low untouched: the hint is a lower bound, and clearing a

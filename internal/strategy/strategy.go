@@ -38,6 +38,30 @@ type Strategy interface {
 	Place(servers []Server, vms []core.VMRequest) (assign []int, ok bool)
 }
 
+// PlaceInfo attributes one Place call: the exact search tallies behind
+// the decision (zero for heuristics that run no search), whether the
+// QoS-relaxed second pass produced the answer, and whether a false
+// return means "wait for capacity" rather than "cannot decide". It is
+// returned by value per call — strategies stay stateless, one value may
+// serve several concurrent simulations.
+type PlaceInfo struct {
+	Stats   core.SearchStats
+	Relaxed bool
+	// Waited reports a deliberate QoS wait: the request is satisfiable
+	// in principle but no current placement meets every bound, so the
+	// job should stay queued until completions free capacity.
+	Waited bool
+}
+
+// Explainer is implemented by strategies that can attribute their
+// placement decisions. PlaceExplained must decide exactly as Place
+// (Place is expected to delegate to it), so turning a flight recorder
+// on never changes a simulation's outcome.
+type Explainer interface {
+	Strategy
+	PlaceExplained(servers []Server, vms []core.VMRequest) (assign []int, ok bool, info PlaceInfo)
+}
+
 // CPUSlotsPerServer is the paper's testbed core count, the basis of the
 // first-fit slot arithmetic.
 const CPUSlotsPerServer = 4
@@ -221,11 +245,22 @@ func (p *Proactive) Name() string {
 // the QoS guarantees" — so an impossible SLA becomes one recorded
 // violation instead of a starved queue.
 func (p *Proactive) Place(servers []Server, vms []core.VMRequest) ([]int, bool) {
+	assign, ok, _ := p.PlaceExplained(servers, vms)
+	return assign, ok
+}
+
+// PlaceExplained is Place plus the decision attribution: the exact
+// search tallies (summed over the strict and, when taken, the relaxed
+// pass), whether the relaxed pass answered, and whether a false return
+// is a deliberate QoS wait.
+func (p *Proactive) PlaceExplained(servers []Server, vms []core.VMRequest) ([]int, bool, PlaceInfo) {
+	var info PlaceInfo
 	states := make([]core.ServerState, len(servers))
 	for i, s := range servers {
 		states[i] = core.ServerState{ID: s.ID, Alloc: s.Alloc}
 	}
-	out, err := p.strict.Allocate(p.goal, states, vms)
+	out, stats, err := p.strict.AllocateExplained(p.goal, states, vms)
+	info.Stats = stats
 	if errors.Is(err, core.ErrInfeasible) {
 		satisfiable := true
 		for _, vm := range vms {
@@ -235,14 +270,24 @@ func (p *Proactive) Place(servers []Server, vms []core.VMRequest) ([]int, bool) 
 			}
 		}
 		if satisfiable {
-			return nil, false // wait for QoS-compatible capacity
+			info.Waited = true
+			return nil, false, info // wait for QoS-compatible capacity
 		}
-		out, err = p.relaxed.Allocate(p.goal, states, vms)
+		info.Relaxed = true
+		out, stats, err = p.relaxed.AllocateExplained(p.goal, states, vms)
+		info.Stats.Enumerated += stats.Enumerated
+		info.Stats.Deduped += stats.Deduped
+		info.Stats.Feasible += stats.Feasible
+		info.Stats.Infeasible += stats.Infeasible
+		info.Stats.Pruned += stats.Pruned
+		info.Stats.Exhausted = info.Stats.Exhausted || stats.Exhausted
+		info.Stats.Degraded = info.Stats.Degraded || stats.Degraded
 	}
 	if err != nil {
-		return nil, false
+		return nil, false, info
 	}
-	return flatten(out, vms)
+	assign, ok := flatten(out, vms)
+	return assign, ok, info
 }
 
 // flatten converts an Allocation into the per-VM assignment slice,
