@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build verify test race race-sim race-faults race-shards audit-smoke scale-smoke explain-smoke fuzz-smoke vet bench bench-alloc bench-json bench-diff profile-huge cover trace clean
+.PHONY: all build verify test race race-sim race-faults race-shards race-serve audit-smoke scale-smoke explain-smoke serve-soak fuzz-smoke vet bench bench-alloc bench-json bench-diff profile-huge cover trace clean
 
 all: verify
 
@@ -10,7 +10,7 @@ build:
 # verify is the tier-1 gate: compile, static checks, full test suite,
 # the race detector over the simulator hot-path packages, and the
 # observability smoke.
-verify: build vet test race-sim race-faults race-shards audit-smoke scale-smoke explain-smoke bench-diff
+verify: build vet test race-sim race-faults race-shards race-serve audit-smoke scale-smoke explain-smoke serve-soak bench-diff
 
 test:
 	$(GO) test ./...
@@ -30,6 +30,13 @@ race-sim:
 race-faults:
 	$(GO) test -race -run 'Fault|Crash|Checkpoint|DownUp|Degrade|Budget' \
 		./internal/faults ./internal/cloudsim ./internal/strategy ./internal/core
+
+# race-serve races the always-on placement service's unit suite (the
+# admission pipeline, degradation ladder, limiter, journal and
+# snapshot/restore paths); -short skips the chaos soak, which gets its
+# own non-race target below.
+race-serve:
+	$(GO) test -race -short -count=1 ./internal/serve ./cmd/pacevm-serve
 
 # race-shards races the sharded parallel engine under faults: the
 # determinism stress (shards 2/4/8 with crashes, backfill and
@@ -65,12 +72,26 @@ explain-smoke:
 	grep -q 'place' explain-smoke.txt
 	$(GO) run ./cmd/pacevm-explain -log explain-smoke.jsonl -windows
 
+# serve-soak is the chaos soak for the always-on placement service: 30
+# wall seconds of concurrent load against the real pacevm-serve binary
+# with injected server faults, overload bursts past the queue bound, a
+# mid-run kill -9 followed by a -restore restart, and a SIGTERM drain.
+# It fails on any lost or duplicated placement, any watchdog invariant
+# violation (including post-restore), or a decision log that never shows
+# the degradation ladder stepping down and recovering. Artifacts
+# (snapshot, journal, decision log) land in serve-soak-artifacts/ so CI
+# can upload them on failure.
+serve-soak:
+	PACEVM_SOAK_SECONDS=30 PACEVM_SOAK_DIR=serve-soak-artifacts \
+		$(GO) test -count=1 -run TestServeChaosSoak -v ./internal/serve
+
 # fuzz-smoke gives each text-input parser a short adversarial burst
 # (one package per invocation, as go test -fuzz requires).
 fuzz-smoke:
 	$(GO) test -fuzz FuzzParse -fuzztime 5s ./internal/swf
 	$(GO) test -fuzz FuzzReadSchedule -fuzztime 5s ./internal/faults
 	$(GO) test -fuzz FuzzReadCSV -fuzztime 5s ./internal/model
+	$(GO) test -fuzz FuzzReadDecisionLog -fuzztime 5s ./internal/cloudsim
 
 vet:
 	$(GO) vet ./...
@@ -93,7 +114,8 @@ bench-alloc:
 # huge entry ever lands on a single noisy sample again.
 bench-json:
 	{ $(GO) test -run NONE -bench 'BenchmarkSim(Large|Trace)' -benchtime 2x -benchmem ./internal/cloudsim \
-		&& $(GO) test -run NONE -bench 'BenchmarkSimHuge' -benchtime 1x -count 2 -benchmem ./internal/cloudsim; } \
+		&& $(GO) test -run NONE -bench 'BenchmarkSimHuge' -benchtime 1x -count 2 -benchmem ./internal/cloudsim \
+		&& $(GO) test -run NONE -bench 'BenchmarkServe$$' -benchmem ./internal/serve; } \
 		| $(GO) run ./cmd/pacevm-benchjson -require 'SimHuge=2' -o BENCH_sim.json
 
 # bench-diff compares a freshly recorded (or provided) benchmark
@@ -135,3 +157,4 @@ trace:
 clean:
 	$(GO) clean ./...
 	rm -f cover.out huge.cpu.out huge.test.bin explain-smoke.jsonl explain-smoke.txt
+	rm -rf serve-soak-artifacts

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pacevm/internal/campaign"
+	"pacevm/internal/model"
+)
+
+var (
+	dbOnce sync.Once
+	testDB *model.DB
+	dbErr  error
+)
+
+func sharedDB(t *testing.T) *model.DB {
+	t.Helper()
+	dbOnce.Do(func() {
+		cfg := campaign.DefaultConfig()
+		cfg.FullGridTotal = 8
+		testDB, _, dbErr = campaign.Run(cfg)
+	})
+	if dbErr != nil {
+		t.Fatal(dbErr)
+	}
+	return testDB
+}
+
+// modelDir writes the shared test model as CSV into a temp dir so run()
+// can load it without an in-process campaign per case.
+func modelDir(t *testing.T) string {
+	t.Helper()
+	db := sharedDB(t)
+	dir := t.TempDir()
+	mf, err := os.Create(filepath.Join(dir, "model.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.WriteCSV(mf); err != nil {
+		t.Fatal(err)
+	}
+	mf.Close()
+	af, err := os.Create(filepath.Join(dir, "aux.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.WriteAuxCSV(af); err != nil {
+		t.Fatal(err)
+	}
+	af.Close()
+	return dir
+}
+
+func TestParseWatermarks(t *testing.T) {
+	marks, err := parseWatermarks("1ms, 20ms,300ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [3]time.Duration{time.Millisecond, 20 * time.Millisecond, 300 * time.Millisecond}
+	if marks != want {
+		t.Fatalf("got %v, want %v", marks, want)
+	}
+	for _, bad := range []string{"", "1ms", "1ms,2ms", "1ms,2ms,3ms,4ms", "x,2ms,3ms", "1ms,2,3ms"} {
+		if _, err := parseWatermarks(bad); err == nil {
+			t.Errorf("parseWatermarks(%q) accepted bad input", bad)
+		}
+	}
+}
+
+// baseOptions mirrors main()'s flag defaults, pointed at a CSV model
+// dir so run() never launches an in-process campaign per case.
+func baseOptions(t *testing.T) options {
+	return options{
+		addr: "127.0.0.1:0", servers: 8, shards: 2, modelDir: modelDir(t),
+		alpha: 0.5, maxVMs: 4, budget: 64, queueCap: 16,
+		timeout: time.Second, watermarks: "50ms,200ms,800ms",
+		hysteresis: 0.5, dwell: 100 * time.Millisecond, burst: 8,
+		snapshotEvery: time.Second, watchdogEvery: -1,
+		drainTimeout: 5 * time.Second, chaosMTTR: 5, chaosHorizon: time.Hour,
+	}
+}
+
+// TestRunErrorPaths drives run() through each failure mode a user can
+// hit from the command line; every one must surface as an error rather
+// than a panic or a silently-started daemon.
+func TestRunErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*options)
+		want string
+	}{
+		{"watermark count", func(o *options) { o.watermarks = "1ms,2ms" }, "exactly 3"},
+		{"watermark junk", func(o *options) { o.watermarks = "1ms,zzz,3ms" }, "watermarks"},
+		{"watermark order", func(o *options) { o.watermarks = "3ms,2ms,1ms" }, "strictly increase"},
+		{"alpha low", func(o *options) { o.alpha = -0.1 }, "alpha"},
+		{"alpha high", func(o *options) { o.alpha = 1.1 }, "alpha"},
+		{"missing model", func(o *options) { o.modelDir = filepath.Join(t.TempDir(), "nope") }, "no such file"},
+		{"bad max-vms", func(o *options) { o.maxVMs = 3 }, "multiple"},
+		{"bad shards", func(o *options) { o.shards = 99 }, "shards"},
+		{"restore without snapshot", func(o *options) { o.restore = true }, "restore"},
+		{"bad chaos mttr", func(o *options) { o.chaosMTBF = 1; o.chaosMTTR = -1 }, "MTTR"},
+		{"bad listen addr", func(o *options) { o.addr = "127.0.0.1:notaport" }, "listen"},
+	}
+	for _, tc := range cases {
+		opt := baseOptions(t)
+		tc.mut(&opt)
+		err := run(opt)
+		if err == nil {
+			t.Errorf("%s: run() accepted bad options", tc.name)
+			continue
+		}
+		if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

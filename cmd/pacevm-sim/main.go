@@ -101,6 +101,7 @@ type options struct {
 	shards      int
 	steal       bool
 	shardWindow float64
+	windowSet   bool // -shard-window given explicitly (flag.Visit)
 }
 
 func main() {
@@ -126,11 +127,18 @@ func main() {
 	flag.StringVar(&opt.seriesPath, "series", "", "write the fleet power/occupancy time series as CSV (one row per sampled accounting interval)")
 	flag.IntVar(&opt.seriesCap, "series-cap", 0, "bound on retained series samples before deterministic downsampling halves resolution; 0 = default 4096")
 	flag.StringVar(&opt.decisionLog, "decision-log", "", "write the placement decision flight-recorder log as JSONL (replay with pacevm-explain)")
-	flag.IntVar(&opt.watchdogEvery, "watchdog", 0, "run the online invariant watchdog every N events (0 = off; negative = default period)")
+	flag.IntVar(&opt.watchdogEvery, "watchdog", 0, "run the online invariant watchdog every N events (0 = off)")
 	flag.IntVar(&opt.shards, "shards", 1, "partition the fleet into this many shards simulated in parallel (deterministic; 1 = the single event loop)")
 	flag.Float64Var(&opt.shardWindow, "shard-window", 0, "simulated seconds per parallel window between shard barriers; 0 = auto from the arrival span")
 	flag.BoolVar(&opt.steal, "steal", false, "with -shards: hand a provably stuck queue head to a shard with proven capacity at each barrier (relaxes per-shard FCFS)")
 	flag.Parse()
+	// Distinguish an explicit -shard-window 0 (an error: a zero-length
+	// window cannot advance) from the unset default (auto sizing).
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "shard-window" {
+			opt.windowSet = true
+		}
+	})
 
 	if err := run(opt); err != nil {
 		fmt.Fprintln(os.Stderr, "pacevm-sim:", err)
@@ -159,8 +167,11 @@ func run(opt options) error {
 	if opt.shards < 0 {
 		return fmt.Errorf("-shards %d must be at least 1", opt.shards)
 	}
-	if opt.shardWindow < 0 {
-		return fmt.Errorf("-shard-window %g must be non-negative", opt.shardWindow)
+	if opt.shardWindow < 0 || (opt.windowSet && opt.shardWindow <= 0) {
+		return fmt.Errorf("-shard-window %g must be positive; omit the flag for auto sizing from the arrival span", opt.shardWindow)
+	}
+	if opt.watchdogEvery < 0 {
+		return fmt.Errorf("-watchdog %d must be non-negative (0 = off)", opt.watchdogEvery)
 	}
 	if opt.shards > 1 && opt.reference {
 		return fmt.Errorf("-shards needs the optimized simulator; drop -reference")

@@ -182,6 +182,9 @@ func TestRunErrorPaths(t *testing.T) {
 		{"negative series cap", func(o *options) { o.seriesPath = filepath.Join(dir, "s.csv"); o.seriesCap = -1 }},
 		{"negative shards", func(o *options) { o.shards = -1 }},
 		{"negative shard window", func(o *options) { o.shards = 2; o.shardWindow = -10 }},
+		{"explicit zero shard window", func(o *options) { o.shards = 2; o.shardWindow = 0; o.windowSet = true }},
+		{"explicit negative shard window", func(o *options) { o.shards = 2; o.shardWindow = -1; o.windowSet = true }},
+		{"negative watchdog period", func(o *options) { o.watchdogEvery = -1 }},
 		{"shards with reference loop", func(o *options) { o.shards = 2; o.reference = true }},
 		{"more shards than servers", func(o *options) { o.shards = 8 }},
 		{"steal without shards", func(o *options) { o.steal = true }},

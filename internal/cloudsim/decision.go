@@ -43,6 +43,14 @@ const (
 	DecisionSteal   = "steal"   // coordinator moved a stuck queue head between shards
 	DecisionRequeue = "requeue" // a crash-killed VM's remaining work re-entered admission
 	DecisionMigrate = "migrate" // the consolidator moved (or failed to move) a VM
+
+	// Service decision kinds (internal/serve): the always-on placement
+	// service logs through the same recorder so pacevm-explain replays
+	// service logs unchanged. T is wall-clock seconds since service
+	// start in those records.
+	DecisionDegrade = "degrade" // the overload ladder stepped (From/To are the old/new levels)
+	DecisionShed    = "shed"    // admission control dropped a request (see Reason)
+	DecisionRelease = "release" // a placement's VMs were released by the client
 )
 
 // Reject reasons.
@@ -67,6 +75,14 @@ const (
 	// MigrateTargetDown is the Reason of a migrate record whose move was
 	// skipped because the consolidator targeted a crashed server.
 	MigrateTargetDown = "target-down"
+
+	// Service shed/reject reasons (internal/serve).
+	RejectQueueFull = "queue-full" // the shard's bounded admission queue was full
+	RejectRateLimit = "rate-limit" // the client's token bucket was empty
+	RejectDeadline  = "deadline"   // the request's deadline passed while queued
+	RejectShedding  = "shedding"   // the ladder is at the shed level
+	RejectDraining  = "draining"   // the service is in its SIGTERM drain
+	RejectCapacity  = "no-capacity"
 )
 
 // DecisionSearch is the PROACTIVE search-statistics payload of a place
@@ -189,6 +205,12 @@ func (r *DecisionRecorder) record(d Decision) {
 	delete(r.lastReject, d.Req)
 	r.recs = append(r.recs, d)
 }
+
+// Record appends one decision through the same reject-folding path the
+// simulator's hooks use. It is the entry point for emitters outside the
+// simulator — the placement service logs its admission, ladder, shed
+// and release decisions here — and is nil-safe like every other method.
+func (r *DecisionRecorder) Record(d Decision) { r.record(d) }
 
 // Len returns the number of recorded decisions (0 on a nil recorder).
 func (r *DecisionRecorder) Len() int {

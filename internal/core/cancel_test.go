@@ -1,0 +1,128 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"pacevm/internal/workload"
+)
+
+// cancelVMs is big enough (6 VMs) that workers=4 exercises the
+// parallel producer, whose cancel poll is a separate code path.
+func cancelVMs(t *testing.T) []VMRequest {
+	return []VMRequest{
+		vm("a", workload.ClassCPU, refTime(t, workload.ClassCPU), 0),
+		vm("b", workload.ClassCPU, refTime(t, workload.ClassCPU), 0),
+		vm("c", workload.ClassMEM, refTime(t, workload.ClassMEM), 0),
+		vm("d", workload.ClassMEM, refTime(t, workload.ClassMEM), 0),
+		vm("e", workload.ClassIO, refTime(t, workload.ClassIO), 0),
+		vm("f", workload.ClassIO, refTime(t, workload.ClassIO), 0),
+	}
+}
+
+// TestCancelNilIsIdentity pins that a nil Cancel hook changes nothing:
+// the allocation equals the hook-free allocator's bit for bit, with no
+// Canceled/Degraded marks.
+func TestCancelNilIsIdentity(t *testing.T) {
+	vms := cancelVMs(t)
+	servers := emptyServers(4)
+	base := mkAllocator(t)
+	want, wantStats, err := base.AllocateExplained(Goal{Alpha: 0.5}, servers, vms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAllocator(Config{DB: sharedDB(t), Cancel: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := a.AllocateExplained(Goal{Alpha: 0.5}, servers, vms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("nil Cancel hook changed the allocation")
+	}
+	if stats != wantStats || stats.Canceled || stats.Degraded {
+		t.Fatalf("stats drifted under a nil hook: %+v vs %+v", stats, wantStats)
+	}
+}
+
+// TestCancelFalseIsIdentity pins that a hook that never fires leaves
+// the search result identical — the poll itself must not perturb the
+// enumeration, at any worker count.
+func TestCancelFalseIsIdentity(t *testing.T) {
+	vms := cancelVMs(t)
+	servers := emptyServers(4)
+	want, _, err := mkAllocator(t).AllocateExplained(Goal{Alpha: 0.5}, servers, vms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		polled := 0
+		a, err := NewAllocator(Config{
+			DB:            sharedDB(t),
+			SearchWorkers: workers,
+			Cancel:        func() bool { polled++; return false },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, stats, err := a.AllocateExplained(Goal{Alpha: 0.5}, servers, vms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: never-firing Cancel changed the allocation", workers)
+		}
+		if stats.Canceled || stats.Exhausted {
+			t.Fatalf("workers=%d: never-firing Cancel marked the search cut: %+v", workers, stats)
+		}
+		if polled == 0 {
+			t.Fatalf("workers=%d: Cancel hook was never polled", workers)
+		}
+	}
+}
+
+// TestCancelDegradesToFirstFit pins the firing path: a hook that trips
+// mid-enumeration abandons the search and lands on the same
+// deterministic first-fit placement budget exhaustion produces, with
+// Canceled, Exhausted and Degraded all set.
+func TestCancelDegradesToFirstFit(t *testing.T) {
+	vms := cancelVMs(t)
+	servers := emptyServers(4)
+
+	// Reference degradation: budget 1 exhausts immediately.
+	budgeted, err := NewAllocator(Config{DB: sharedDB(t), SearchBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantStats, err := budgeted.AllocateExplained(Goal{Alpha: 0.5}, servers, vms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wantStats.Degraded {
+		t.Fatal("budget-1 reference did not degrade; the fixture is too small")
+	}
+
+	for _, workers := range []int{1, 4} {
+		calls := 0
+		a, err := NewAllocator(Config{
+			DB:            sharedDB(t),
+			SearchWorkers: workers,
+			Cancel:        func() bool { calls++; return calls > 1 },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, stats, err := a.AllocateExplained(Goal{Alpha: 0.5}, servers, vms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !stats.Canceled || !stats.Exhausted || !stats.Degraded || !got.Degraded {
+			t.Fatalf("workers=%d: firing Cancel did not mark the degradation: %+v", workers, stats)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: canceled placement differs from the budget-exhaustion first-fit", workers)
+		}
+	}
+}

@@ -138,6 +138,20 @@ type Config struct {
 	// exactly replayable at any worker count. AllocateReference, the
 	// frozen oracle, ignores the budget.
 	SearchBudget int
+	// Cancel, when non-nil, is polled by the sequential enumeration
+	// producer between partitions; a true return abandons the search
+	// exactly as budget exhaustion does — the partial frontier is
+	// discarded and Allocate degrades to the deterministic first-fit
+	// fallback (Allocation.Degraded, SearchStats.Canceled). This is the
+	// per-request timeout hook for long-running callers (the placement
+	// service arms it with a deadline check); it is the one deliberate
+	// determinism relaxation in the allocator — where the cut lands
+	// depends on wall clock, but every outcome is still one of two
+	// well-defined results: the full search's answer or the first-fit
+	// degradation. Nil (the default, and the only setting batch
+	// simulations use) keeps Allocate bit-identical to
+	// AllocateReference.
+	Cancel func() bool
 	// Obs receives search telemetry (partitions enumerated/deduplicated,
 	// Pareto prunes, estimate-cache hit rates, worker-pool utilization).
 	// Nil — the default — disables it at zero cost: every instrument
@@ -262,6 +276,9 @@ type SearchStats struct {
 	Pruned     int
 	Exhausted  bool
 	Degraded   bool
+	// Canceled reports that Config.Cancel (not the budget) cut the
+	// enumeration; Exhausted and Degraded are set alongside it.
+	Canceled bool
 }
 
 // Allocate runs the partition search and returns the best allocation

@@ -559,6 +559,7 @@ func (sc *searchCtx) searchSerial(n int) ([]candidate, units.Seconds, units.Joul
 	w := sc.newWorker()
 	seen := make(map[partSig]struct{}, 64)
 	budget := sc.a.cfg.SearchBudget
+	cancel := sc.a.cfg.Cancel
 	exhausted := false
 	idx := 0
 	_, err := partition.ForEachIndexed(n, func(_ int, blocks [][]int) bool {
@@ -571,6 +572,11 @@ func (sc *searchCtx) searchSerial(n int) ([]candidate, units.Seconds, units.Joul
 			return true
 		}
 		if budget > 0 && idx >= budget {
+			exhausted = true
+			return false
+		}
+		if cancel != nil && cancel() {
+			sc.stats.Canceled = true
 			exhausted = true
 			return false
 		}
@@ -624,6 +630,7 @@ func (sc *searchCtx) searchParallel(n, workers int) ([]candidate, units.Seconds,
 	// cut point is independent of worker scheduling.
 	seen := make(map[partSig]struct{}, 256)
 	budget := sc.a.cfg.SearchBudget
+	cancel := sc.a.cfg.Cancel
 	exhausted := false
 	idx := 0
 	_, err := partition.ForEachIndexed(n, func(_ int, blocks [][]int) bool {
@@ -636,6 +643,14 @@ func (sc *searchCtx) searchParallel(n, workers int) ([]candidate, units.Seconds,
 			return true
 		}
 		if budget > 0 && idx >= budget {
+			exhausted = true
+			return false
+		}
+		// The cancel poll lives on the producer like the budget: the cut
+		// point never depends on worker scheduling, only on when the hook
+		// fired relative to the sequential enumeration.
+		if cancel != nil && cancel() {
+			sc.stats.Canceled = true
 			exhausted = true
 			return false
 		}

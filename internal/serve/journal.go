@@ -1,0 +1,299 @@
+package serve
+
+// Crash-safe durability: a write-ahead journal plus periodic
+// checksummed snapshots.
+//
+// Every state-changing decision (place, release, crash, recover,
+// requeue) is appended to a JSONL journal — and, with Config.Fsync,
+// synced — BEFORE the client sees the acknowledgement, so an
+// acknowledged placement survives a kill -9: restart replay re-applies
+// it, and the client's retry of an unacknowledged request is caught by
+// the idempotency key instead of double-placing. A torn final record
+// (the write the crash interrupted) is discarded on replay — by
+// construction no client holds its acknowledgement.
+//
+// Snapshots bound replay: a versioned, CRC-32-checksummed JSON document
+// written via tmp+rename carries the full service state (occupancy as
+// live placements, down servers, the in-flight queue) at journal
+// sequence Seq; restore loads the snapshot, replays only journal
+// records with seq > Seq, then runs every watchdog invariant before
+// serving. After a successful snapshot the journal is truncated under
+// its lock, so it holds only the records the next restore needs.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Journal record kinds.
+const (
+	jPlace   = "place"
+	jRelease = "release"
+	jCrash   = "crash"
+	jRecover = "recover"
+	jRequeue = "requeue"
+)
+
+// jrec is one journal record. Kind selects the meaningful fields; the
+// integer zero values decode identically whether written or omitted,
+// so omitempty is safe throughout.
+type jrec struct {
+	Seq  int    `json:"seq"`
+	Kind string `json:"kind"`
+	// Place / release / requeue: the idempotency key.
+	Key string `json:"key,omitempty"`
+	// Place: the full placement.
+	Job      int     `json:"job,omitempty"`
+	Class    string  `json:"class,omitempty"`
+	NominalS float64 `json:"nominal_s,omitempty"`
+	MaxS     float64 `json:"max_s,omitempty"`
+	Servers  []int   `json:"servers,omitempty"` // global server per VM
+	VMIDs    []int   `json:"vm_ids,omitempty"`
+	Degraded bool    `json:"degraded,omitempty"`
+	Relaxed  bool    `json:"relaxed,omitempty"`
+	// Crash / recover: the global server. Requeue: the new server.
+	Server int `json:"server,omitempty"`
+	// Requeue: which VM of the placement moved.
+	Slot int `json:"slot,omitempty"`
+	VMID int `json:"vm_id,omitempty"`
+	// Crash: the residents evicted with the server.
+	Evict []evictRec `json:"evict,omitempty"`
+}
+
+// evictRec names one VM a crash evicted.
+type evictRec struct {
+	Key  string `json:"key"`
+	Slot int    `json:"slot"`
+	VMID int    `json:"vm_id"`
+}
+
+// journal is the append-side handle. seq is the last assigned sequence
+// number; records are written one JSON line at a time directly to the
+// fd (no userspace buffering), so a kill -9 after append loses nothing
+// the OS accepted, and Fsync extends that to machine crashes.
+type journal struct {
+	mu    sync.Mutex
+	f     *os.File
+	seq   int
+	fsync bool
+}
+
+// openJournal opens (creating if absent) the journal for appending,
+// with the sequence counter seeded past everything already applied.
+func openJournal(path string, fsync bool, lastSeq int) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &journal{f: f, seq: lastSeq, fsync: fsync}, nil
+}
+
+// append assigns the next sequence number to r, writes it, and — when
+// configured — syncs before returning. Nil-safe: a service without a
+// snapshot path runs journal-less and every append is a no-op
+// reporting seq 0.
+func (j *journal) append(r *jrec) (int, error) {
+	if j == nil {
+		return 0, nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	r.Seq = j.seq + 1
+	b, err := json.Marshal(r)
+	if err != nil {
+		return 0, err
+	}
+	b = append(b, '\n')
+	if _, err := j.f.Write(b); err != nil {
+		return 0, err
+	}
+	if j.fsync {
+		if err := j.f.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	j.seq = r.Seq
+	return r.Seq, nil
+}
+
+// lastSeq returns the last assigned sequence number.
+func (j *journal) lastSeq() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+func (j *journal) close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// readJournal parses a journal file. A missing file is an empty
+// journal. A torn final record — partial JSON on the last line — is
+// discarded; any earlier malformed record, or a sequence number that
+// does not strictly increase, is corruption and errors out.
+func readJournal(path string) ([]jrec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	var out []jrec
+	lastSeq := 0
+	for i, line := range lines {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var r jrec
+		if err := json.Unmarshal(line, &r); err != nil {
+			if i == len(lines)-1 {
+				break // torn final record: the crash interrupted this write
+			}
+			return nil, fmt.Errorf("serve: journal %s line %d: %w", path, i+1, err)
+		}
+		if r.Seq <= lastSeq {
+			return nil, fmt.Errorf("serve: journal %s line %d: seq %d after %d", path, i+1, r.Seq, lastSeq)
+		}
+		lastSeq = r.Seq
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ---- snapshot ----
+
+// snapshotVersion is bumped on any incompatible payload change; restore
+// refuses a version it does not speak.
+const snapshotVersion = 1
+
+// snapPlacement is one committed placement in a snapshot. Occupancy is
+// not stored separately: restore re-derives per-server allocations and
+// the capacity index purely from the live placements, so the restored
+// state is consistent by construction and the watchdog audit checks it
+// against nothing but itself plus the index invariants.
+type snapPlacement struct {
+	Key      string  `json:"key"`
+	Job      int     `json:"job,omitempty"`
+	Class    string  `json:"class"`
+	NominalS float64 `json:"nominal_s,omitempty"`
+	MaxS     float64 `json:"max_s,omitempty"`
+	Shard    int     `json:"shard"`
+	Servers  []int   `json:"servers"` // global; -1 = evicted, awaiting requeue
+	VMIDs    []int   `json:"vm_ids"`
+	Released bool    `json:"released,omitempty"`
+	Degraded bool    `json:"degraded,omitempty"`
+	Relaxed  bool    `json:"relaxed,omitempty"`
+}
+
+// snapPending is one queued (or parked) request in a snapshot: admitted
+// work the service still owes an answer for.
+type snapPending struct {
+	Key      string  `json:"key"`
+	Job      int     `json:"job,omitempty"`
+	Class    string  `json:"class"`
+	VMs      int     `json:"vms"`
+	NominalS float64 `json:"nominal_s,omitempty"`
+	MaxS     float64 `json:"max_s,omitempty"`
+	// Requeue pendings re-place one evicted VM of an existing placement
+	// and stay pinned to its shard.
+	Requeue bool `json:"requeue,omitempty"`
+	Shard   int  `json:"shard,omitempty"`
+	Slot    int  `json:"slot,omitempty"`
+	VMID    int  `json:"vm_id,omitempty"`
+}
+
+// snapPayload is the checksummed body of a snapshot file.
+type snapPayload struct {
+	Seq        int             `json:"seq"` // journal records <= Seq are folded in
+	NextVMID   int             `json:"next_vm_id"`
+	Servers    int             `json:"servers"`
+	Shards     int             `json:"shards"`
+	MaxVMs     int             `json:"max_vms"`
+	Down       []int           `json:"down,omitempty"` // global ids
+	Placements []snapPlacement `json:"placements"`
+	Queue      []snapPending   `json:"queue,omitempty"`
+}
+
+// snapFile is the on-disk wrapper: version, CRC-32 (IEEE) of the raw
+// payload bytes, payload.
+type snapFile struct {
+	Version int             `json:"version"`
+	CRC     uint32          `json:"crc32"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// writeSnapshotFile writes the snapshot atomically: marshal, checksum,
+// write to a same-directory temp file, fsync, rename over the target.
+// A crash at any point leaves either the old snapshot or the new one,
+// never a torn file.
+func writeSnapshotFile(path string, p *snapPayload) error {
+	raw, err := json.Marshal(p)
+	if err != nil {
+		return err
+	}
+	doc, err := json.Marshal(snapFile{Version: snapshotVersion, CRC: crc32.ChecksumIEEE(raw), Payload: raw})
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(append(doc, '\n')); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// readSnapshotFile loads and verifies a snapshot. A missing file means
+// "no snapshot yet" (nil, nil); a version or checksum mismatch is an
+// error — restore must never serve from state it cannot vouch for.
+func readSnapshotFile(path string) (*snapPayload, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var f snapFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("serve: snapshot %s: %w", path, err)
+	}
+	if f.Version != snapshotVersion {
+		return nil, fmt.Errorf("serve: snapshot %s: version %d, this build speaks %d", path, f.Version, snapshotVersion)
+	}
+	if got := crc32.ChecksumIEEE(f.Payload); got != f.CRC {
+		return nil, fmt.Errorf("serve: snapshot %s: crc32 %08x, header claims %08x", path, got, f.CRC)
+	}
+	var p snapPayload
+	if err := json.Unmarshal(f.Payload, &p); err != nil {
+		return nil, fmt.Errorf("serve: snapshot %s payload: %w", path, err)
+	}
+	return &p, nil
+}

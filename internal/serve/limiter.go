@@ -1,0 +1,81 @@
+package serve
+
+// Per-client token-bucket rate limiting. Each client key (the
+// X-Client-Id header, falling back to the remote host) owns a bucket
+// refilled continuously at Config.RatePerSec up to Config.RateBurst; a
+// request with no token is answered 429 with a Retry-After computed
+// from the bucket's actual deficit, so a well-behaved client backs off
+// exactly as long as needed. A nil limiter (rate <= 0) admits
+// everything at the cost of one nil check.
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// limiterMaxClients bounds the bucket map; when exceeded, buckets that
+// have fully refilled (i.e. carry no throttling state) are dropped.
+const limiterMaxClients = 8192
+
+type limiter struct {
+	rate  float64 // tokens per second
+	burst float64
+	clock func() time.Time
+
+	mu sync.Mutex
+	m  map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newLimiter(rate float64, burst int, clock func() time.Time) *limiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &limiter{rate: rate, burst: float64(burst), clock: clock, m: make(map[string]*bucket)}
+}
+
+// allow spends one token from the client's bucket. When the bucket is
+// empty it reports false and the wait until one token will exist.
+func (l *limiter) allow(client string) (bool, time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.clock()
+	b := l.m[client]
+	if b == nil {
+		if len(l.m) >= limiterMaxClients {
+			l.prune()
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.m[client] = b
+	} else {
+		b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	return false, wait
+}
+
+// prune drops refilled buckets; callers hold l.mu.
+func (l *limiter) prune() {
+	now := l.clock()
+	for k, b := range l.m {
+		if math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate) >= l.burst {
+			delete(l.m, k)
+		}
+	}
+}

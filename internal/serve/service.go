@@ -1,0 +1,1764 @@
+// Package serve is the always-on placement service: the paper's
+// allocator lifted out of the batch simulator and put behind a
+// long-running admission pipeline. VM requests arrive over HTTP/JSON,
+// are rate-limited per client, routed to a per-shard bounded queue by
+// the sharded coordinator's capacity heuristic, and placed against live
+// fleet state with the PROACTIVE search — degrading deterministically
+// through budgeted search, first-fit and finally load shedding as
+// measured queue wait climbs (see ladder.go). Every state change is
+// journaled before the client sees the acknowledgement and folded into
+// periodic checksummed snapshots (journal.go), so a kill -9 restarts
+// into exactly the acknowledged state; idempotency keys make client
+// retries replays, never double-placements.
+//
+// Concurrency model: one worker goroutine per shard is the sole mutator
+// of that shard's fleet state, so placement decisions within a shard
+// are serial and deterministic given the arrival order; HTTP handler
+// goroutines only validate, rate-limit, route and block on a reply
+// channel. Lock order, strictly: shard.smu (ascending shard id) →
+// shard.qmu (ascending) → Service.mu → journal.mu. The watchdog and
+// the snapshotter are the only multi-shard lockers and both follow it.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pacevm/internal/cloudsim"
+	"pacevm/internal/core"
+	"pacevm/internal/model"
+	"pacevm/internal/obs"
+	"pacevm/internal/strategy"
+	"pacevm/internal/units"
+	"pacevm/internal/workload"
+)
+
+// maxJobVMs is the largest VM count one request may ask for — the
+// paper's workload bound, and what keeps the PA partition search per
+// request small.
+const maxJobVMs = 4
+
+// parkRetryEvery paces re-attempts of parked requeues (evicted VMs
+// waiting for in-shard capacity) so they cannot busy-spin a full shard.
+const parkRetryEvery = 100 * time.Millisecond
+
+// drainPoll is the drain loop's queue-empty polling period.
+const drainPoll = 5 * time.Millisecond
+
+// Config parameterizes a Service. Zero values take the documented
+// defaults; Validate reports anything unusable.
+type Config struct {
+	// DB is the interference model database (required).
+	DB *model.DB
+	// Goal is the PA optimization goal (defaults to GoalBalanced).
+	Goal core.Goal
+	// Servers is the fleet size (required, >= 1). Shards partitions it
+	// for independent placement workers (default 1, <= Servers).
+	Servers int
+	Shards  int
+	// MaxVMsPerServer caps residency (default 16; must be a positive
+	// multiple of strategy.CPUSlotsPerServer so the first-fit rung maps
+	// onto a multiplexing level).
+	MaxVMsPerServer int
+	// DegradedBudget is the PA search budget at LevelBudgeted (default
+	// 64 scored partitions).
+	DegradedBudget int
+	// QueueCap bounds each shard's admission queue (default 256
+	// requests); a full queue answers 429 with Retry-After.
+	QueueCap int
+	// RequestTimeout is the per-request deadline (default 2s): the PA
+	// search is cancelled at the deadline and a request whose deadline
+	// passes while queued is shed with 503.
+	RequestTimeout time.Duration
+	// Watermarks are the queue-wait EWMA thresholds that step the
+	// degradation ladder down (defaults 50ms, 200ms, 800ms; strictly
+	// increasing). Hysteresis scales the step-up threshold (default
+	// 0.5) and LadderDwell is the minimum time between steps (default
+	// 200ms).
+	Watermarks  [3]time.Duration
+	Hysteresis  float64
+	LadderDwell time.Duration
+	// RatePerSec/RateBurst configure the per-client token bucket;
+	// RatePerSec <= 0 disables rate limiting (RateBurst defaults to 8).
+	RatePerSec float64
+	RateBurst  int
+	// SnapshotPath enables durability: periodic snapshots there, plus a
+	// write-ahead journal at JournalPath (default SnapshotPath +
+	// ".journal") synced per record when Fsync is set. SnapshotEvery
+	// defaults to 2s. Restore loads both instead of starting fresh and
+	// refuses to serve unless every watchdog invariant passes.
+	SnapshotPath  string
+	JournalPath   string
+	SnapshotEvery time.Duration
+	Fsync         bool
+	Restore       bool
+	// WatchdogEvery paces the online invariant sweeps (default 1s;
+	// negative disables the periodic sweep — restore and drain still
+	// run one).
+	WatchdogEvery time.Duration
+	// Recorder, when non-nil, receives the admission/ladder/shed flight
+	// log (pacevm-explain replays it). Obs defaults to a fresh registry.
+	Recorder *cloudsim.DecisionRecorder
+	Obs      *obs.Registry
+	// Clock overrides time.Now for tests.
+	Clock func() time.Time
+}
+
+// withDefaults fills zero values and validates; it returns the
+// effective configuration.
+func (cfg Config) withDefaults() (Config, error) {
+	if cfg.DB == nil {
+		return cfg, errors.New("serve: nil model database")
+	}
+	if cfg.Servers < 1 {
+		return cfg, fmt.Errorf("serve: servers %d must be >= 1", cfg.Servers)
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards < 1 || cfg.Shards > cfg.Servers {
+		return cfg, fmt.Errorf("serve: shards %d out of [1,%d]", cfg.Shards, cfg.Servers)
+	}
+	if cfg.Goal == (core.Goal{}) {
+		cfg.Goal = core.GoalBalanced
+	}
+	if cfg.MaxVMsPerServer == 0 {
+		cfg.MaxVMsPerServer = 16
+	}
+	if cfg.MaxVMsPerServer < strategy.CPUSlotsPerServer || cfg.MaxVMsPerServer%strategy.CPUSlotsPerServer != 0 {
+		return cfg, fmt.Errorf("serve: max VMs per server %d must be a positive multiple of %d", cfg.MaxVMsPerServer, strategy.CPUSlotsPerServer)
+	}
+	if cfg.DegradedBudget == 0 {
+		cfg.DegradedBudget = 64
+	}
+	if cfg.DegradedBudget < 1 {
+		return cfg, fmt.Errorf("serve: degraded budget %d must be >= 1", cfg.DegradedBudget)
+	}
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = 256
+	}
+	if cfg.QueueCap < 1 {
+		return cfg, fmt.Errorf("serve: queue cap %d must be >= 1", cfg.QueueCap)
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 2 * time.Second
+	}
+	if cfg.RequestTimeout < 0 {
+		return cfg, fmt.Errorf("serve: request timeout %v must be > 0", cfg.RequestTimeout)
+	}
+	if cfg.Watermarks == ([3]time.Duration{}) {
+		cfg.Watermarks = [3]time.Duration{50 * time.Millisecond, 200 * time.Millisecond, 800 * time.Millisecond}
+	}
+	for i, w := range cfg.Watermarks {
+		if w <= 0 {
+			return cfg, fmt.Errorf("serve: watermark %d (%v) must be > 0", i, w)
+		}
+		if i > 0 && w <= cfg.Watermarks[i-1] {
+			return cfg, fmt.Errorf("serve: watermarks must strictly increase (%v then %v)", cfg.Watermarks[i-1], w)
+		}
+	}
+	if cfg.Hysteresis == 0 {
+		cfg.Hysteresis = 0.5
+	}
+	if cfg.Hysteresis < 0 || cfg.Hysteresis > 1 {
+		return cfg, fmt.Errorf("serve: hysteresis %v out of (0,1]", cfg.Hysteresis)
+	}
+	if cfg.LadderDwell == 0 {
+		cfg.LadderDwell = 200 * time.Millisecond
+	}
+	if cfg.LadderDwell < 0 {
+		return cfg, fmt.Errorf("serve: ladder dwell %v must be > 0", cfg.LadderDwell)
+	}
+	if cfg.RateBurst == 0 {
+		cfg.RateBurst = 8
+	}
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = 2 * time.Second
+	}
+	if cfg.SnapshotEvery < 0 {
+		return cfg, fmt.Errorf("serve: snapshot period %v must be > 0", cfg.SnapshotEvery)
+	}
+	if cfg.JournalPath == "" && cfg.SnapshotPath != "" {
+		cfg.JournalPath = cfg.SnapshotPath + ".journal"
+	}
+	if cfg.Restore && cfg.SnapshotPath == "" {
+		return cfg, errors.New("serve: restore requested without a snapshot path")
+	}
+	if cfg.WatchdogEvery == 0 {
+		cfg.WatchdogEvery = time.Second
+	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewRegistry()
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return cfg, nil
+}
+
+// parseClass maps the wire spelling to a workload class.
+func parseClass(s string) (workload.Class, error) {
+	for _, c := range workload.Classes {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("serve: unknown workload class %q (want cpu, mem or io)", s)
+}
+
+// vmRes is one resident VM on a shard: which local server holds it and
+// which placement slot it fulfills.
+type vmRes struct {
+	srv   int
+	key   string
+	slot  int
+	class workload.Class
+}
+
+// placement is one committed request: the unit of idempotency, release
+// and crash-requeue bookkeeping. Servers holds global ids; -1 marks a
+// slot evicted by a crash and awaiting requeue.
+type placement struct {
+	Key      string
+	Job      int
+	Class    workload.Class
+	NominalS float64
+	MaxS     float64
+	Shard    int
+	Servers  []int
+	VMIDs    []int
+	Released bool
+	Degraded bool
+	Relaxed  bool
+	Level    int
+	WaitMS   float64
+}
+
+// response renders the placement as the client-visible payload; replays
+// return byte-identical placements.
+func (pl *placement) response(replayed bool) *PlaceResponse {
+	return &PlaceResponse{
+		Key:      pl.Key,
+		Servers:  append([]int(nil), pl.Servers...),
+		VMIDs:    append([]int(nil), pl.VMIDs...),
+		Level:    levelName(pl.Level),
+		Degraded: pl.Degraded,
+		Relaxed:  pl.Relaxed,
+		WaitMS:   pl.WaitMS,
+		Released: pl.Released,
+		Replayed: replayed,
+	}
+}
+
+// pending is one admitted request waiting in a shard queue. done is nil
+// for requeues and for requests restored from a snapshot — nobody is
+// blocked on those; the client's retry replays the eventual placement.
+type pending struct {
+	key      string
+	job      int
+	class    workload.Class
+	vms      int
+	nominalS float64
+	maxS     float64
+	enqueued time.Time
+	deadline time.Time
+	requeue  bool
+	slot     int
+	vmID     int
+	done     chan Outcome
+}
+
+// Control-plane operations, processed by the shard worker ahead of the
+// admission queue.
+const (
+	ctrlRelease = iota
+	ctrlCrash
+	ctrlRecover
+)
+
+type ctrlOp struct {
+	kind int
+	key  string
+	srv  int // local server id (crash/recover)
+	done chan Outcome
+}
+
+// shard owns a contiguous server range [base, base+n) and all placement
+// state for it. Only its worker goroutine mutates smu-guarded state.
+type shard struct {
+	svc  *Service
+	id   int
+	base int
+	n    int
+
+	qmu       sync.Mutex
+	qcond     *sync.Cond
+	ctrl      []*ctrlOp
+	pend      []*pending
+	parked    []*pending
+	stopped   bool
+	nextRetry time.Time
+
+	smu      sync.Mutex
+	alloc    []model.Key
+	idx      *strategy.FleetIndex
+	resident map[int]vmRes
+	scratch  []int
+
+	paFull   *strategy.Proactive
+	paBudget *strategy.Proactive
+	ff       *strategy.FirstFit
+
+	// deadlineNs is the in-progress request's deadline, read by the PA
+	// search's Cancel hook; 0 when no cancellable search runs.
+	deadlineNs atomic.Int64
+
+	// Routing estimates, updated under smu, read lock-free.
+	freeSlots atomic.Int64
+	queuedVMs atomic.Int64
+	residentN atomic.Int64
+}
+
+// Service is the placement service. Build with NewService, expose with
+// Handler, stop with Drain.
+type Service struct {
+	cfg   Config
+	clock func() time.Time
+	start time.Time
+
+	reg *obs.Registry
+	rec *cloudsim.DecisionRecorder
+	wd  *obs.Watchdog
+	lad *ladder
+	lim *limiter
+	j   *journal
+
+	shards []*shard
+
+	mu          sync.Mutex
+	byKey       map[string]*placement
+	pendingKeys map[string]struct{}
+	nextVMID    int // next uid to assign (uids are 1-based)
+	lastSeq     int // last journal seq applied to state
+
+	draining atomic.Bool
+	stop     chan struct{}
+	bg       sync.WaitGroup
+
+	mRequests  *obs.Counter
+	mPlaced    *obs.Counter
+	mReplayed  *obs.Counter
+	mReleased  *obs.Counter
+	mShed      *obs.Counter
+	mRejected  *obs.Counter
+	mRequeued  *obs.Counter
+	mSnapshots *obs.Counter
+	mCrashes   *obs.Counter
+	mRecovers  *obs.Counter
+	qWait      *obs.Quantile
+}
+
+// NewService builds the service, optionally restoring from a snapshot +
+// journal, verifies every watchdog invariant on restored state, and
+// starts the shard workers and background tickers.
+func NewService(cfg Config) (*Service, error) {
+	s, err := newService(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.startWorkers()
+	return s, nil
+}
+
+// newService is NewService without starting goroutines — the test seam.
+func newService(cfg Config) (*Service, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		cfg:         cfg,
+		clock:       cfg.Clock,
+		start:       cfg.Clock(),
+		reg:         cfg.Obs,
+		rec:         cfg.Recorder,
+		wd:          obs.NewWatchdog(1),
+		byKey:       map[string]*placement{},
+		pendingKeys: map[string]struct{}{},
+		nextVMID:    1,
+		stop:        make(chan struct{}),
+	}
+	s.lad = newLadder(&cfg, s.clock, s.reg, s.rec)
+	s.lim = newLimiter(cfg.RatePerSec, cfg.RateBurst, s.clock)
+	s.mRequests = s.reg.Counter("serve_requests_total")
+	s.mPlaced = s.reg.Counter("serve_placements_total")
+	s.mReplayed = s.reg.Counter("serve_replays_total")
+	s.mReleased = s.reg.Counter("serve_releases_total")
+	s.mShed = s.reg.Counter("serve_shed_total")
+	s.mRejected = s.reg.Counter("serve_rejects_total")
+	s.mRequeued = s.reg.Counter("serve_requeues_total")
+	s.mSnapshots = s.reg.Counter("serve_snapshots_total")
+	s.mCrashes = s.reg.Counter("serve_crashes_total")
+	s.mRecovers = s.reg.Counter("serve_recovers_total")
+	s.qWait = s.reg.Quantile("serve_queue_wait_seconds")
+
+	ff, err := strategy.NewFirstFit(cfg.MaxVMsPerServer / strategy.CPUSlotsPerServer)
+	if err != nil {
+		return nil, err
+	}
+	per, rem := cfg.Servers/cfg.Shards, cfg.Servers%cfg.Shards
+	base := 0
+	for k := 0; k < cfg.Shards; k++ {
+		n := per
+		if k < rem {
+			n++
+		}
+		sh := &shard{
+			svc:      s,
+			id:       k,
+			base:     base,
+			n:        n,
+			alloc:    make([]model.Key, n),
+			idx:      strategy.NewFleetIndex(n, cfg.MaxVMsPerServer),
+			resident: map[int]vmRes{},
+			scratch:  make([]int, maxJobVMs),
+			ff:       ff,
+		}
+		sh.qcond = sync.NewCond(&sh.qmu)
+		// SearchWorkers: 1 keeps each shard's PA search serial — the
+		// shard workers themselves are the parallelism — and makes the
+		// budget/cancel cut deterministic.
+		coreCfg := core.Config{DB: cfg.DB, MaxVMsPerServer: cfg.MaxVMsPerServer, SearchWorkers: 1, Obs: s.reg, Cancel: sh.searchCanceled}
+		if sh.paFull, err = strategy.NewProactiveConfig(coreCfg, cfg.Goal); err != nil {
+			return nil, err
+		}
+		coreCfg.SearchBudget = cfg.DegradedBudget
+		if sh.paBudget, err = strategy.NewProactiveConfig(coreCfg, cfg.Goal); err != nil {
+			return nil, err
+		}
+		sh.syncStats()
+		s.shards = append(s.shards, sh)
+		base += n
+	}
+
+	var restoredQueue []snapPending
+	if cfg.Restore {
+		if restoredQueue, err = s.restore(); err != nil {
+			return nil, err
+		}
+	} else if cfg.SnapshotPath != "" {
+		// Fresh start with durability: clear any stale state files so
+		// the journal's sequence space starts clean.
+		for _, p := range []string{cfg.SnapshotPath, cfg.JournalPath} {
+			if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+				return nil, err
+			}
+		}
+	}
+	if cfg.SnapshotPath != "" {
+		if s.j, err = openJournal(cfg.JournalPath, cfg.Fsync, s.lastSeq); err != nil {
+			return nil, err
+		}
+	}
+
+	s.registerChecks()
+	s.wd.Bind(s.reg)
+	if cfg.Restore {
+		s.wd.RunChecks(s.wallT())
+		if v := s.wd.Violations(); len(v) > 0 {
+			return nil, fmt.Errorf("serve: restored state failed %d invariant check(s); first: %s: %s", len(v), v[0].Check, v[0].Detail)
+		}
+		s.requeueRestored(restoredQueue)
+	}
+	return s, nil
+}
+
+// startWorkers launches the per-shard workers and the ticker goroutine.
+func (s *Service) startWorkers() {
+	for _, sh := range s.shards {
+		s.bg.Add(1)
+		go sh.run()
+	}
+	s.bg.Add(1)
+	go s.runTickers()
+}
+
+// wallT is the decision-log timestamp: wall seconds since service start.
+func (s *Service) wallT() float64 { return s.clock().Sub(s.start).Seconds() }
+
+// searchCanceled is the PA search's Cancel hook: true once the armed
+// request deadline passes.
+func (sh *shard) searchCanceled() bool {
+	d := sh.deadlineNs.Load()
+	return d != 0 && sh.svc.clock().UnixNano() > d
+}
+
+// shardOf maps a global server id to its owning shard.
+func (s *Service) shardOf(g int) *shard {
+	for _, sh := range s.shards {
+		if g < sh.base+sh.n {
+			return sh
+		}
+	}
+	return s.shards[len(s.shards)-1]
+}
+
+// syncStats refreshes the lock-free routing estimates; callers hold
+// sh.smu (or run pre-start).
+func (sh *shard) syncStats() {
+	sh.freeSlots.Store(int64(sh.idx.FreeSlotsBelow(sh.ff.Cap())))
+	sh.residentN.Store(int64(len(sh.resident)))
+}
+
+// route picks the shard for a request: among shards whose free-slot
+// estimate (minus already-queued VMs) fits it, the one with the most
+// headroom, ties to the lowest id — the sharded coordinator's
+// capacity-aware routing adapted to live estimates. With no fitting
+// shard, the least-loaded shard by (resident+queued)/servers takes it
+// and decides for itself.
+func (s *Service) route(vms int) *shard {
+	var best *shard
+	bestFree := int64(-1)
+	for _, sh := range s.shards {
+		free := sh.freeSlots.Load() - sh.queuedVMs.Load()
+		if free >= int64(vms) && free > bestFree {
+			best, bestFree = sh, free
+		}
+	}
+	if best != nil {
+		return best
+	}
+	var minLoad float64
+	for _, sh := range s.shards {
+		load := float64(sh.residentN.Load()+sh.queuedVMs.Load()) / float64(sh.n)
+		if best == nil || load < minLoad {
+			best, minLoad = sh, load
+		}
+	}
+	return best
+}
+
+// ---- admission (HTTP-goroutine side) ----
+
+// Place admits, routes and waits out one placement request. client
+// identifies the caller for rate limiting.
+func (s *Service) Place(client string, req PlaceRequest) Outcome {
+	s.mRequests.Inc()
+	if s.draining.Load() {
+		return s.shedOutcome(req, 503, cloudsim.RejectDraining, time.Second)
+	}
+	if req.Key == "" {
+		return Outcome{Status: 400, Reason: "missing key"}
+	}
+	if req.VMs < 1 || req.VMs > maxJobVMs {
+		return Outcome{Status: 400, Reason: fmt.Sprintf("vms %d out of [1,%d]", req.VMs, maxJobVMs)}
+	}
+	class, err := parseClass(req.Class)
+	if err != nil {
+		return Outcome{Status: 400, Reason: err.Error()}
+	}
+	if ok, wait := s.lim.allow(client); !ok {
+		return s.shedOutcome(req, 429, cloudsim.RejectRateLimit, wait)
+	}
+
+	s.mu.Lock()
+	if pl := s.byKey[req.Key]; pl != nil {
+		resp := pl.response(true)
+		s.mu.Unlock()
+		s.mReplayed.Inc()
+		return Outcome{Status: 200, Resp: resp}
+	}
+	if _, inFlight := s.pendingKeys[req.Key]; inFlight {
+		s.mu.Unlock()
+		return Outcome{Status: 429, Reason: "pending", RetryAfter: s.cfg.RequestTimeout}
+	}
+	s.pendingKeys[req.Key] = struct{}{}
+	s.mu.Unlock()
+
+	if s.lad.current() >= LevelShed {
+		s.unpend(req.Key)
+		s.mShed.Inc()
+		return s.shedOutcome(req, 429, cloudsim.RejectShedding, s.cfg.Watermarks[2])
+	}
+
+	nominalS := req.NominalS
+	if nominalS <= 0 {
+		nominalS = 600
+	}
+	now := s.clock()
+	p := &pending{
+		key: req.Key, job: req.Job, class: class, vms: req.VMs,
+		nominalS: nominalS, maxS: req.MaxResponseS,
+		enqueued: now, deadline: now.Add(s.cfg.RequestTimeout),
+		done: make(chan Outcome, 1),
+	}
+	sh := s.route(req.VMs)
+	if !sh.enqueue(p) {
+		s.unpend(req.Key)
+		s.mShed.Inc()
+		return s.shedOutcome(req, 429, cloudsim.RejectQueueFull, s.cfg.RequestTimeout)
+	}
+	s.rec.Record(cloudsim.Decision{
+		Kind: cloudsim.DecisionAdmit, T: s.wallT(), Shard: sh.id, Req: -1,
+		Job: req.Job, VMs: req.VMs, Queue: int(sh.queuedVMs.Load()), From: -1, To: sh.id,
+	})
+	return <-p.done
+}
+
+// unpend drops the in-flight marker for a key that never reached a
+// queue.
+func (s *Service) unpend(key string) {
+	s.mu.Lock()
+	delete(s.pendingKeys, key)
+	s.mu.Unlock()
+}
+
+// shedOutcome logs one admission-control drop and shapes the client
+// response.
+func (s *Service) shedOutcome(req PlaceRequest, status int, reason string, retry time.Duration) Outcome {
+	s.rec.Record(cloudsim.Decision{
+		Kind: cloudsim.DecisionShed, T: s.wallT(), Shard: -1, Req: -1,
+		Job: req.Job, VMs: req.VMs, Reason: reason, From: -1, To: -1,
+	})
+	return Outcome{Status: status, Reason: reason, RetryAfter: retry}
+}
+
+// Release frees a placement's VMs. Idempotent: releasing a released key
+// replays success.
+func (s *Service) Release(key string) Outcome {
+	s.mu.Lock()
+	pl := s.byKey[key]
+	s.mu.Unlock()
+	if pl == nil {
+		return Outcome{Status: 404, Reason: "unknown key"}
+	}
+	if pl.Released {
+		s.mReplayed.Inc()
+		return Outcome{Status: 200, Resp: pl.response(true)}
+	}
+	op := &ctrlOp{kind: ctrlRelease, key: key, done: make(chan Outcome, 1)}
+	if !s.shards[pl.Shard].pushCtrl(op) {
+		return Outcome{Status: 503, Reason: cloudsim.RejectDraining, RetryAfter: time.Second}
+	}
+	return <-op.done
+}
+
+// CrashServer marks a server down, evicting and re-queueing its
+// resident VMs — the service-side fault hook (chaos testing, or an
+// external health prober).
+func (s *Service) CrashServer(g int) error { return s.pushServerOp(ctrlCrash, g) }
+
+// RecoverServer brings a crashed server back into placement rotation.
+func (s *Service) RecoverServer(g int) error { return s.pushServerOp(ctrlRecover, g) }
+
+func (s *Service) pushServerOp(kind, g int) error {
+	if g < 0 || g >= s.cfg.Servers {
+		return fmt.Errorf("serve: server %d out of [0,%d)", g, s.cfg.Servers)
+	}
+	sh := s.shardOf(g)
+	if !sh.pushCtrl(&ctrlOp{kind: kind, srv: g - sh.base}) {
+		return errors.New("serve: draining")
+	}
+	return nil
+}
+
+// ---- shard queues ----
+
+func (sh *shard) enqueue(p *pending) bool {
+	sh.qmu.Lock()
+	defer sh.qmu.Unlock()
+	if sh.stopped || len(sh.pend) >= sh.svc.cfg.QueueCap {
+		return false
+	}
+	sh.pend = append(sh.pend, p)
+	sh.queuedVMs.Add(int64(p.vms))
+	sh.qcond.Signal()
+	return true
+}
+
+func (sh *shard) pushCtrl(op *ctrlOp) bool {
+	sh.qmu.Lock()
+	defer sh.qmu.Unlock()
+	if sh.stopped {
+		return false
+	}
+	sh.ctrl = append(sh.ctrl, op)
+	sh.qcond.Signal()
+	return true
+}
+
+func (sh *shard) park(p *pending) {
+	sh.qmu.Lock()
+	sh.parked = append(sh.parked, p)
+	sh.qmu.Unlock()
+}
+
+// next blocks for the worker's next unit: control ops first, then one
+// parked requeue per retry window, then the admission queue.
+func (sh *shard) next() (*ctrlOp, *pending, bool) {
+	sh.qmu.Lock()
+	defer sh.qmu.Unlock()
+	for {
+		if len(sh.ctrl) > 0 {
+			op := sh.ctrl[0]
+			sh.ctrl = sh.ctrl[1:]
+			return op, nil, true
+		}
+		if len(sh.parked) > 0 {
+			if now := sh.svc.clock(); !now.Before(sh.nextRetry) {
+				sh.nextRetry = now.Add(parkRetryEvery)
+				p := sh.parked[0]
+				sh.parked = sh.parked[1:]
+				return nil, p, true
+			}
+		}
+		if len(sh.pend) > 0 {
+			p := sh.pend[0]
+			sh.pend = sh.pend[1:]
+			sh.queuedVMs.Add(-int64(p.vms))
+			return nil, p, true
+		}
+		if sh.stopped {
+			return nil, nil, false
+		}
+		sh.qcond.Wait()
+	}
+}
+
+// run is the shard worker: the single goroutine that mutates this
+// shard's placement state.
+func (sh *shard) run() {
+	defer sh.svc.bg.Done()
+	for {
+		op, p, ok := sh.next()
+		if !ok {
+			return
+		}
+		switch {
+		case op != nil:
+			sh.handleCtrl(op)
+		case p.requeue:
+			sh.handleRequeue(p)
+		default:
+			sh.handlePlace(p)
+		}
+	}
+}
+
+// ---- worker: placement ----
+
+func (sh *shard) handlePlace(p *pending) {
+	s := sh.svc
+	now := s.clock()
+	wait := now.Sub(p.enqueued)
+	s.qWait.Observe(wait.Seconds())
+	level := s.lad.observe(wait)
+
+	if now.After(p.deadline) {
+		s.finishDrop(p, 503, cloudsim.RejectDeadline, 0)
+		return
+	}
+	if level >= LevelShed {
+		s.mShed.Inc()
+		s.finishDrop(p, 429, cloudsim.RejectShedding, s.cfg.Watermarks[2])
+		return
+	}
+
+	vms := make([]core.VMRequest, p.vms)
+	for i := range vms {
+		vms[i] = core.VMRequest{
+			ID:          fmt.Sprintf("%s#%d", p.key, i),
+			Class:       p.class,
+			NominalTime: units.Seconds(p.nominalS),
+			MaxTime:     units.Seconds(p.maxS),
+		}
+	}
+
+	sh.smu.Lock()
+	assign, info, ok := sh.placeLocked(level, vms, p.deadline)
+	if !ok {
+		sh.smu.Unlock()
+		s.mRejected.Inc()
+		s.rec.Record(cloudsim.Decision{
+			Kind: cloudsim.DecisionReject, T: s.wallT(), Shard: sh.id, Req: -1,
+			Job: p.job, VMs: p.vms, Reason: cloudsim.RejectCapacity,
+			Candidates: sh.n, From: -1, To: -1,
+		})
+		s.finish(p, Outcome{Status: 503, Reason: cloudsim.RejectCapacity, RetryAfter: time.Second})
+		return
+	}
+
+	s.mu.Lock()
+	ids := make([]int, p.vms)
+	for i := range ids {
+		ids[i] = s.nextVMID
+		s.nextVMID++
+	}
+	s.mu.Unlock()
+	globals := make([]int, len(assign))
+	for i, a := range assign {
+		globals[i] = sh.base + a
+	}
+	pl := &placement{
+		Key: p.key, Job: p.job, Class: p.class,
+		NominalS: p.nominalS, MaxS: p.maxS,
+		Shard: sh.id, Servers: globals, VMIDs: ids,
+		Level: level, WaitMS: wait.Seconds() * 1000,
+	}
+	if info != nil {
+		pl.Degraded = info.Stats.Degraded
+		pl.Relaxed = info.Relaxed
+	}
+	seq, err := s.j.append(&jrec{
+		Kind: jPlace, Key: pl.Key, Job: pl.Job, Class: pl.Class.String(),
+		NominalS: pl.NominalS, MaxS: pl.MaxS,
+		Servers: globals, VMIDs: ids, Degraded: pl.Degraded, Relaxed: pl.Relaxed,
+	})
+	if err != nil {
+		sh.smu.Unlock()
+		s.finish(p, Outcome{Status: 500, Reason: "journal: " + err.Error()})
+		return
+	}
+	s.applyPlace(pl, seq)
+	sh.smu.Unlock()
+
+	s.mPlaced.Inc()
+	d := cloudsim.Decision{
+		Kind: cloudsim.DecisionPlace, T: s.wallT(), Shard: sh.id, Req: -1,
+		Job: p.job, VMs: p.vms, Wait: wait.Seconds(), Candidates: sh.n,
+		Servers: append([]int(nil), globals...), VMIDs: append([]int(nil), ids...),
+		From: -1, To: -1, Relaxed: pl.Relaxed, Degraded: pl.Degraded,
+	}
+	if info != nil {
+		d.Search = &cloudsim.DecisionSearch{
+			Enumerated: info.Stats.Enumerated, Deduped: info.Stats.Deduped,
+			Feasible: info.Stats.Feasible, Infeasible: info.Stats.Infeasible,
+			Pruned: info.Stats.Pruned, Exhausted: info.Stats.Exhausted,
+		}
+	}
+	s.rec.Record(d)
+	s.finish(p, Outcome{Status: 200, Resp: pl.response(false)})
+}
+
+// placeLocked runs the ladder-selected strategy; callers hold sh.smu.
+// Assignments are local server ids.
+func (sh *shard) placeLocked(level int, vms []core.VMRequest, deadline time.Time) ([]int, *strategy.PlaceInfo, bool) {
+	switch level {
+	case LevelFull, LevelBudgeted:
+		views := sh.upViewsLocked()
+		if len(views) == 0 {
+			return nil, nil, false
+		}
+		st := sh.paFull
+		if level == LevelBudgeted {
+			st = sh.paBudget
+		}
+		if !deadline.IsZero() {
+			sh.deadlineNs.Store(deadline.UnixNano())
+			defer sh.deadlineNs.Store(0)
+		}
+		assign, ok, info := st.PlaceExplained(views, vms)
+		return assign, &info, ok
+	default:
+		assign, ok := sh.ff.PlaceIndexed(sh.idx, vms, sh.scratch)
+		if !ok {
+			return nil, nil, false
+		}
+		return append([]int(nil), assign...), nil, true
+	}
+}
+
+// upViewsLocked builds the PA's placement-time view of the shard's up
+// servers; callers hold sh.smu.
+func (sh *shard) upViewsLocked() []strategy.Server {
+	views := make([]strategy.Server, 0, sh.n)
+	for i := 0; i < sh.n; i++ {
+		if !sh.idx.Down(i) {
+			views = append(views, strategy.Server{ID: i, Alloc: sh.alloc[i]})
+		}
+	}
+	return views
+}
+
+// handleRequeue re-places one crash-evicted VM with first-fit —
+// cheap, deterministic, and exempt from shedding and deadlines (the
+// service owes the placement). No in-shard capacity parks it for the
+// next retry window.
+func (sh *shard) handleRequeue(p *pending) {
+	s := sh.svc
+	s.mu.Lock()
+	pl := s.byKey[p.key]
+	dead := pl == nil || pl.Released
+	s.mu.Unlock()
+	if dead {
+		return // released while evicted: nothing owed
+	}
+	vms := []core.VMRequest{{
+		ID: fmt.Sprintf("%s#rq%d", p.key, p.slot), Class: p.class,
+		NominalTime: units.Seconds(p.nominalS), MaxTime: units.Seconds(p.maxS),
+	}}
+	sh.smu.Lock()
+	assign, ok := sh.ff.PlaceIndexed(sh.idx, vms, sh.scratch)
+	if !ok {
+		sh.smu.Unlock()
+		sh.park(p)
+		return
+	}
+	g := sh.base + assign[0]
+	seq, err := s.j.append(&jrec{Kind: jRequeue, Key: p.key, Slot: p.slot, VMID: p.vmID, Server: g})
+	if err != nil {
+		sh.smu.Unlock()
+		sh.park(p)
+		return
+	}
+	s.applyRequeue(p.key, p.slot, p.vmID, p.class, g, seq)
+	sh.smu.Unlock()
+	s.mRequeued.Inc()
+	s.rec.Record(cloudsim.Decision{
+		Kind: cloudsim.DecisionPlace, T: s.wallT(), Shard: sh.id, Req: -1,
+		Job: p.job, VMs: 1, VMID: p.vmID, Servers: []int{g}, VMIDs: []int{p.vmID},
+		From: -1, To: -1,
+	})
+}
+
+// ---- worker: control plane ----
+
+func (sh *shard) handleCtrl(op *ctrlOp) {
+	switch op.kind {
+	case ctrlRelease:
+		sh.handleRelease(op)
+	case ctrlCrash:
+		sh.handleCrash(op.srv)
+	case ctrlRecover:
+		sh.handleRecover(op.srv)
+	}
+}
+
+func (sh *shard) handleRelease(op *ctrlOp) {
+	s := sh.svc
+	sh.smu.Lock()
+	s.mu.Lock()
+	pl := s.byKey[op.key]
+	released := pl == nil || pl.Released
+	s.mu.Unlock()
+	if released {
+		sh.smu.Unlock()
+		out := Outcome{Status: 404, Reason: "unknown key"}
+		if pl != nil {
+			s.mReplayed.Inc()
+			out = Outcome{Status: 200, Resp: pl.response(true)}
+		}
+		s.finishCtrl(op, out)
+		return
+	}
+	seq, err := s.j.append(&jrec{Kind: jRelease, Key: op.key})
+	if err != nil {
+		sh.smu.Unlock()
+		s.finishCtrl(op, Outcome{Status: 500, Reason: "journal: " + err.Error()})
+		return
+	}
+	s.applyRelease(op.key, seq)
+	sh.smu.Unlock()
+	s.mReleased.Inc()
+	s.rec.Record(cloudsim.Decision{
+		Kind: cloudsim.DecisionRelease, T: s.wallT(), Shard: sh.id, Req: -1,
+		Job: pl.Job, VMs: len(pl.VMIDs), From: -1, To: -1,
+	})
+	s.finishCtrl(op, Outcome{Status: 200, Resp: pl.response(false)})
+}
+
+func (sh *shard) handleCrash(local int) {
+	s := sh.svc
+	sh.smu.Lock()
+	if sh.idx.Down(local) {
+		sh.smu.Unlock()
+		return
+	}
+	g := sh.base + local
+	var evicts []evictRec
+	for vmID, res := range sh.resident {
+		if res.srv == local {
+			evicts = append(evicts, evictRec{Key: res.key, Slot: res.slot, VMID: vmID})
+		}
+	}
+	sort.Slice(evicts, func(i, j int) bool { return evicts[i].VMID < evicts[j].VMID })
+	seq, err := s.j.append(&jrec{Kind: jCrash, Server: g, Evict: evicts})
+	if err != nil {
+		sh.smu.Unlock()
+		return
+	}
+	s.applyCrash(g, evicts, seq)
+	// Requeue pendings for the casualties, pinned to this shard.
+	requeues := make([]*pending, 0, len(evicts))
+	s.mu.Lock()
+	for _, e := range evicts {
+		pl := s.byKey[e.Key]
+		requeues = append(requeues, &pending{
+			key: e.Key, job: pl.Job, class: pl.Class, vms: 1,
+			nominalS: pl.NominalS, maxS: pl.MaxS,
+			enqueued: s.clock(), requeue: true, slot: e.Slot, vmID: e.VMID,
+		})
+	}
+	s.mu.Unlock()
+	sh.smu.Unlock()
+	for _, p := range requeues {
+		sh.park(p)
+	}
+	s.mCrashes.Inc()
+	for _, e := range evicts {
+		s.rec.Record(cloudsim.Decision{
+			Kind: cloudsim.DecisionRequeue, T: s.wallT(), Shard: sh.id, Req: -1,
+			VMID: e.VMID, From: g, To: -1,
+		})
+	}
+}
+
+func (sh *shard) handleRecover(local int) {
+	s := sh.svc
+	sh.smu.Lock()
+	if !sh.idx.Down(local) {
+		sh.smu.Unlock()
+		return
+	}
+	g := sh.base + local
+	seq, err := s.j.append(&jrec{Kind: jRecover, Server: g})
+	if err != nil {
+		sh.smu.Unlock()
+		return
+	}
+	s.applyRecover(g, seq)
+	sh.smu.Unlock()
+	s.mRecovers.Inc()
+	// Wake the worker loop: parked requeues may fit now.
+	sh.qmu.Lock()
+	sh.nextRetry = time.Time{}
+	sh.qcond.Broadcast()
+	sh.qmu.Unlock()
+}
+
+// ---- state application (shared by live path, journal replay, restore) ----
+//
+// Apply functions mutate shard and service state and advance lastSeq.
+// Callers hold the owning shard's smu (live path) or run single-threaded
+// before the workers start (restore).
+
+func (s *Service) applyPlace(pl *placement, seq int) {
+	sh := s.shards[pl.Shard]
+	for i, g := range pl.Servers {
+		if g < 0 {
+			continue // restored placement with a slot still awaiting requeue
+		}
+		local := g - sh.base
+		sh.alloc[local] = sh.alloc[local].Add(model.KeyFor(pl.Class, 1))
+		sh.idx.Add(local, 1)
+		sh.resident[pl.VMIDs[i]] = vmRes{srv: local, key: pl.Key, slot: i, class: pl.Class}
+	}
+	sh.syncStats()
+	s.mu.Lock()
+	s.byKey[pl.Key] = pl
+	delete(s.pendingKeys, pl.Key)
+	for _, id := range pl.VMIDs {
+		if id >= s.nextVMID {
+			s.nextVMID = id + 1
+		}
+	}
+	if seq > s.lastSeq {
+		s.lastSeq = seq
+	}
+	s.mu.Unlock()
+}
+
+func (s *Service) applyRelease(key string, seq int) {
+	s.mu.Lock()
+	pl := s.byKey[key]
+	s.mu.Unlock()
+	sh := s.shards[pl.Shard]
+	for i, g := range pl.Servers {
+		if g < 0 {
+			continue // evicted slot: its requeue pending dies on pickup
+		}
+		local := g - sh.base
+		sh.alloc[local] = sh.alloc[local].Add(model.KeyFor(pl.Class, -1))
+		sh.idx.Add(local, -1)
+		delete(sh.resident, pl.VMIDs[i])
+	}
+	sh.syncStats()
+	s.mu.Lock()
+	pl.Released = true
+	if seq > s.lastSeq {
+		s.lastSeq = seq
+	}
+	s.mu.Unlock()
+}
+
+func (s *Service) applyCrash(g int, evicts []evictRec, seq int) {
+	sh := s.shardOf(g)
+	local := g - sh.base
+	sh.idx.SetDown(local)
+	s.mu.Lock()
+	for _, e := range evicts {
+		res, ok := sh.resident[e.VMID]
+		if !ok {
+			continue
+		}
+		delete(sh.resident, e.VMID)
+		sh.alloc[local] = sh.alloc[local].Add(model.KeyFor(res.class, -1))
+		sh.idx.Add(local, -1)
+		if pl := s.byKey[e.Key]; pl != nil {
+			pl.Servers[e.Slot] = -1
+		}
+	}
+	if seq > s.lastSeq {
+		s.lastSeq = seq
+	}
+	s.mu.Unlock()
+	sh.syncStats()
+}
+
+func (s *Service) applyRequeue(key string, slot, vmID int, class workload.Class, g, seq int) {
+	sh := s.shardOf(g)
+	local := g - sh.base
+	sh.alloc[local] = sh.alloc[local].Add(model.KeyFor(class, 1))
+	sh.idx.Add(local, 1)
+	sh.resident[vmID] = vmRes{srv: local, key: key, slot: slot, class: class}
+	sh.syncStats()
+	s.mu.Lock()
+	if pl := s.byKey[key]; pl != nil {
+		pl.Servers[slot] = g
+	}
+	if seq > s.lastSeq {
+		s.lastSeq = seq
+	}
+	s.mu.Unlock()
+}
+
+func (s *Service) applyRecover(g, seq int) {
+	sh := s.shardOf(g)
+	sh.idx.SetUp(g - sh.base)
+	sh.syncStats()
+	s.mu.Lock()
+	if seq > s.lastSeq {
+		s.lastSeq = seq
+	}
+	s.mu.Unlock()
+}
+
+// ---- response plumbing ----
+
+// finish answers a queued request and clears its in-flight marker.
+func (s *Service) finish(p *pending, out Outcome) {
+	s.mu.Lock()
+	delete(s.pendingKeys, p.key)
+	s.mu.Unlock()
+	if p.done != nil {
+		p.done <- out
+	}
+}
+
+// finishDrop is finish for shed/expired requests, with the decision
+// logged.
+func (s *Service) finishDrop(p *pending, status int, reason string, retry time.Duration) {
+	s.rec.Record(cloudsim.Decision{
+		Kind: cloudsim.DecisionShed, T: s.wallT(), Shard: -1, Req: -1,
+		Job: p.job, VMs: p.vms, Reason: reason, From: -1, To: -1,
+	})
+	s.finish(p, Outcome{Status: status, Reason: reason, RetryAfter: retry})
+}
+
+func (s *Service) finishCtrl(op *ctrlOp, out Outcome) {
+	if op.done != nil {
+		op.done <- out
+	}
+}
+
+// ---- background tickers ----
+
+func (s *Service) runTickers() {
+	defer s.bg.Done()
+	ladderT := time.NewTicker(s.cfg.LadderDwell)
+	defer ladderT.Stop()
+	var wdC, snapC <-chan time.Time
+	if s.cfg.WatchdogEvery > 0 {
+		t := time.NewTicker(s.cfg.WatchdogEvery)
+		defer t.Stop()
+		wdC = t.C
+	}
+	if s.cfg.SnapshotPath != "" {
+		t := time.NewTicker(s.cfg.SnapshotEvery)
+		defer t.Stop()
+		snapC = t.C
+	}
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ladderT.C:
+			s.ladderTick()
+		case <-wdC:
+			s.wd.RunChecks(s.wallT())
+		case <-snapC:
+			_ = s.writeSnapshot()
+		}
+	}
+}
+
+// ladderTick feeds the ladder even when no request completes — the
+// oldest queued wait, or zero on idle — so a stalled queue still steps
+// the ladder down and an idle service recovers. It also wakes workers
+// whose only work is parked requeues.
+func (s *Service) ladderTick() {
+	now := s.clock()
+	var oldest time.Duration
+	for _, sh := range s.shards {
+		sh.qmu.Lock()
+		if len(sh.pend) > 0 {
+			if age := now.Sub(sh.pend[0].enqueued); age > oldest {
+				oldest = age
+			}
+		}
+		if len(sh.parked) > 0 {
+			sh.qcond.Broadcast()
+		}
+		sh.qmu.Unlock()
+	}
+	s.lad.observe(oldest)
+}
+
+// ---- snapshotting ----
+
+// captureLocked assembles a consistent snapshot payload. Callers hold
+// every shard's smu; with those held there is no appended-but-unapplied
+// journal record, so lastSeq names the state exactly.
+func (s *Service) captureLocked() *snapPayload {
+	for _, sh := range s.shards {
+		sh.qmu.Lock()
+	}
+	s.mu.Lock()
+
+	p := &snapPayload{
+		Seq: s.lastSeq, NextVMID: s.nextVMID,
+		Servers: s.cfg.Servers, Shards: s.cfg.Shards, MaxVMs: s.cfg.MaxVMsPerServer,
+	}
+	for _, sh := range s.shards {
+		for i := 0; i < sh.n; i++ {
+			if sh.idx.Down(i) {
+				p.Down = append(p.Down, sh.base+i)
+			}
+		}
+	}
+	keys := make([]string, 0, len(s.byKey))
+	for k := range s.byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		pl := s.byKey[k]
+		p.Placements = append(p.Placements, snapPlacement{
+			Key: pl.Key, Job: pl.Job, Class: pl.Class.String(),
+			NominalS: pl.NominalS, MaxS: pl.MaxS, Shard: pl.Shard,
+			Servers: append([]int(nil), pl.Servers...), VMIDs: append([]int(nil), pl.VMIDs...),
+			Released: pl.Released, Degraded: pl.Degraded, Relaxed: pl.Relaxed,
+		})
+	}
+	for _, sh := range s.shards {
+		for _, q := range sh.pend {
+			p.Queue = append(p.Queue, snapPending{
+				Key: q.key, Job: q.job, Class: q.class.String(), VMs: q.vms,
+				NominalS: q.nominalS, MaxS: q.maxS, Shard: sh.id,
+			})
+		}
+		for _, q := range sh.parked {
+			p.Queue = append(p.Queue, snapPending{
+				Key: q.key, Job: q.job, Class: q.class.String(), VMs: q.vms,
+				NominalS: q.nominalS, MaxS: q.maxS,
+				Requeue: true, Shard: sh.id, Slot: q.slot, VMID: q.vmID,
+			})
+		}
+	}
+
+	s.mu.Unlock()
+	for i := len(s.shards) - 1; i >= 0; i-- {
+		s.shards[i].qmu.Unlock()
+	}
+	return p
+}
+
+// writeSnapshot persists a snapshot and truncates the journal it
+// subsumes. Every shard's smu is held from capture through truncation:
+// all journal appends happen under some smu, so none can land between
+// the captured sequence number and the truncate — workers simply wait
+// out the write (bounded by one snapshot-file fsync).
+func (s *Service) writeSnapshot() error {
+	if s.cfg.SnapshotPath == "" {
+		return nil
+	}
+	for _, sh := range s.shards {
+		sh.smu.Lock()
+	}
+	defer func() {
+		for i := len(s.shards) - 1; i >= 0; i-- {
+			s.shards[i].smu.Unlock()
+		}
+	}()
+	p := s.captureLocked()
+	if err := writeSnapshotFile(s.cfg.SnapshotPath, p); err != nil {
+		return err
+	}
+	if s.j != nil {
+		s.j.mu.Lock()
+		err := s.j.f.Truncate(0)
+		s.j.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	s.mSnapshots.Inc()
+	return nil
+}
+
+// ---- restore ----
+
+// restore rebuilds state from the snapshot plus the journal suffix,
+// returning the persisted queue for re-admission after the invariant
+// checks pass.
+func (s *Service) restore() ([]snapPending, error) {
+	snap, err := readSnapshotFile(s.cfg.SnapshotPath)
+	if err != nil {
+		return nil, err
+	}
+	var queue []snapPending
+	if snap != nil {
+		if snap.Servers != s.cfg.Servers || snap.Shards != s.cfg.Shards || snap.MaxVMs != s.cfg.MaxVMsPerServer {
+			return nil, fmt.Errorf("serve: snapshot shape (servers %d, shards %d, maxvms %d) does not match config (%d, %d, %d)",
+				snap.Servers, snap.Shards, snap.MaxVMs, s.cfg.Servers, s.cfg.Shards, s.cfg.MaxVMsPerServer)
+		}
+		s.nextVMID = snap.NextVMID
+		s.lastSeq = snap.Seq
+		for _, g := range snap.Down {
+			if g < 0 || g >= s.cfg.Servers {
+				return nil, fmt.Errorf("serve: snapshot down server %d out of range", g)
+			}
+			sh := s.shardOf(g)
+			sh.idx.SetDown(g - sh.base)
+		}
+		for _, sp := range snap.Placements {
+			pl, err := s.placementFromSnap(sp)
+			if err != nil {
+				return nil, err
+			}
+			if pl.Released {
+				s.byKey[pl.Key] = pl
+				continue
+			}
+			s.applyPlace(pl, snap.Seq)
+		}
+		queue = snap.Queue
+	}
+	recs, err := readJournal(s.cfg.JournalPath)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range recs {
+		if r.Seq <= s.lastSeq {
+			continue
+		}
+		if err := s.replay(r); err != nil {
+			return nil, err
+		}
+	}
+	// Drop queue entries the journal suffix already settled — the
+	// snapshot froze the queue at Seq, but the worker kept going until
+	// the crash. A plain pending whose key is now in byKey was dequeued
+	// and placed (its jPlace replayed above); a parked requeue whose
+	// slot is no longer evicted was re-placed (jRequeue), and one whose
+	// placement is gone or released is owed nothing. Re-admitting any
+	// of them would double-place: the requeue case overwrites
+	// resident[vmID] and strands a phantom VM in the old server's
+	// occupancy, which the watchdog's occupancy check then flags
+	// forever.
+	live := queue[:0]
+	for _, q := range queue {
+		pl := s.byKey[q.Key]
+		if q.Requeue {
+			if pl == nil || pl.Released || q.Slot < 0 || q.Slot >= len(pl.Servers) || pl.Servers[q.Slot] >= 0 {
+				continue
+			}
+		} else if pl != nil {
+			continue
+		}
+		live = append(live, q)
+	}
+	queue = live
+	// Reconcile: any live placement slot still evicted (-1) must have a
+	// requeue pending; synthesize the ones the persisted queue misses
+	// (a crash record replayed from the journal carries none).
+	owed := map[string]bool{}
+	for _, q := range queue {
+		if q.Requeue {
+			owed[fmt.Sprintf("%s/%d", q.Key, q.Slot)] = true
+		}
+	}
+	for _, pl := range s.byKey {
+		if pl.Released {
+			continue
+		}
+		for slot, g := range pl.Servers {
+			if g >= 0 || owed[fmt.Sprintf("%s/%d", pl.Key, slot)] {
+				continue
+			}
+			queue = append(queue, snapPending{
+				Key: pl.Key, Job: pl.Job, Class: pl.Class.String(), VMs: 1,
+				NominalS: pl.NominalS, MaxS: pl.MaxS,
+				Requeue: true, Shard: pl.Shard, Slot: slot, VMID: pl.VMIDs[slot],
+			})
+		}
+	}
+	return queue, nil
+}
+
+func (s *Service) placementFromSnap(sp snapPlacement) (*placement, error) {
+	class, err := parseClass(sp.Class)
+	if err != nil {
+		return nil, err
+	}
+	if sp.Shard < 0 || sp.Shard >= len(s.shards) || len(sp.Servers) != len(sp.VMIDs) || len(sp.Servers) == 0 {
+		return nil, fmt.Errorf("serve: snapshot placement %q malformed", sp.Key)
+	}
+	return &placement{
+		Key: sp.Key, Job: sp.Job, Class: class,
+		NominalS: sp.NominalS, MaxS: sp.MaxS, Shard: sp.Shard,
+		Servers: append([]int(nil), sp.Servers...), VMIDs: append([]int(nil), sp.VMIDs...),
+		Released: sp.Released, Degraded: sp.Degraded, Relaxed: sp.Relaxed,
+	}, nil
+}
+
+// replay applies one journal record to restored state.
+func (s *Service) replay(r jrec) error {
+	switch r.Kind {
+	case jPlace:
+		class, err := parseClass(r.Class)
+		if err != nil {
+			return fmt.Errorf("serve: journal seq %d: %w", r.Seq, err)
+		}
+		if len(r.Servers) == 0 || len(r.Servers) != len(r.VMIDs) {
+			return fmt.Errorf("serve: journal seq %d: malformed place", r.Seq)
+		}
+		sh := s.shardOf(r.Servers[0])
+		s.applyPlace(&placement{
+			Key: r.Key, Job: r.Job, Class: class,
+			NominalS: r.NominalS, MaxS: r.MaxS, Shard: sh.id,
+			Servers: append([]int(nil), r.Servers...), VMIDs: append([]int(nil), r.VMIDs...),
+			Degraded: r.Degraded, Relaxed: r.Relaxed,
+		}, r.Seq)
+	case jRelease:
+		if pl := s.byKey[r.Key]; pl == nil || pl.Released {
+			return fmt.Errorf("serve: journal seq %d: release of unknown key %q", r.Seq, r.Key)
+		}
+		s.applyRelease(r.Key, r.Seq)
+	case jCrash:
+		s.applyCrash(r.Server, r.Evict, r.Seq)
+	case jRecover:
+		s.applyRecover(r.Server, r.Seq)
+	case jRequeue:
+		pl := s.byKey[r.Key]
+		if pl == nil {
+			return fmt.Errorf("serve: journal seq %d: requeue of unknown key %q", r.Seq, r.Key)
+		}
+		s.applyRequeue(r.Key, r.Slot, r.VMID, pl.Class, r.Server, r.Seq)
+	default:
+		return fmt.Errorf("serve: journal seq %d: unknown kind %q", r.Seq, r.Kind)
+	}
+	return nil
+}
+
+// requeueRestored re-admits the persisted queue: requeues park on their
+// pinned shard, plain requests re-enter their recorded shard's queue
+// with a fresh deadline and no reply channel (the client's retry
+// replays the result).
+func (s *Service) requeueRestored(queue []snapPending) {
+	now := s.clock()
+	for _, q := range queue {
+		class, err := parseClass(q.Class)
+		if err != nil || q.Shard < 0 || q.Shard >= len(s.shards) {
+			continue
+		}
+		sh := s.shards[q.Shard]
+		p := &pending{
+			key: q.Key, job: q.Job, class: class, vms: q.VMs,
+			nominalS: q.NominalS, maxS: q.MaxS,
+			enqueued: now, deadline: now.Add(s.cfg.RequestTimeout),
+			requeue: q.Requeue, slot: q.Slot, vmID: q.VMID,
+		}
+		if q.Requeue {
+			sh.park(p)
+			continue
+		}
+		s.mu.Lock()
+		s.pendingKeys[p.key] = struct{}{}
+		s.mu.Unlock()
+		sh.pend = append(sh.pend, p) // pre-start: no locking needed
+		sh.queuedVMs.Add(int64(p.vms))
+	}
+}
+
+// ---- watchdog ----
+
+// registerChecks wires the five service invariants. Each check takes
+// the locks it needs in canon order, so sweeps are safe while serving.
+func (s *Service) registerChecks() {
+	// 1. The capacity index agrees with per-server allocations and its
+	// own internal structure.
+	s.wd.Register("capacity-index", func() error {
+		for _, sh := range s.shards {
+			sh.smu.Lock()
+			err := sh.idx.AuditInvariants(func(i int) int { return sh.alloc[i].Total() })
+			if err == nil {
+				for i := 0; i < sh.n; i++ {
+					if t := sh.alloc[i].Total(); t > s.cfg.MaxVMsPerServer {
+						err = fmt.Errorf("shard %d server %d holds %d VMs, cap %d", sh.id, sh.base+i, t, s.cfg.MaxVMsPerServer)
+						break
+					}
+				}
+			}
+			sh.smu.Unlock()
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	// 2. Occupancy re-derived from resident VMs matches the incremental
+	// allocations and the routing estimates.
+	s.wd.Register("occupancy", func() error {
+		for _, sh := range s.shards {
+			sh.smu.Lock()
+			derived := make([]model.Key, sh.n)
+			for _, res := range sh.resident {
+				derived[res.srv] = derived[res.srv].Add(model.KeyFor(res.class, 1))
+			}
+			var err error
+			for i := 0; i < sh.n; i++ {
+				if derived[i] != sh.alloc[i] {
+					err = fmt.Errorf("shard %d server %d alloc %v, residents say %v", sh.id, sh.base+i, sh.alloc[i], derived[i])
+					break
+				}
+			}
+			if err == nil && sh.freeSlots.Load() != int64(sh.idx.FreeSlotsBelow(sh.ff.Cap())) {
+				err = fmt.Errorf("shard %d free-slot estimate %d, index says %d", sh.id, sh.freeSlots.Load(), sh.idx.FreeSlotsBelow(sh.ff.Cap()))
+			}
+			if err == nil && sh.residentN.Load() != int64(len(sh.resident)) {
+				err = fmt.Errorf("shard %d resident estimate %d, map holds %d", sh.id, sh.residentN.Load(), len(sh.resident))
+			}
+			sh.smu.Unlock()
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	// 3. Placements and residents correspond one-to-one; VM uids are
+	// unique and within the issued range.
+	s.wd.Register("placement-conservation", func() error {
+		for _, sh := range s.shards {
+			sh.smu.Lock()
+		}
+		s.mu.Lock()
+		defer func() {
+			s.mu.Unlock()
+			for i := len(s.shards) - 1; i >= 0; i-- {
+				s.shards[i].smu.Unlock()
+			}
+		}()
+		seen := map[int]bool{}
+		live := 0
+		for key, pl := range s.byKey {
+			if pl.Key != key || len(pl.Servers) != len(pl.VMIDs) {
+				return fmt.Errorf("placement %q malformed", key)
+			}
+			if pl.Released {
+				continue
+			}
+			for slot, g := range pl.Servers {
+				id := pl.VMIDs[slot]
+				if id < 1 || id >= s.nextVMID {
+					return fmt.Errorf("placement %q vm uid %d outside issued range [1,%d)", key, id, s.nextVMID)
+				}
+				if seen[id] {
+					return fmt.Errorf("vm uid %d appears in two live placements", id)
+				}
+				seen[id] = true
+				if g < 0 {
+					continue // evicted, awaiting requeue
+				}
+				live++
+				sh := s.shardOf(g)
+				res, ok := sh.resident[id]
+				if !ok || res.key != key || res.slot != slot || res.srv != g-sh.base {
+					return fmt.Errorf("placement %q slot %d (vm %d on server %d) has no matching resident", key, slot, id, g)
+				}
+			}
+		}
+		total := 0
+		for _, sh := range s.shards {
+			total += len(sh.resident)
+			for id, res := range sh.resident {
+				if !seen[id] {
+					return fmt.Errorf("resident vm %d (key %q) belongs to no live placement", id, res.key)
+				}
+			}
+		}
+		if total != live {
+			return fmt.Errorf("%d resident VMs vs %d live placement slots", total, live)
+		}
+		return nil
+	})
+	// 4. Queues respect their bounds and every queued request holds its
+	// in-flight marker exactly once.
+	s.wd.Register("queue-sanity", func() error {
+		for _, sh := range s.shards {
+			sh.qmu.Lock()
+		}
+		s.mu.Lock()
+		defer func() {
+			s.mu.Unlock()
+			for i := len(s.shards) - 1; i >= 0; i-- {
+				s.shards[i].qmu.Unlock()
+			}
+		}()
+		seen := map[string]bool{}
+		for _, sh := range s.shards {
+			if len(sh.pend) > s.cfg.QueueCap {
+				return fmt.Errorf("shard %d queue %d over cap %d", sh.id, len(sh.pend), s.cfg.QueueCap)
+			}
+			for _, p := range sh.pend {
+				if p.requeue {
+					return fmt.Errorf("shard %d requeue %q in the admission queue", sh.id, p.key)
+				}
+				if seen[p.key] {
+					return fmt.Errorf("key %q queued twice", p.key)
+				}
+				seen[p.key] = true
+				if _, ok := s.pendingKeys[p.key]; !ok {
+					return fmt.Errorf("queued key %q missing its in-flight marker", p.key)
+				}
+			}
+			for _, p := range sh.parked {
+				if !p.requeue {
+					return fmt.Errorf("shard %d non-requeue %q parked", sh.id, p.key)
+				}
+			}
+		}
+		return nil
+	})
+	// 5. The journal's sequence counter matches the last applied record
+	// (with every smu held there is no append in flight).
+	s.wd.Register("journal-monotonic", func() error {
+		if s.j == nil {
+			return nil
+		}
+		for _, sh := range s.shards {
+			sh.smu.Lock()
+		}
+		s.mu.Lock()
+		applied := s.lastSeq
+		s.mu.Unlock()
+		for i := len(s.shards) - 1; i >= 0; i-- {
+			s.shards[i].smu.Unlock()
+		}
+		if js := s.j.lastSeq(); js != applied {
+			return fmt.Errorf("journal at seq %d, applied state at %d", js, applied)
+		}
+		return nil
+	})
+}
+
+// Violations returns every invariant violation the watchdog has found.
+func (s *Service) Violations() []obs.Violation { return s.wd.Violations() }
+
+// ---- drain ----
+
+// Drain stops the service: no new admissions, queues drained (bounded
+// by timeout), workers stopped, stragglers answered 503, a final
+// snapshot written, and one last invariant sweep run. It returns the
+// sweep's cumulative violations.
+func (s *Service) Drain(timeout time.Duration) []obs.Violation {
+	s.draining.Store(true)
+	deadline := s.clock().Add(timeout)
+	for s.queuedWork() > 0 && s.clock().Before(deadline) {
+		time.Sleep(drainPoll)
+	}
+	close(s.stop)
+	for _, sh := range s.shards {
+		sh.qmu.Lock()
+		sh.stopped = true
+		sh.qcond.Broadcast()
+		sh.qmu.Unlock()
+	}
+	s.bg.Wait()
+	// Anyone still queued gets a drain refusal — and is then absent
+	// from the final snapshot, so a restore owes them nothing.
+	for _, sh := range s.shards {
+		sh.qmu.Lock()
+		stranded := sh.pend
+		sh.pend = nil
+		sh.queuedVMs.Store(0)
+		sh.qmu.Unlock()
+		for _, p := range stranded {
+			s.finish(p, Outcome{Status: 503, Reason: cloudsim.RejectDraining})
+		}
+	}
+	_ = s.writeSnapshot()
+	s.wd.RunChecks(s.wallT())
+	_ = s.j.close()
+	return s.wd.Violations()
+}
+
+// queuedWork counts undone queue and control items across shards.
+func (s *Service) queuedWork() int {
+	total := 0
+	for _, sh := range s.shards {
+		sh.qmu.Lock()
+		total += len(sh.pend) + len(sh.ctrl)
+		sh.qmu.Unlock()
+	}
+	return total
+}
+
+// ---- introspection ----
+
+// ServiceStats is the /v1/stats payload.
+type ServiceStats struct {
+	Level      int             `json:"level"`
+	LevelName  string          `json:"level_name"`
+	WaitEWMAS  float64         `json:"wait_ewma_s"`
+	Draining   bool            `json:"draining"`
+	Placements int             `json:"placements"`
+	Queued     int             `json:"queued"`
+	Violations []obs.Violation `json:"violations,omitempty"`
+}
+
+// Stats reports the service's current posture.
+func (s *Service) Stats() ServiceStats {
+	s.mu.Lock()
+	live := 0
+	for _, pl := range s.byKey {
+		if !pl.Released {
+			live++
+		}
+	}
+	s.mu.Unlock()
+	return ServiceStats{
+		Level:      s.lad.current(),
+		LevelName:  levelName(s.lad.current()),
+		WaitEWMAS:  s.lad.waitEWMA(),
+		Draining:   s.draining.Load(),
+		Placements: live,
+		Queued:     s.queuedWork(),
+		Violations: s.wd.Violations(),
+	}
+}

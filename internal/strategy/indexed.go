@@ -337,6 +337,60 @@ func (f *FleetIndex) AuditInvariants(used func(i int) int) error {
 	return nil
 }
 
+// IndexSnapshot is the persistent state of a FleetIndex: the per-server
+// occupancy and down marks plus the indexed ceiling. Everything else in
+// the index — threshold bitmaps, level counts, the overflow set, the
+// free-slot sum — is derived state RestoreIndex rebuilds, so a snapshot
+// stays small (two dense arrays) and version-stable across internal
+// representation changes.
+type IndexSnapshot struct {
+	MaxOcc int    `json:"max_occ"`
+	Used   []int  `json:"used"`
+	Down   []bool `json:"down"`
+}
+
+// Snapshot captures the index's persistent state. The returned slices
+// are copies; the caller must still hold off concurrent mutators while
+// the copy is taken (the index is not internally synchronized).
+func (f *FleetIndex) Snapshot() IndexSnapshot {
+	return IndexSnapshot{
+		MaxOcc: f.maxOcc,
+		Used:   append([]int(nil), f.used...),
+		Down:   append([]bool(nil), f.down...),
+	}
+}
+
+// RestoreIndex rebuilds a FleetIndex from a snapshot by replaying the
+// invariant-maintaining operations (Add, SetDown) over a fresh index,
+// so a restored index is consistent by construction: it passes
+// AuditInvariants and answers every query exactly as the index the
+// snapshot was taken from. Malformed snapshots (negative occupancy,
+// mismatched array lengths, ceiling below 1) are rejected rather than
+// panicking deep in Add.
+func RestoreIndex(snap IndexSnapshot) (*FleetIndex, error) {
+	if snap.MaxOcc < 1 {
+		return nil, fmt.Errorf("strategy: index snapshot ceiling %d, want >= 1", snap.MaxOcc)
+	}
+	if len(snap.Used) != len(snap.Down) {
+		return nil, fmt.Errorf("strategy: index snapshot has %d occupancy entries but %d down marks", len(snap.Used), len(snap.Down))
+	}
+	f := NewFleetIndex(len(snap.Used), snap.MaxOcc)
+	for i, u := range snap.Used {
+		if u < 0 {
+			return nil, fmt.Errorf("strategy: index snapshot occupancy %d for server %d", u, i)
+		}
+		if u > 0 {
+			f.Add(i, u)
+		}
+	}
+	for i, d := range snap.Down {
+		if d {
+			f.SetDown(i)
+		}
+	}
+	return f, nil
+}
+
 // CapacityHinter is implemented by indexed strategies that can answer
 // "could a job of n VMs be placed right now?" from the index's
 // free-capacity summary without running the placement. The contract is
