@@ -85,9 +85,19 @@ type journal struct {
 
 // openJournal opens (creating if absent) the journal for appending,
 // with the sequence counter seeded past everything already applied.
-func openJournal(path string, fsync bool, lastSeq int) (*journal, error) {
+// validSize is the byte offset of the end of the last valid record as
+// readJournal reported it; anything beyond it is a torn tail and is
+// truncated away, so the next append starts a fresh line instead of
+// concatenating onto partial JSON (which a later restore would either
+// reject as mid-file corruption or silently drop as a torn tail,
+// losing an acknowledged record).
+func openJournal(path string, fsync bool, lastSeq int, validSize int64) (*journal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(validSize); err != nil {
+		f.Close()
 		return nil, err
 	}
 	return &journal{f: f, seq: lastSeq, fsync: fsync}, nil
@@ -143,20 +153,28 @@ func (j *journal) close() error {
 // readJournal parses a journal file. A missing file is an empty
 // journal. A torn final record — partial JSON on the last line — is
 // discarded; any earlier malformed record, or a sequence number that
-// does not strictly increase, is corruption and errors out.
-func readJournal(path string) ([]jrec, error) {
+// does not strictly increase, is corruption and errors out. The second
+// return is the byte offset of the end of the last valid record —
+// openJournal truncates the torn tail to it before appending.
+func readJournal(path string) ([]jrec, int64, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, nil
+			return nil, 0, nil
 		}
-		return nil, err
+		return nil, 0, err
 	}
 	lines := bytes.Split(data, []byte("\n"))
 	var out []jrec
 	lastSeq := 0
+	var valid, off int64
 	for i, line := range lines {
+		end := off + int64(len(line)) + 1 // the '\n' Split consumed...
+		if end > int64(len(data)) {
+			end = int64(len(data)) // ...which the final segment lacks
+		}
 		if len(bytes.TrimSpace(line)) == 0 {
+			off = end
 			continue
 		}
 		var r jrec
@@ -164,15 +182,16 @@ func readJournal(path string) ([]jrec, error) {
 			if i == len(lines)-1 {
 				break // torn final record: the crash interrupted this write
 			}
-			return nil, fmt.Errorf("serve: journal %s line %d: %w", path, i+1, err)
+			return nil, 0, fmt.Errorf("serve: journal %s line %d: %w", path, i+1, err)
 		}
 		if r.Seq <= lastSeq {
-			return nil, fmt.Errorf("serve: journal %s line %d: seq %d after %d", path, i+1, r.Seq, lastSeq)
+			return nil, 0, fmt.Errorf("serve: journal %s line %d: seq %d after %d", path, i+1, r.Seq, lastSeq)
 		}
 		lastSeq = r.Seq
 		out = append(out, r)
+		valid, off = end, end
 	}
-	return out, nil
+	return out, valid, nil
 }
 
 // ---- snapshot ----
@@ -267,7 +286,21 @@ func writeSnapshotFile(path string, p *snapPayload) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	// Sync the directory too: the caller truncates the journal the
+	// snapshot subsumes, so a power loss must not be able to revert the
+	// rename and leave neither the new snapshot nor the journal.
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
 }
 
 // readSnapshotFile loads and verifies a snapshot. A missing file means

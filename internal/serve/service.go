@@ -149,7 +149,7 @@ func (cfg Config) withDefaults() (Config, error) {
 		cfg.RequestTimeout = 2 * time.Second
 	}
 	if cfg.RequestTimeout < 0 {
-		return cfg, fmt.Errorf("serve: request timeout %v must be > 0", cfg.RequestTimeout)
+		return cfg, fmt.Errorf("serve: request timeout %v must not be negative (0 means the 2s default)", cfg.RequestTimeout)
 	}
 	if cfg.Watermarks == ([3]time.Duration{}) {
 		cfg.Watermarks = [3]time.Duration{50 * time.Millisecond, 200 * time.Millisecond, 800 * time.Millisecond}
@@ -166,13 +166,13 @@ func (cfg Config) withDefaults() (Config, error) {
 		cfg.Hysteresis = 0.5
 	}
 	if cfg.Hysteresis < 0 || cfg.Hysteresis > 1 {
-		return cfg, fmt.Errorf("serve: hysteresis %v out of (0,1]", cfg.Hysteresis)
+		return cfg, fmt.Errorf("serve: hysteresis %v out of [0,1] (0 means the 0.5 default)", cfg.Hysteresis)
 	}
 	if cfg.LadderDwell == 0 {
 		cfg.LadderDwell = 200 * time.Millisecond
 	}
 	if cfg.LadderDwell < 0 {
-		return cfg, fmt.Errorf("serve: ladder dwell %v must be > 0", cfg.LadderDwell)
+		return cfg, fmt.Errorf("serve: ladder dwell %v must not be negative (0 means the 200ms default)", cfg.LadderDwell)
 	}
 	if cfg.RateBurst == 0 {
 		cfg.RateBurst = 8
@@ -181,7 +181,7 @@ func (cfg Config) withDefaults() (Config, error) {
 		cfg.SnapshotEvery = 2 * time.Second
 	}
 	if cfg.SnapshotEvery < 0 {
-		return cfg, fmt.Errorf("serve: snapshot period %v must be > 0", cfg.SnapshotEvery)
+		return cfg, fmt.Errorf("serve: snapshot period %v must not be negative (0 means the 2s default)", cfg.SnapshotEvery)
 	}
 	if cfg.JournalPath == "" && cfg.SnapshotPath != "" {
 		cfg.JournalPath = cfg.SnapshotPath + ".journal"
@@ -343,8 +343,9 @@ type Service struct {
 	mu          sync.Mutex
 	byKey       map[string]*placement
 	pendingKeys map[string]struct{}
-	nextVMID    int // next uid to assign (uids are 1-based)
-	lastSeq     int // last journal seq applied to state
+	nextVMID    int   // next uid to assign (uids are 1-based)
+	lastSeq     int   // last journal seq applied to state
+	jSize       int64 // restore: end of the journal's last valid record
 
 	draining atomic.Bool
 	stop     chan struct{}
@@ -461,7 +462,7 @@ func newService(cfg Config) (*Service, error) {
 		}
 	}
 	if cfg.SnapshotPath != "" {
-		if s.j, err = openJournal(cfg.JournalPath, cfg.Fsync, s.lastSeq); err != nil {
+		if s.j, err = openJournal(cfg.JournalPath, cfg.Fsync, s.lastSeq, s.jSize); err != nil {
 			return nil, err
 		}
 	}
@@ -562,10 +563,6 @@ func (s *Service) Place(client string, req PlaceRequest) Outcome {
 	if err != nil {
 		return Outcome{Status: 400, Reason: err.Error()}
 	}
-	if ok, wait := s.lim.allow(client); !ok {
-		return s.shedOutcome(req, 429, cloudsim.RejectRateLimit, wait)
-	}
-
 	s.mu.Lock()
 	if pl := s.byKey[req.Key]; pl != nil {
 		resp := pl.response(true)
@@ -579,6 +576,14 @@ func (s *Service) Place(client string, req PlaceRequest) Outcome {
 	}
 	s.pendingKeys[req.Key] = struct{}{}
 	s.mu.Unlock()
+
+	// Rate-limit only fresh work: a replay above is answered from
+	// memory and consumes no placement capacity, so a throttled client
+	// retrying an acknowledged key still gets its result.
+	if ok, wait := s.lim.allow(client); !ok {
+		s.unpend(req.Key)
+		return s.shedOutcome(req, 429, cloudsim.RejectRateLimit, wait)
+	}
 
 	if s.lad.current() >= LevelShed {
 		s.unpend(req.Key)
@@ -1359,10 +1364,11 @@ func (s *Service) restore() ([]snapPending, error) {
 		}
 		queue = snap.Queue
 	}
-	recs, err := readJournal(s.cfg.JournalPath)
+	recs, valid, err := readJournal(s.cfg.JournalPath)
 	if err != nil {
 		return nil, err
 	}
+	s.jSize = valid
 	for _, r := range recs {
 		if r.Seq <= s.lastSeq {
 			continue
@@ -1667,10 +1673,16 @@ func (s *Service) registerChecks() {
 		s.mu.Lock()
 		applied := s.lastSeq
 		s.mu.Unlock()
+		// Read the journal counter before releasing any smu: every
+		// append happens under one, so only with all of them held is
+		// "no append in flight" actually true — sampling after the
+		// unlock would race a committing placement and record a
+		// spurious, permanent violation.
+		js := s.j.lastSeq()
 		for i := len(s.shards) - 1; i >= 0; i-- {
 			s.shards[i].smu.Unlock()
 		}
-		if js := s.j.lastSeq(); js != applied {
+		if js != applied {
 			return fmt.Errorf("journal at seq %d, applied state at %d", js, applied)
 		}
 		return nil

@@ -500,7 +500,7 @@ func TestRestoreDropsSettledQueueEntries(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The journal suffix settles both entries before the "crash".
-	j, err := openJournal(cfg.JournalPath, false, 5)
+	j, err := openJournal(cfg.JournalPath, false, 5, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
