@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build verify test race race-sim race-faults race-shards race-serve audit-smoke scale-smoke explain-smoke serve-soak fuzz-smoke vet bench bench-alloc bench-json bench-diff profile-huge cover trace clean
+.PHONY: all build verify test race race-sim race-faults race-shards race-serve audit-smoke scale-smoke explain-smoke serve-soak metrics-smoke fuzz-smoke vet bench bench-alloc bench-json bench-diff profile-huge cover trace clean
 
 all: verify
 
@@ -10,7 +10,7 @@ build:
 # verify is the tier-1 gate: compile, static checks, full test suite,
 # the race detector over the simulator hot-path packages, and the
 # observability smoke.
-verify: build vet test race-sim race-faults race-shards race-serve audit-smoke scale-smoke explain-smoke serve-soak bench-diff
+verify: build vet test race-sim race-faults race-shards race-serve audit-smoke scale-smoke explain-smoke serve-soak metrics-smoke bench-diff
 
 test:
 	$(GO) test ./...
@@ -85,6 +85,17 @@ serve-soak:
 	PACEVM_SOAK_SECONDS=30 PACEVM_SOAK_DIR=serve-soak-artifacts \
 		$(GO) test -count=1 -run TestServeChaosSoak -v ./internal/serve
 
+# metrics-smoke is the observability acceptance path: the real
+# pacevm-serve binary runs with span tracing, the SLO tracker, the
+# access log and chaos faults all on, and the test machine-validates
+# the live /metrics Prometheus exposition (main mux and the dedicated
+# -metrics listener), the /debug/slow stage breakdowns, and the access
+# log's JSONL lines against a pinned X-Request-Id. Scrapes land in
+# serve-soak-artifacts/ so CI can upload them on failure.
+metrics-smoke:
+	PACEVM_SOAK_DIR=serve-soak-artifacts \
+		$(GO) test -count=1 -run TestMetricsSmoke -v ./internal/serve
+
 # fuzz-smoke gives each text-input parser a short adversarial burst
 # (one package per invocation, as go test -fuzz requires).
 fuzz-smoke:
@@ -92,6 +103,7 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzReadSchedule -fuzztime 5s ./internal/faults
 	$(GO) test -fuzz FuzzReadCSV -fuzztime 5s ./internal/model
 	$(GO) test -fuzz FuzzReadDecisionLog -fuzztime 5s ./internal/cloudsim
+	$(GO) test -fuzz FuzzPromEscape -fuzztime 5s ./internal/obs
 
 vet:
 	$(GO) vet ./...
@@ -115,8 +127,8 @@ bench-alloc:
 bench-json:
 	{ $(GO) test -run NONE -bench 'BenchmarkSim(Large|Trace)' -benchtime 2x -benchmem ./internal/cloudsim \
 		&& $(GO) test -run NONE -bench 'BenchmarkSimHuge' -benchtime 1x -count 2 -benchmem ./internal/cloudsim \
-		&& $(GO) test -run NONE -bench 'BenchmarkServe$$' -benchmem ./internal/serve; } \
-		| $(GO) run ./cmd/pacevm-benchjson -require 'SimHuge=2' -o BENCH_sim.json
+		&& $(GO) test -run NONE -bench 'BenchmarkServe(Obs)?$$' -count 2 -benchmem ./internal/serve; } \
+		| $(GO) run ./cmd/pacevm-benchjson -require 'SimHuge=2' -require 'Serve=2' -require 'ServeObs=2' -o BENCH_sim.json
 
 # bench-diff compares a freshly recorded (or provided) benchmark
 # document against the committed BENCH_sim.json baseline and reports

@@ -25,9 +25,7 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/exec"
 	"regexp"
-	"runtime"
 	"strconv"
 	"strings"
 
@@ -53,14 +51,10 @@ type Benchmark struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Provenance records where a benchmark document came from, so two
-// BENCH_sim.json files can be compared knowing which commit, toolchain
-// and machine produced each (pacevm-benchdiff prints it in its header).
-type Provenance struct {
-	GitCommit string `json:"git_commit,omitempty"`
-	GoVersion string `json:"go_version,omitempty"`
-	Host      string `json:"host,omitempty"`
-}
+// Provenance is the shared recording-environment stamp (see
+// obs.Provenance); pacevm-benchdiff prints it in its header, and the
+// placement service reuses the same helper on /v1/stats.
+type Provenance = obs.Provenance
 
 // Report is the emitted document.
 type Report struct {
@@ -72,18 +66,13 @@ type Report struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
-// collectProvenance gathers the recording environment. Best-effort by
-// design: outside a git checkout (or without git on PATH) the commit is
-// simply empty — parse stays pure and the document stays valid.
+// collectProvenance gathers the recording environment via the shared
+// cached helper. Best-effort by design: outside a git checkout (or
+// without git on PATH) the commit is simply empty — parse stays pure
+// and the document stays valid.
 func collectProvenance() *Provenance {
-	p := &Provenance{GoVersion: runtime.Version()}
-	if host, err := os.Hostname(); err == nil {
-		p.Host = host
-	}
-	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
-		p.GitCommit = strings.TrimSpace(string(out))
-	}
-	return p
+	p := obs.CollectProvenance()
+	return &p
 }
 
 // parse consumes go-test benchmark output and collects result lines and

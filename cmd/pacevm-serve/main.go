@@ -67,6 +67,16 @@ type options struct {
 	chaosMTTR     float64
 	chaosSeed     uint64
 	chaosHorizon  time.Duration
+
+	metricsAddr       string
+	accessLog         string
+	sloTarget         time.Duration
+	sloObjective      float64
+	sloWindow         time.Duration
+	slowRing          int
+	readHeaderTimeout time.Duration
+	readTimeout       time.Duration
+	idleTimeout       time.Duration
 }
 
 func main() {
@@ -99,6 +109,15 @@ func main() {
 	flag.Float64Var(&opt.chaosMTTR, "chaos-mttr", 5, "mean wall seconds an injected crash lasts")
 	flag.Uint64Var(&opt.chaosSeed, "chaos-seed", 42, "seed for the injected fault schedule")
 	flag.DurationVar(&opt.chaosHorizon, "chaos-horizon", time.Hour, "span of the injected fault schedule")
+	flag.StringVar(&opt.metricsAddr, "metrics", "", "serve /metrics and /debug/slow on a dedicated address too (always mounted on -addr)")
+	flag.StringVar(&opt.accessLog, "access-log", "", "append one structured JSON line per request to this file")
+	flag.DurationVar(&opt.sloTarget, "slo-target", 0, "per-request latency SLO target enabling rolling attainment/burn-rate tracking (0 = off)")
+	flag.Float64Var(&opt.sloObjective, "slo-objective", 0.99, "required good fraction for the SLO (in (0,1))")
+	flag.DurationVar(&opt.sloWindow, "slo-window", time.Minute, "sliding SLO measurement window")
+	flag.IntVar(&opt.slowRing, "slow-ring", 32, "keep the K slowest requests with stage breakdowns for /debug/slow (0 = off)")
+	flag.DurationVar(&opt.readHeaderTimeout, "read-header-timeout", 5*time.Second, "HTTP header read deadline (slow-loris guard)")
+	flag.DurationVar(&opt.readTimeout, "read-timeout", 60*time.Second, "HTTP full-request read deadline")
+	flag.DurationVar(&opt.idleTimeout, "idle-timeout", 120*time.Second, "HTTP keep-alive idle deadline")
 	flag.Parse()
 	if err := run(opt); err != nil {
 		fmt.Fprintln(os.Stderr, "pacevm-serve:", err)
@@ -113,6 +132,10 @@ func run(opt options) error {
 	}
 	if opt.alpha < 0 || opt.alpha > 1 {
 		return fmt.Errorf("alpha %v out of [0,1]", opt.alpha)
+	}
+	if opt.readHeaderTimeout < 0 || opt.readTimeout < 0 || opt.idleTimeout < 0 {
+		return fmt.Errorf("HTTP timeouts must not be negative (read-header %v, read %v, idle %v)",
+			opt.readHeaderTimeout, opt.readTimeout, opt.idleTimeout)
 	}
 	db, err := loadModel(opt.modelDir)
 	if err != nil {
@@ -130,9 +153,17 @@ func run(opt options) error {
 		}
 	}
 
+	var accessW *os.File
+	if opt.accessLog != "" {
+		if accessW, err = os.OpenFile(opt.accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644); err != nil {
+			return fmt.Errorf("access log: %w", err)
+		}
+		defer accessW.Close()
+	}
+
 	rec := cloudsim.NewDecisionRecorder()
 	reg := obs.NewRegistry()
-	svc, err := serve.NewService(serve.Config{
+	cfg := serve.Config{
 		DB:              db,
 		Goal:            core.Goal{Alpha: opt.alpha},
 		Servers:         opt.servers,
@@ -154,7 +185,15 @@ func run(opt options) error {
 		WatchdogEvery:   opt.watchdogEvery,
 		Recorder:        rec,
 		Obs:             reg,
-	})
+		SlowRing:        opt.slowRing,
+		SLOTarget:       opt.sloTarget,
+		SLOObjective:    opt.sloObjective,
+		SLOWindow:       opt.sloWindow,
+	}
+	if accessW != nil {
+		cfg.AccessLog = accessW
+	}
+	svc, err := serve.NewService(cfg)
 	if err != nil {
 		return err
 	}
@@ -164,7 +203,20 @@ func run(opt options) error {
 		if err != nil {
 			return err
 		}
+		dbg.AddWallTracer(svc.WallTracer())
+		dbg.AddSLO(svc.SLO())
 		defer dbg.Close()
+	}
+
+	if opt.metricsAddr != "" {
+		mln, err := net.Listen("tcp", opt.metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		msrv := &http.Server{Handler: svc.ObsHandler(), ReadHeaderTimeout: opt.readHeaderTimeout}
+		go msrv.Serve(mln) //nolint:errcheck // ErrServerClosed after Close
+		defer msrv.Close()
+		fmt.Printf("pacevm-serve: metrics on %s\n", mln.Addr())
 	}
 
 	stopChaos := make(chan struct{})
@@ -176,7 +228,7 @@ func run(opt options) error {
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: svc.Handler(opt.chaos)}
+	srv := newHTTPServer(opt, svc.Handler(opt.chaos))
 	httpDone := make(chan error, 1)
 	go func() { httpDone <- srv.Serve(ln) }()
 	fmt.Printf("pacevm-serve: listening on %s\n", ln.Addr())
@@ -207,6 +259,19 @@ func run(opt options) error {
 	}
 	fmt.Println("pacevm-serve: drained clean")
 	return nil
+}
+
+// newHTTPServer builds the client-facing HTTP server with the
+// slow-client deadlines: a peer that trickles headers (slow loris),
+// stalls mid-body, or parks an idle keep-alive connection gets cut
+// instead of pinning a connection forever.
+func newHTTPServer(opt options, h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: opt.readHeaderTimeout,
+		ReadTimeout:       opt.readTimeout,
+		IdleTimeout:       opt.idleTimeout,
+	}
 }
 
 // runChaos walks a generated fault schedule in wall time, injecting

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -105,6 +107,17 @@ func TestRunErrorPaths(t *testing.T) {
 		{"restore without snapshot", func(o *options) { o.restore = true }, "restore"},
 		{"bad chaos mttr", func(o *options) { o.chaosMTBF = 1; o.chaosMTTR = -1 }, "MTTR"},
 		{"bad listen addr", func(o *options) { o.addr = "127.0.0.1:notaport" }, "listen"},
+		{"bad metrics addr", func(o *options) { o.metricsAddr = "127.0.0.1:notaport" }, "metrics listener"},
+		{"bad access log", func(o *options) {
+			o.accessLog = filepath.Join(t.TempDir(), "missing-dir", "access.jsonl")
+		}, "access log"},
+		{"negative slo target", func(o *options) { o.sloTarget = -time.Second }, "SLO target"},
+		{"bad slo objective", func(o *options) { o.sloTarget = time.Second; o.sloObjective = 2 }, "objective"},
+		{"negative slo window", func(o *options) { o.sloTarget = time.Second; o.sloWindow = -time.Minute }, "window"},
+		{"negative slow ring", func(o *options) { o.slowRing = -1 }, "slow ring"},
+		{"negative header timeout", func(o *options) { o.readHeaderTimeout = -time.Second }, "must not be negative"},
+		{"negative read timeout", func(o *options) { o.readTimeout = -time.Second }, "must not be negative"},
+		{"negative idle timeout", func(o *options) { o.idleTimeout = -time.Second }, "must not be negative"},
 	}
 	for _, tc := range cases {
 		opt := baseOptions(t)
@@ -117,5 +130,62 @@ func TestRunErrorPaths(t *testing.T) {
 		if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
 		}
+	}
+}
+
+// TestNewHTTPServerTimeouts pins the slow-client deadlines onto the
+// constructed server, flag-overridable.
+func TestNewHTTPServerTimeouts(t *testing.T) {
+	opt := options{
+		readHeaderTimeout: 7 * time.Second,
+		readTimeout:       11 * time.Second,
+		idleTimeout:       13 * time.Second,
+	}
+	srv := newHTTPServer(opt, http.NotFoundHandler())
+	if srv.ReadHeaderTimeout != 7*time.Second ||
+		srv.ReadTimeout != 11*time.Second ||
+		srv.IdleTimeout != 13*time.Second {
+		t.Fatalf("server timeouts: header %v read %v idle %v", srv.ReadHeaderTimeout, srv.ReadTimeout, srv.IdleTimeout)
+	}
+	if srv.Handler == nil {
+		t.Fatal("handler not set")
+	}
+}
+
+// TestSlowLorisCut proves the ReadHeaderTimeout actually severs a
+// client that trickles its headers: the connection must be closed by
+// the server well before a patient attacker would finish.
+func TestSlowLorisCut(t *testing.T) {
+	opt := baseOptions(t)
+	opt.readHeaderTimeout = 150 * time.Millisecond
+	srv := newHTTPServer(opt, http.NotFoundHandler())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go srv.Serve(ln) //nolint:errcheck // closed at test end
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send a partial request line and then stall; the server must hang
+	// up once the header deadline passes instead of waiting forever.
+	if _, err := conn.Write([]byte("POST /v1/place HTTP/1.1\r\nHost: x\r\nX-Dribble: ")); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	start := time.Now()
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("server answered a half-sent request")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("server did not cut the slow-loris connection within 5s")
+	}
+	if waited := time.Since(start); waited > 4*time.Second {
+		t.Fatalf("connection cut only after %v", waited)
 	}
 }

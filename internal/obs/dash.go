@@ -75,6 +75,8 @@ func (d *DebugServer) handleDash(w http.ResponseWriter, _ *http.Request) {
 	d.mu.Lock()
 	fns := append([]SeriesFunc(nil), d.series...)
 	wds := append([]*Watchdog(nil), d.watchdogs...)
+	slo := d.slo
+	wall := d.wall
 	d.mu.Unlock()
 
 	var b strings.Builder
@@ -87,7 +89,29 @@ func (d *DebugServer) handleDash(w http.ResponseWriter, _ *http.Request) {
 		`svg{background:#fff;border:1px solid #ddd;vertical-align:middle}` +
 		`.spark{margin:.3em 0}.spark span{display:inline-block;min-width:22em}` +
 		`</style></head><body><h1>pacevm live dashboard</h1>` +
-		`<p><a href="/debug/vars">/debug/vars</a> · <a href="/debug/pprof/">/debug/pprof</a></p>`)
+		`<p><a href="/debug/vars">/debug/vars</a> · <a href="/debug/pprof/">/debug/pprof</a> · ` +
+		`<a href="/metrics">/metrics</a> · <a href="/debug/slow">/debug/slow</a></p>`)
+
+	// SLO panel: rolling attainment and error-budget burn over the
+	// sliding window, with the worst request currently in the slow ring.
+	if slo != nil {
+		ss := slo.Snapshot()
+		b.WriteString(`<h2>SLO</h2><table><tr><th>target</th><th>objective</th><th>window</th>` +
+			`<th>good/total</th><th>attainment</th><th>burn rate</th></tr>`)
+		burnStyle := ""
+		if ss.BurnRate > 1 {
+			burnStyle = ` style="color:#c00;font-weight:bold"`
+		}
+		fmt.Fprintf(&b, `<tr><td>%.4gs</td><td>%.4g</td><td>%.4gs</td><td>%d/%d</td><td>%.4f</td><td%s>%.3f</td></tr>`,
+			ss.TargetSeconds, ss.Objective, ss.WindowSeconds, ss.Good, ss.Total, ss.Attainment, burnStyle, ss.BurnRate)
+		b.WriteString(`</table>`)
+		if wall != nil {
+			if slow := wall.Slowest(); len(slow) > 0 {
+				fmt.Fprintf(&b, `<p>slowest request: %s (%.2fms, %s) — <a href="/debug/slow">/debug/slow</a></p>`,
+					html.EscapeString(slow[0].RequestID), slow[0].TotalMS, html.EscapeString(slow[0].Outcome))
+			}
+		}
+	}
 
 	if len(snap.Quantiles) > 0 {
 		b.WriteString(`<h2>quantiles</h2><table><tr><th>digest</th><th>count</th><th>min</th><th>p50</th><th>p90</th><th>p99</th><th>max</th></tr>`)

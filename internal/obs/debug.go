@@ -48,9 +48,12 @@ func WriteManifest(w io.Writer, m Manifest) error {
 
 // DebugServer is a live-introspection HTTP server: /debug/pprof/* (the
 // full net/http/pprof suite), /debug/vars (expvar, including any
-// registries published with Registry.Publish), and /debug/dash (the
-// live HTML dashboard over the served registry and any series added
-// with AddSeries). It backs the CLIs' shared -debug-addr flag.
+// registries published with Registry.Publish), /debug/dash (the live
+// HTML dashboard over the served registry and any series added with
+// AddSeries), /metrics (the Prometheus exposition of the same
+// registry), and /debug/slow (the wall tracer's worst-K slow-request
+// dump, when one is attached). It backs the CLIs' shared -debug-addr
+// flag.
 type DebugServer struct {
 	srv *http.Server
 	lis net.Listener
@@ -59,6 +62,9 @@ type DebugServer struct {
 	mu        sync.Mutex
 	series    []SeriesFunc
 	watchdogs []*Watchdog
+	wall      *WallTracer
+	slo       *SLOTracker
+	promHelp  map[string]string
 }
 
 // ServeDebug publishes reg under the "pacevm" expvar name (when
@@ -75,6 +81,8 @@ func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/dash", d.handleDash)
+	mux.HandleFunc("/metrics", d.handleMetrics)
+	mux.HandleFunc("/debug/slow", d.handleSlow)
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug server: %w", err)
@@ -90,3 +98,64 @@ func (d *DebugServer) Addr() string { return d.lis.Addr().String() }
 
 // Close stops the server.
 func (d *DebugServer) Close() error { return d.srv.Close() }
+
+// AddWallTracer attaches a wall-clock request tracer: /debug/slow dumps
+// its worst-K ring. Safe to call while serving; nil is ignored.
+func (d *DebugServer) AddWallTracer(w *WallTracer) {
+	if d == nil || w == nil {
+		return
+	}
+	d.mu.Lock()
+	d.wall = w
+	d.mu.Unlock()
+}
+
+// AddSLO attaches a rolling SLO tracker: /metrics appends its burn-rate
+// families and /debug/dash grows an SLO panel. Safe to call while
+// serving; nil is ignored.
+func (d *DebugServer) AddSLO(s *SLOTracker) {
+	if d == nil || s == nil {
+		return
+	}
+	d.mu.Lock()
+	d.slo = s
+	d.mu.Unlock()
+}
+
+// SetPromHelp supplies HELP text for /metrics families (family base
+// name -> help line). Safe to call while serving.
+func (d *DebugServer) SetPromHelp(help map[string]string) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	d.promHelp = help
+	d.mu.Unlock()
+}
+
+// handleMetrics renders the registry snapshot (plus the SLO tracker's
+// families, when attached) in the Prometheus text format.
+func (d *DebugServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var snap Snapshot
+	if d.reg != nil {
+		snap = d.reg.Snapshot()
+	}
+	d.mu.Lock()
+	slo, help := d.slo, d.promHelp
+	d.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := WritePrometheus(w, snap, help); err != nil {
+		return
+	}
+	slo.WriteProm(w) //nolint:errcheck // client went away mid-scrape
+}
+
+// handleSlow dumps the attached wall tracer's slow-request ring as
+// JSON (an empty array when no tracer is attached).
+func (d *DebugServer) handleSlow(w http.ResponseWriter, _ *http.Request) {
+	d.mu.Lock()
+	wall := d.wall
+	d.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	wall.DumpJSON(w) //nolint:errcheck // client went away mid-dump
+}

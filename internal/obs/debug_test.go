@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestServeDebug covers the CLIs' -debug-addr contract: /debug/pprof/
@@ -63,5 +64,91 @@ func TestServeDebug(t *testing.T) {
 func TestServeDebugBadAddr(t *testing.T) {
 	if _, err := ServeDebug("256.0.0.1:bad", nil); err == nil {
 		t.Error("bad address must fail")
+	}
+}
+
+// TestServeDebugMetricsAndSlow covers the observability endpoints: a
+// /metrics scrape must pass the exposition validator and include the
+// SLO families once a tracker is attached, and /debug/slow must dump
+// the attached wall tracer's ring.
+func TestServeDebugMetricsAndSlow(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(SeriesName("serve_requests_total", "outcome", "placed")).Add(5)
+	reg.Histogram("serve_stage_seconds", 0.001, 0.01).Observe(0.005)
+	d, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + d.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return string(body)
+	}
+
+	// No tracer/SLO attached yet: still a valid exposition, and
+	// /debug/slow serves an empty array.
+	fams, err := ValidateExposition(strings.NewReader(get("/metrics")))
+	if err != nil {
+		t.Fatalf("/metrics invalid: %v", err)
+	}
+	if fams["serve_requests_total"] != "counter" || fams["serve_stage_seconds"] != "histogram" {
+		t.Errorf("families = %v", fams)
+	}
+	var slow []SlowRequest
+	if err := json.Unmarshal([]byte(get("/debug/slow")), &slow); err != nil {
+		t.Fatalf("/debug/slow not JSON: %v", err)
+	}
+	if len(slow) != 0 {
+		t.Errorf("empty server dumped %d slow requests", len(slow))
+	}
+
+	// Attach a tracer and an SLO tracker; both endpoints must pick them up.
+	wall := NewWallTracer([]string{"decode", "search"}, 4, nil)
+	tr := wall.Start("req-test-1")
+	tr.StageDur(1, 3*time.Millisecond)
+	tr.Finish("placed")
+	d.AddWallTracer(wall)
+	slo, err := NewSLOTracker(100*time.Millisecond, 0.99, time.Minute, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slo.Observe(time.Millisecond)
+	d.AddSLO(slo)
+
+	metrics := get("/metrics")
+	if _, err := ValidateExposition(strings.NewReader(metrics)); err != nil {
+		t.Fatalf("/metrics with SLO invalid: %v", err)
+	}
+	for _, want := range []string{"serve_slo_attainment_ratio 1", "serve_slo_burn_rate 0"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if err := json.Unmarshal([]byte(get("/debug/slow")), &slow); err != nil {
+		t.Fatalf("/debug/slow not JSON: %v", err)
+	}
+	if len(slow) != 1 || slow[0].RequestID != "req-test-1" || len(slow[0].Stages) != 2 {
+		t.Errorf("slow dump = %+v", slow)
+	}
+
+	// The dashboard grows the SLO panel.
+	dash := get("/debug/dash")
+	for _, want := range []string{"<h2>SLO</h2>", "req-test-1", "/debug/slow"} {
+		if !strings.Contains(dash, want) {
+			t.Errorf("/debug/dash missing %q", want)
+		}
 	}
 }

@@ -1,0 +1,298 @@
+package obs
+
+// Prometheus text exposition (format version 0.0.4) over a Registry
+// snapshot — one renderer shared by pacevm-serve's /metrics and the
+// sim debug server. The registry is a flat name -> instrument map;
+// labeled series encode their labels in the registered name
+// (`base{key="value",...}`, built with SeriesName), and the renderer
+// groups series of one base name under a single HELP/TYPE pair:
+//
+//	counters    -> TYPE counter,   one sample per series
+//	gauges      -> TYPE gauge,     one sample per series
+//	histograms  -> TYPE histogram, cumulative `_bucket{le="..."}` plus
+//	               the `+Inf` bucket, `_sum` and `_count`
+//	quantiles   -> TYPE summary,   `{quantile="0.5|0.9|0.99"}` series
+//	               plus `_count` (the digest carries no sum), with the
+//	               exact min/max as `_min`/`_max` gauge families
+//
+// Names are sanitized to the metric-name charset and label values are
+// escaped per the format (backslash, double-quote, newline), so no
+// registry content can corrupt the exposition. ValidateExposition is
+// the matching machine-check used by the golden tests and the
+// metrics-smoke gate.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SeriesName builds a labeled registry name: base{k1="v1",k2="v2"}.
+// Pairs are given as k1, v1, k2, v2, ... and rendered sorted by key so
+// the same label set always produces the same registry entry; names
+// and keys are sanitized, values escaped. With no pairs it returns the
+// sanitized base alone.
+func SeriesName(base string, kv ...string) string {
+	base = PromName(base)
+	if len(kv) < 2 {
+		return base
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		pairs = append(pairs, pair{PromLabelName(kv[i]), kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabelValue(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// PromName sanitizes s into a legal metric name
+// ([a-zA-Z_:][a-zA-Z0-9_:]*): illegal runes become '_', and an empty
+// or digit-leading result is prefixed with '_'.
+func PromName(s string) string {
+	return promIdent(s, true)
+}
+
+// PromLabelName sanitizes s into a legal label name
+// ([a-zA-Z_][a-zA-Z0-9_]*).
+func PromLabelName(s string) string {
+	return promIdent(s, false)
+}
+
+func promIdent(s string, allowColon bool) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(allowColon && c == ':') || (i > 0 && c >= '0' && c <= '9')
+		if ok {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// EscapeLabelValue escapes a label value per the text format:
+// backslash, double-quote and newline.
+func EscapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP text (backslash and newline only; quotes
+// are legal there).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// promFloat renders a sample value: Go's shortest round-trip float,
+// with the format's spellings of the non-finite values.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promSeries is one registry entry split into family base and label
+// block ("" when unlabeled). A name registered as `base{...}` keeps
+// its label block verbatim (SeriesName already escaped it).
+type promSeries struct {
+	base   string
+	labels string // without braces, "" if none
+	name   string // original registry key, for stable ordering
+}
+
+func splitSeries(name string) promSeries {
+	open := strings.IndexByte(name, '{')
+	if open < 0 || !strings.HasSuffix(name, "}") {
+		return promSeries{base: PromName(name), name: name}
+	}
+	return promSeries{
+		base:   PromName(name[:open]),
+		labels: name[open+1 : len(name)-1],
+		name:   name,
+	}
+}
+
+// joinLabels merges a series' own label block with one extra
+// rendered label (le/quantile).
+func joinLabels(labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return ""
+	case labels == "":
+		return "{" + extra + "}"
+	case extra == "":
+		return "{" + labels + "}"
+	}
+	return "{" + labels + "," + extra + "}"
+}
+
+// promFamilies groups a snapshot section's names into families in
+// deterministic order: families sorted by base, series within a family
+// by their full registered name.
+func promFamilies[V any](m map[string]V) ([]string, map[string][]promSeries) {
+	fams := map[string][]promSeries{}
+	for _, name := range SortedNames(m) {
+		s := splitSeries(name)
+		fams[s.base] = append(fams[s.base], s)
+	}
+	bases := make([]string, 0, len(fams))
+	for b := range fams {
+		bases = append(bases, b)
+	}
+	sort.Strings(bases)
+	return bases, fams
+}
+
+func promHeader(w io.Writer, base, help, typ string) error {
+	if help == "" {
+		help = base
+	}
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", base, escapeHelp(help), base, typ)
+	return err
+}
+
+// WritePrometheus renders a registry snapshot in the Prometheus text
+// exposition format. help maps family base names to HELP text (a
+// family without an entry gets its own name as help, so every family
+// always carries HELP and TYPE lines).
+func WritePrometheus(w io.Writer, snap Snapshot, help map[string]string) error {
+	// Counters.
+	bases, fams := promFamilies(snap.Counters)
+	for _, base := range bases {
+		if err := promHeader(w, base, help[base], "counter"); err != nil {
+			return err
+		}
+		for _, s := range fams[base] {
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", base, joinLabels(s.labels, ""), snap.Counters[s.name]); err != nil {
+				return err
+			}
+		}
+	}
+	// Gauges.
+	bases, fams = promFamilies(snap.Gauges)
+	for _, base := range bases {
+		if err := promHeader(w, base, help[base], "gauge"); err != nil {
+			return err
+		}
+		for _, s := range fams[base] {
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", base, joinLabels(s.labels, ""), snap.Gauges[s.name]); err != nil {
+				return err
+			}
+		}
+	}
+	// Histograms: cumulative buckets, +Inf, _sum, _count.
+	bases, fams = promFamilies(snap.Histograms)
+	for _, base := range bases {
+		if err := promHeader(w, base, help[base], "histogram"); err != nil {
+			return err
+		}
+		for _, s := range fams[base] {
+			h := snap.Histograms[s.name]
+			var cum int64
+			for i, bound := range h.Bounds {
+				cum += h.Counts[i]
+				le := `le="` + promFloat(bound) + `"`
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", base, joinLabels(s.labels, le), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", base, joinLabels(s.labels, `le="+Inf"`), h.Count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", base, joinLabels(s.labels, ""), promFloat(h.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", base, joinLabels(s.labels, ""), h.Count); err != nil {
+				return err
+			}
+		}
+	}
+	// Quantile digests: summaries plus exact min/max gauges.
+	bases, fams = promFamilies(snap.Quantiles)
+	for _, base := range bases {
+		if err := promHeader(w, base, help[base], "summary"); err != nil {
+			return err
+		}
+		for _, s := range fams[base] {
+			q := snap.Quantiles[s.name]
+			for _, p := range []struct {
+				q string
+				v float64
+			}{{"0.5", q.P50}, {"0.9", q.P90}, {"0.99", q.P99}} {
+				if q.Count == 0 {
+					break // an empty digest has no meaningful quantiles
+				}
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", base, joinLabels(s.labels, `quantile="`+p.q+`"`), promFloat(p.v)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", base, joinLabels(s.labels, ""), q.Count); err != nil {
+				return err
+			}
+		}
+		for _, suffix := range []string{"_min", "_max"} {
+			if err := promHeader(w, base+suffix, "Exact "+strings.TrimPrefix(suffix, "_")+" of "+base+".", "gauge"); err != nil {
+				return err
+			}
+			for _, s := range fams[base] {
+				q := snap.Quantiles[s.name]
+				v := q.Min
+				if suffix == "_max" {
+					v = q.Max
+				}
+				if q.Count == 0 {
+					v = 0 // min/max of an empty digest are +/-Inf sentinels
+				}
+				if _, err := fmt.Fprintf(w, "%s%s%s %s\n", base, suffix, joinLabels(s.labels, ""), promFloat(v)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSeriesName(t *testing.T) {
+	for _, tc := range []struct {
+		base string
+		kv   []string
+		want string
+	}{
+		{"plain", nil, "plain"},
+		{"serve_req", []string{"outcome", "placed"}, `serve_req{outcome="placed"}`},
+		// Keys render sorted so one label set is one registry entry.
+		{"m", []string{"z", "1", "a", "2"}, `m{a="2",z="1"}`},
+		// Names and keys sanitize, values escape.
+		{"bad name", []string{"bad key", "q\"v\\w\nx"}, `bad_name{bad_key="q\"v\\w\nx"}`},
+		{"9lead", []string{"1k", "v"}, `_lead{_k="v"}`},
+	} {
+		if got := SeriesName(tc.base, tc.kv...); got != tc.want {
+			t.Errorf("SeriesName(%q, %v) = %q, want %q", tc.base, tc.kv, got, tc.want)
+		}
+	}
+}
+
+// TestWritePrometheusGolden locks the exposition byte-for-byte for a
+// registry exercising every instrument kind, labeled series grouping,
+// and label-value escaping.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(SeriesName("serve_requests_total", "outcome", "placed")).Add(7)
+	r.Counter(SeriesName("serve_requests_total", "outcome", "shed")).Add(2)
+	r.Counter("weird name-1").Inc()
+	r.Gauge("serve_depth").Set(3)
+	h := r.Histogram("serve_stage_seconds", 1, 10, 100)
+	for _, v := range []float64{0.5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	r.Quantile("serve_e2e").Observe(2.5)
+	r.Quantile("serve_empty") // registered, never observed
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r.Snapshot(), map[string]string{
+		"serve_requests_total": "Requests by outcome.\nSecond line \\ escaped.",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP serve_requests_total Requests by outcome.\nSecond line \\ escaped.
+# TYPE serve_requests_total counter
+serve_requests_total{outcome="placed"} 7
+serve_requests_total{outcome="shed"} 2
+# HELP weird_name_1 weird_name_1
+# TYPE weird_name_1 counter
+weird_name_1 1
+# HELP serve_depth serve_depth
+# TYPE serve_depth gauge
+serve_depth 3
+# HELP serve_stage_seconds serve_stage_seconds
+# TYPE serve_stage_seconds histogram
+serve_stage_seconds_bucket{le="1"} 1
+serve_stage_seconds_bucket{le="10"} 2
+serve_stage_seconds_bucket{le="100"} 3
+serve_stage_seconds_bucket{le="+Inf"} 4
+serve_stage_seconds_sum 555.5
+serve_stage_seconds_count 4
+# HELP serve_e2e serve_e2e
+# TYPE serve_e2e summary
+serve_e2e{quantile="0.5"} 2.5
+serve_e2e{quantile="0.9"} 2.5
+serve_e2e{quantile="0.99"} 2.5
+serve_e2e_count 1
+# HELP serve_e2e_min Exact min of serve_e2e.
+# TYPE serve_e2e_min gauge
+serve_e2e_min 2.5
+# HELP serve_e2e_max Exact max of serve_e2e.
+# TYPE serve_e2e_max gauge
+serve_e2e_max 2.5
+# HELP serve_empty serve_empty
+# TYPE serve_empty summary
+serve_empty_count 0
+# HELP serve_empty_min Exact min of serve_empty.
+# TYPE serve_empty_min gauge
+serve_empty_min 0
+# HELP serve_empty_max Exact max of serve_empty.
+# TYPE serve_empty_max gauge
+serve_empty_max 0
+`
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// The golden output must satisfy the machine validator too, and the
+	// validator must see the right family types.
+	fams, err := ValidateExposition(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("golden output fails validation: %v", err)
+	}
+	for name, typ := range map[string]string{
+		"serve_requests_total": "counter",
+		"serve_depth":          "gauge",
+		"serve_stage_seconds":  "histogram",
+		"serve_e2e":            "summary",
+	} {
+		if fams[name] != typ {
+			t.Errorf("family %s = %q, want %q", name, fams[name], typ)
+		}
+	}
+}
+
+func TestWritePrometheusLabeledHistograms(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram(SeriesName("stage", "stage", "decode"), 0.001, 0.01).Observe(0.005)
+	r.Histogram(SeriesName("stage", "stage", "search"), 0.001, 0.01).Observe(0.5)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r.Snapshot(), nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "# TYPE stage histogram") != 1 {
+		t.Errorf("labeled series must share one TYPE line:\n%s", out)
+	}
+	for _, want := range []string{
+		`stage_bucket{stage="decode",le="0.01"} 1`,
+		`stage_bucket{stage="search",le="+Inf"} 1`,
+		`stage_sum{stage="search"} 0.5`,
+		`stage_count{stage="decode"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if _, err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Errorf("labeled histogram exposition invalid: %v", err)
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	for _, tc := range []struct {
+		name, in, wantErr string
+	}{
+		{"bad metric name", "1bad 3\n", "bad metric name"},
+		{"bad value", "m NaNope\n", "bad value"},
+		{"unknown type", "# TYPE m widget\n", "unknown TYPE"},
+		{"duplicate type", "# TYPE m counter\n# TYPE m gauge\n", "second TYPE"},
+		{"bad label name", `m{1bad="v"} 1` + "\n", "bad label name"},
+		{"unterminated label", `m{k="v` + "\n", "unterminated"},
+		{"bad escape", `m{k="\t"} 1` + "\n", "bad escape"},
+		{"duplicate label", `m{k="a",k="b"} 1` + "\n", "duplicate label"},
+		{
+			"non-cumulative buckets",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n",
+			"not cumulative",
+		},
+		{
+			"le not increasing",
+			"# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\n",
+			"not increasing",
+		},
+		{
+			"missing +Inf",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_count 1\n",
+			"no +Inf bucket",
+		},
+		{
+			"inf != count",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_count 5\n",
+			"!= count",
+		},
+	} {
+		_, err := ValidateExposition(strings.NewReader(tc.in))
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestValidateExpositionAccepts(t *testing.T) {
+	in := `# random comment
+# HELP m Help text.
+# TYPE m counter
+m 1 1700000000000
+m{a="x"} +Inf
+untyped_sample{q="a\"b\\c\nd"} -2.5e-3
+`
+	fams, err := ValidateExposition(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+	if fams["m"] != "counter" || fams["untyped_sample"] != "untyped" {
+		t.Errorf("families = %v", fams)
+	}
+}
+
+// FuzzPromEscape checks the renderer's core safety property: no
+// base/label/value input can produce an exposition the validator
+// rejects, and escaped label values round-trip exactly.
+func FuzzPromEscape(f *testing.F) {
+	f.Add("serve_requests_total", "outcome", "placed")
+	f.Add("bad name", "bad key", `q"v\w`+"\nx")
+	f.Add("", "", "")
+	f.Add("9digit", "1digit", `\\`)
+	f.Add("m", "k", `trailing\`)
+	f.Add("m", "k", "\"\n\\\"")
+	f.Fuzz(func(t *testing.T, base, key, value string) {
+		name := SeriesName(base, key, value)
+		snap := Snapshot{Counters: map[string]int64{name: 1}}
+		var buf bytes.Buffer
+		if err := WritePrometheus(&buf, snap, nil); err != nil {
+			t.Fatalf("render: %v", err)
+		}
+		if _, err := ValidateExposition(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("escaper produced invalid exposition for (%q,%q,%q): %v\n%s",
+				base, key, value, err, buf.String())
+		}
+		// Escaped values must round-trip through the parser byte-exact.
+		s := splitSeries(name)
+		if s.labels == "" {
+			t.Fatalf("SeriesName(%q,%q,%q) = %q lost its label block", base, key, value, name)
+		}
+		labels, rest, err := parseLabels("{" + s.labels + "}")
+		if err != nil || rest != "" {
+			t.Fatalf("label block %q unparseable: %v (rest %q)", s.labels, err, rest)
+		}
+		if got := labels[PromLabelName(key)]; got != value {
+			t.Fatalf("label value round-trip: got %q, want %q", got, value)
+		}
+	})
+}

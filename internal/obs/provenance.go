@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"sync"
+)
+
+// Provenance records which commit, toolchain and machine produced an
+// artifact (a benchmark document, a scraped /v1/stats payload), so two
+// of them can be compared knowing where each came from. Shared by
+// pacevm-benchjson's BENCH_sim.json recorder and the placement
+// service's /v1/stats endpoint.
+type Provenance struct {
+	GitCommit string `json:"git_commit,omitempty"`
+	GoVersion string `json:"go_version,omitempty"`
+	Host      string `json:"host,omitempty"`
+}
+
+var (
+	provOnce   sync.Once
+	provCached Provenance
+)
+
+// CollectProvenance gathers the current environment. Best-effort by
+// design: outside a git checkout (or without git on PATH) the commit is
+// simply empty — callers stay pure and their documents stay valid. The
+// result is computed once per process (the git subprocess is not free)
+// and returned by value thereafter.
+func CollectProvenance() Provenance {
+	provOnce.Do(func() {
+		provCached = Provenance{GoVersion: runtime.Version()}
+		if host, err := os.Hostname(); err == nil {
+			provCached.Host = host
+		}
+		if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+			provCached.GitCommit = strings.TrimSpace(string(out))
+		}
+	})
+	return provCached
+}

@@ -1,0 +1,177 @@
+package obs
+
+// Rolling SLO tracking: "are 99% of placements landing under X ms over
+// the last minute, and how fast are we burning the error budget?" —
+// the serving-path counterpart of the simulator's stretch/deadline
+// metrics, measured continuously so the degradation ladder's
+// energy-vs-SLA tradeoff is defensible while it runs.
+//
+// The tracker is a fixed ring of per-slot good/total counters covering
+// a sliding window; attainment is the good fraction over the live
+// slots, and the burn rate is the classic error-budget ratio
+// (1-attainment)/(1-objective): 1.0 means the budget exactly runs out
+// at the end of the compliance period, >1 means it runs out sooner.
+// Like every obs instrument a nil *SLOTracker is a no-op on all
+// methods.
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// sloSlots is the ring granularity: the window divides into this many
+// slots, so a sample ages out at most window/sloSlots late.
+const sloSlots = 60
+
+type sloSlot struct {
+	good  int64
+	total int64
+}
+
+// SLOTracker measures rolling attainment of "fraction objective of
+// requests complete under target" over a sliding window.
+type SLOTracker struct {
+	target    time.Duration
+	objective float64
+	window    time.Duration
+	slot      time.Duration
+	clock     func() time.Time
+	start     time.Time
+
+	mu    sync.Mutex
+	slots [sloSlots]sloSlot
+	head  int64 // absolute slot index the ring head currently holds
+}
+
+// NewSLOTracker builds a tracker: target is the per-request latency
+// bound, objective the required good fraction in (0,1), window the
+// sliding measurement window. clock defaults to time.Now.
+func NewSLOTracker(target time.Duration, objective float64, window time.Duration, clock func() time.Time) (*SLOTracker, error) {
+	if target <= 0 {
+		return nil, fmt.Errorf("obs: SLO target %v must be > 0", target)
+	}
+	if objective <= 0 || objective >= 1 {
+		return nil, fmt.Errorf("obs: SLO objective %v out of (0,1)", objective)
+	}
+	if window <= 0 {
+		return nil, fmt.Errorf("obs: SLO window %v must be > 0", window)
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return &SLOTracker{
+		target:    target,
+		objective: objective,
+		window:    window,
+		slot:      window / sloSlots,
+		clock:     clock,
+		start:     clock(),
+	}, nil
+}
+
+// advance ages the ring to the current clock, clearing slots that fell
+// out of the window; callers hold s.mu.
+func (s *SLOTracker) advance(now time.Time) {
+	abs := int64(now.Sub(s.start) / s.slot)
+	if abs <= s.head {
+		return
+	}
+	steps := abs - s.head
+	if steps > sloSlots {
+		steps = sloSlots
+	}
+	for i := int64(1); i <= steps; i++ {
+		s.slots[(s.head+i)%sloSlots] = sloSlot{}
+	}
+	s.head = abs
+}
+
+// Observe folds one end-to-end request latency into the window.
+func (s *SLOTracker) Observe(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.advance(s.clock())
+	sl := &s.slots[s.head%sloSlots]
+	sl.total++
+	if d <= s.target {
+		sl.good++
+	}
+	s.mu.Unlock()
+}
+
+// SLOSnapshot is the tracker's exported state.
+type SLOSnapshot struct {
+	TargetSeconds float64 `json:"target_seconds"`
+	Objective     float64 `json:"objective"`
+	WindowSeconds float64 `json:"window_seconds"`
+	Good          int64   `json:"good"`
+	Total         int64   `json:"total"`
+	// Attainment is the good fraction over the window; 1 with no
+	// traffic (an idle service is not violating its SLO).
+	Attainment float64 `json:"attainment"`
+	// BurnRate is (1-attainment)/(1-objective): how many error budgets
+	// per compliance period the current window consumes.
+	BurnRate float64 `json:"burn_rate"`
+}
+
+// Snapshot reports current attainment and burn rate over the window.
+// The zero snapshot on a nil receiver.
+func (s *SLOTracker) Snapshot() SLOSnapshot {
+	if s == nil {
+		return SLOSnapshot{}
+	}
+	s.mu.Lock()
+	s.advance(s.clock())
+	var good, total int64
+	for _, sl := range s.slots {
+		good += sl.good
+		total += sl.total
+	}
+	s.mu.Unlock()
+	snap := SLOSnapshot{
+		TargetSeconds: s.target.Seconds(),
+		Objective:     s.objective,
+		WindowSeconds: s.window.Seconds(),
+		Good:          good,
+		Total:         total,
+		Attainment:    1,
+	}
+	if total > 0 {
+		snap.Attainment = float64(good) / float64(total)
+	}
+	snap.BurnRate = (1 - snap.Attainment) / (1 - s.objective)
+	return snap
+}
+
+// WriteProm renders the tracker as its own Prometheus families,
+// appended after the registry snapshot on /metrics (attainment and
+// burn rate are ratios, which the integer registry gauges cannot
+// carry). A nil tracker writes nothing.
+func (s *SLOTracker) WriteProm(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	snap := s.Snapshot()
+	for _, g := range []struct {
+		name, help string
+		v          float64
+	}{
+		{"serve_slo_target_seconds", "Configured per-request latency target.", snap.TargetSeconds},
+		{"serve_slo_objective_ratio", "Configured required good fraction.", snap.Objective},
+		{"serve_slo_window_seconds", "Sliding SLO measurement window.", snap.WindowSeconds},
+		{"serve_slo_window_good", "Requests under target in the window.", float64(snap.Good)},
+		{"serve_slo_window_requests", "Requests observed in the window.", float64(snap.Total)},
+		{"serve_slo_attainment_ratio", "Good fraction over the window (1 when idle).", snap.Attainment},
+		{"serve_slo_burn_rate", "Error-budget burn rate: (1-attainment)/(1-objective).", snap.BurnRate},
+	} {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+			g.name, g.help, g.name, g.name, promFloat(g.v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

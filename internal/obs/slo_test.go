@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSLOTrackerValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		target    time.Duration
+		objective float64
+		window    time.Duration
+	}{
+		{"zero target", 0, 0.99, time.Minute},
+		{"negative target", -time.Second, 0.99, time.Minute},
+		{"objective zero", time.Second, 0, time.Minute},
+		{"objective one", time.Second, 1, time.Minute},
+		{"zero window", time.Second, 0.99, 0},
+	} {
+		if _, err := NewSLOTracker(tc.target, tc.objective, tc.window, nil); err == nil {
+			t.Errorf("%s: want error", tc.name)
+		}
+	}
+}
+
+func TestSLOTrackerNil(t *testing.T) {
+	var s *SLOTracker
+	s.Observe(time.Second) // must not panic
+	if snap := s.Snapshot(); snap != (SLOSnapshot{}) {
+		t.Errorf("nil snapshot = %+v", snap)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteProm(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("nil WriteProm wrote %q, err %v", buf.String(), err)
+	}
+}
+
+func TestSLOTrackerAttainment(t *testing.T) {
+	clock := newFakeClock(0) // manual advance only
+	s, err := NewSLOTracker(100*time.Millisecond, 0.9, time.Minute, clock.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Idle: attainment 1, burn 0.
+	snap := s.Snapshot()
+	if snap.Attainment != 1 || snap.BurnRate != 0 {
+		t.Errorf("idle snapshot = %+v", snap)
+	}
+
+	// 8 good, 2 bad -> attainment 0.8, burn (1-0.8)/(1-0.9) = 2.
+	for i := 0; i < 8; i++ {
+		s.Observe(50 * time.Millisecond)
+	}
+	s.Observe(100 * time.Millisecond) // boundary counts as good
+	s.Observe(500 * time.Millisecond)
+	s.Observe(time.Second)
+	snap = s.Snapshot()
+	if snap.Good != 9 || snap.Total != 11 {
+		t.Fatalf("good/total = %d/%d, want 9/11", snap.Good, snap.Total)
+	}
+	wantAtt := 9.0 / 11.0
+	if math.Abs(snap.Attainment-wantAtt) > 1e-12 {
+		t.Errorf("attainment = %v, want %v", snap.Attainment, wantAtt)
+	}
+	wantBurn := (1 - wantAtt) / 0.1
+	if math.Abs(snap.BurnRate-wantBurn) > 1e-9 {
+		t.Errorf("burn = %v, want %v", snap.BurnRate, wantBurn)
+	}
+
+	// Advance past the whole window: everything ages out.
+	clock.mu.Lock()
+	clock.now = clock.now.Add(2 * time.Minute)
+	clock.mu.Unlock()
+	snap = s.Snapshot()
+	if snap.Total != 0 || snap.Attainment != 1 {
+		t.Errorf("aged snapshot = %+v, want empty window", snap)
+	}
+}
+
+func TestSLOTrackerSlidesGradually(t *testing.T) {
+	clock := newFakeClock(0)
+	s, err := NewSLOTracker(time.Millisecond, 0.99, time.Minute, clock.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Observe(10 * time.Millisecond) // bad, lands in slot 0
+	// Half a window later the bad sample is still visible...
+	clock.mu.Lock()
+	clock.now = clock.now.Add(30 * time.Second)
+	clock.mu.Unlock()
+	if snap := s.Snapshot(); snap.Total != 1 {
+		t.Errorf("half-window total = %d, want 1", snap.Total)
+	}
+	// ...a full window later it is gone.
+	clock.mu.Lock()
+	clock.now = clock.now.Add(31 * time.Second)
+	clock.mu.Unlock()
+	if snap := s.Snapshot(); snap.Total != 0 {
+		t.Errorf("post-window total = %d, want 0", snap.Total)
+	}
+}
+
+func TestSLOTrackerWriteProm(t *testing.T) {
+	s, err := NewSLOTracker(250*time.Millisecond, 0.99, time.Minute, newFakeClock(0).Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Observe(time.Millisecond)
+	var buf bytes.Buffer
+	if err := s.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE serve_slo_target_seconds gauge",
+		"serve_slo_target_seconds 0.25",
+		"serve_slo_attainment_ratio 1",
+		"serve_slo_burn_rate 0",
+		"serve_slo_window_requests 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteProm output missing %q:\n%s", want, out)
+		}
+	}
+	// The appended families must themselves pass the exposition check.
+	if _, err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Errorf("WriteProm output fails validation: %v", err)
+	}
+}

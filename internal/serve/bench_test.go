@@ -8,12 +8,13 @@ package serve
 
 import (
 	"fmt"
+	"io"
 	"testing"
 	"time"
 )
 
-func BenchmarkServe(b *testing.B) {
-	s, err := NewService(Config{
+func benchConfig(b *testing.B) Config {
+	return Config{
 		DB:              sharedDB(b),
 		Servers:         64,
 		Shards:          4,
@@ -21,7 +22,27 @@ func BenchmarkServe(b *testing.B) {
 		RequestTimeout:  10 * time.Second,
 		Watermarks:      [3]time.Duration{time.Second, 2 * time.Second, 4 * time.Second},
 		WatchdogEvery:   -1,
-	})
+	}
+}
+
+func BenchmarkServe(b *testing.B) {
+	benchServe(b, benchConfig(b))
+}
+
+// BenchmarkServeObs is BenchmarkServe with the full observability
+// stack on — span tracing, slow ring, per-stage histograms, SLO
+// tracking, and the access log (to io.Discard). The delta against
+// BenchmarkServe is the per-request observability overhead.
+func BenchmarkServeObs(b *testing.B) {
+	cfg := benchConfig(b)
+	cfg.SlowRing = 32
+	cfg.SLOTarget = 500 * time.Millisecond
+	cfg.AccessLog = io.Discard
+	benchServe(b, cfg)
+}
+
+func benchServe(b *testing.B, cfg Config) {
+	s, err := NewService(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -22,6 +22,8 @@ import (
 	"net"
 	"net/http"
 	"time"
+
+	"pacevm/internal/obs"
 )
 
 // PlaceRequest asks for one job's VMs. Key is the client-chosen
@@ -66,26 +68,53 @@ type errorBody struct {
 }
 
 // Handler returns the service's HTTP mux. chaos additionally exposes
-// the crash/recover fault-injection endpoints.
+// the crash/recover fault-injection endpoints. When request
+// observability is configured the data-plane endpoints are traced: the
+// request ID (the client's X-Request-Id, or a generated one) is echoed
+// back in the X-Request-Id response header and keys the /debug/slow
+// dump and the access log; /metrics and /debug/slow are always mounted
+// (an untracked registry still renders).
 func (s *Service) Handler(chaos bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/place", func(w http.ResponseWriter, r *http.Request) {
+		rt := s.traceStart(r.Header.Get("X-Request-Id"))
+		if rt != nil {
+			w.Header().Set("X-Request-Id", rt.ID())
+		}
 		var req PlaceRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeOutcome(w, Outcome{Status: 400, Reason: "bad json: " + err.Error()})
+		rt.StageStart(stageDecode)
+		err := json.NewDecoder(r.Body).Decode(&req)
+		rt.StageEnd(stageDecode)
+		if err != nil {
+			out := Outcome{Status: 400, Reason: "bad json: " + err.Error()}
+			writeOutcome(w, out)
+			s.observeRequest(rt, clientID(r), "/v1/place", out)
 			return
 		}
-		writeOutcome(w, s.Place(clientID(r), req))
+		out := s.placeTraced(clientID(r), req, rt)
+		writeOutcome(w, out)
+		s.observeRequest(rt, clientID(r), "/v1/place", out)
 	})
 	mux.HandleFunc("POST /v1/release", func(w http.ResponseWriter, r *http.Request) {
+		rt := s.traceStart(r.Header.Get("X-Request-Id"))
+		if rt != nil {
+			w.Header().Set("X-Request-Id", rt.ID())
+		}
 		var req struct {
 			Key string `json:"key"`
 		}
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Key == "" {
-			writeOutcome(w, Outcome{Status: 400, Reason: "bad json: missing key"})
+		rt.StageStart(stageDecode)
+		err := json.NewDecoder(r.Body).Decode(&req)
+		rt.StageEnd(stageDecode)
+		if err != nil || req.Key == "" {
+			out := Outcome{Status: 400, Reason: "bad json: missing key"}
+			writeOutcome(w, out)
+			s.observeRequest(rt, clientID(r), "/v1/release", out)
 			return
 		}
-		writeOutcome(w, s.Release(req.Key))
+		out := s.Release(req.Key)
+		writeOutcome(w, out)
+		s.observeRequest(rt, clientID(r), "/v1/release", out)
 	})
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
@@ -99,11 +128,40 @@ func (s *Service) Handler(chaos bool) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(s.Stats())
 	})
+	mux.HandleFunc("GET /metrics", s.metricsHTTP)
+	mux.HandleFunc("GET /debug/slow", s.slowHTTP)
 	if chaos {
 		mux.HandleFunc("POST /v1/chaos/crash", s.chaosHandler(s.CrashServer))
 		mux.HandleFunc("POST /v1/chaos/recover", s.chaosHandler(s.RecoverServer))
 	}
 	return mux
+}
+
+// ObsHandler is the observability-only mux — /metrics and /debug/slow
+// without the data plane — for a dedicated metrics listener that can be
+// firewalled separately from client traffic.
+func (s *Service) ObsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", s.metricsHTTP)
+	mux.HandleFunc("GET /debug/slow", s.slowHTTP)
+	return mux
+}
+
+// metricsHTTP renders the service registry (plus the SLO tracker's
+// families, when tracked) in the Prometheus text exposition format.
+func (s *Service) metricsHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := obs.WritePrometheus(w, s.reg.Snapshot(), servePromHelp); err != nil {
+		return
+	}
+	s.SLO().WriteProm(w) //nolint:errcheck // client went away mid-scrape
+}
+
+// slowHTTP dumps the worst-K slow-request ring as JSON (an empty array
+// when tracing is off).
+func (s *Service) slowHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.WallTracer().DumpJSON(w) //nolint:errcheck // client went away mid-dump
 }
 
 func (s *Service) chaosHandler(op func(int) error) http.HandlerFunc {

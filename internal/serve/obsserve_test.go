@@ -1,0 +1,350 @@
+package serve
+
+// Tests for the request-observability layer: outcome classification,
+// the zero-cost disabled path, and the end-to-end acceptance flow — a
+// deliberately slowed request must show up in /debug/slow with all
+// seven pipeline stages and a matching request ID in the access log.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pacevm/internal/cloudsim"
+	"pacevm/internal/obs"
+)
+
+// tickClock is a deterministic clock that advances by a fixed step on
+// every reading, so consecutive readings inside one request always
+// differ and every traced span gets a positive duration.
+type tickClock struct {
+	mu   sync.Mutex
+	now  time.Time
+	step time.Duration
+}
+
+func newTickClock(step time.Duration) *tickClock {
+	return &tickClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC), step: step}
+}
+
+func (c *tickClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(c.step)
+	return c.now
+}
+
+func TestClassifyOutcome(t *testing.T) {
+	cases := []struct {
+		name string
+		out  Outcome
+		want string
+	}{
+		{"placed", Outcome{Status: 200, Resp: &PlaceResponse{Key: "k"}}, "placed"},
+		{"replayed", Outcome{Status: 200, Resp: &PlaceResponse{Replayed: true}}, "replayed"},
+		{"released", Outcome{Status: 200, Resp: &PlaceResponse{Released: true}}, "released"},
+		{"released replay", Outcome{Status: 200, Resp: &PlaceResponse{Released: true, Replayed: true}}, "replayed"},
+		{"shed shedding", Outcome{Status: 503, Reason: cloudsim.RejectShedding}, "shed"},
+		{"shed queue", Outcome{Status: 429, Reason: cloudsim.RejectQueueFull}, "shed"},
+		{"shed rate", Outcome{Status: 429, Reason: cloudsim.RejectRateLimit}, "shed"},
+		{"shed deadline", Outcome{Status: 503, Reason: cloudsim.RejectDeadline}, "shed"},
+		{"shed draining", Outcome{Status: 503, Reason: cloudsim.RejectDraining}, "shed"},
+		{"rejected capacity", Outcome{Status: 503, Reason: cloudsim.RejectCapacity}, "rejected"},
+		{"rejected bad json", Outcome{Status: 400, Reason: "bad json: eof"}, "rejected"},
+		{"rejected not found", Outcome{Status: 404, Reason: "unknown key"}, "rejected"},
+	}
+	for _, tc := range cases {
+		if got := classifyOutcome(tc.out); got != tc.want {
+			t.Errorf("%s: classifyOutcome = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestConfigObsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"negative slow ring", func(c *Config) { c.SlowRing = -1 }, "slow ring"},
+		{"negative slo target", func(c *Config) { c.SLOTarget = -time.Second }, "SLO target"},
+		{"objective too high", func(c *Config) { c.SLOTarget = time.Second; c.SLOObjective = 1.5 }, "objective"},
+		{"objective negative", func(c *Config) { c.SLOTarget = time.Second; c.SLOObjective = -0.1 }, "objective"},
+		{"negative window", func(c *Config) { c.SLOTarget = time.Second; c.SLOWindow = -time.Minute }, "window"},
+	}
+	for _, tc := range cases {
+		cfg := testConfig(t, 4, 1)
+		tc.mut(&cfg)
+		_, err := NewService(cfg)
+		if err == nil {
+			t.Errorf("%s: NewService accepted bad config", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestObsDisabled pins the off path: no serveObs bundle is built, the
+// trace helpers return nil, and the introspection endpoints still
+// answer (valid empty-ish exposition, empty slow ring).
+func TestObsDisabled(t *testing.T) {
+	s, err := NewService(testConfig(t, 8, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ro != nil {
+		t.Fatal("serveObs built with observability off")
+	}
+	if s.traceStart("x") != nil || s.WallTracer() != nil || s.SLO() != nil {
+		t.Fatal("trace helpers not nil with observability off")
+	}
+	mustPlace(t, s, "off-1", 1)
+
+	srv := httptest.NewServer(s.Handler(false))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := obs.ValidateExposition(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("disabled /metrics invalid: %v", err)
+	}
+	if fams["serve_requests_total"] != "counter" {
+		t.Fatalf("serve_requests_total missing from disabled /metrics: %v", fams)
+	}
+	if _, ok := fams["serve_stage_seconds"]; ok {
+		t.Fatal("stage histograms registered with observability off")
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.TrimSpace(string(body)) != "[]" {
+		t.Fatalf("disabled /debug/slow = %q, want []", body)
+	}
+
+	st := s.Stats()
+	if st.UptimeSeconds < 0 {
+		t.Fatalf("uptime %v negative", st.UptimeSeconds)
+	}
+	if st.Build.GoVersion == "" {
+		t.Fatal("stats build provenance missing go version")
+	}
+	if st.SLO != nil {
+		t.Fatal("stats SLO present with tracking off")
+	}
+	drainClean(t, s)
+}
+
+// TestObservedPlaceEndToEnd is the acceptance flow: with tracing, SLO
+// tracking and the access log on, a placed request driven through the
+// real HTTP handler must surface in /debug/slow with all seven stage
+// spans, in the access log under the same request ID, and in the
+// /metrics histogram families — all under a deterministic clock.
+func TestObservedPlaceEndToEnd(t *testing.T) {
+	clk := newTickClock(time.Millisecond)
+	var accessBuf bytes.Buffer
+	cfg := testConfig(t, 8, 2)
+	cfg.Clock = clk.Now
+	cfg.SlowRing = 8
+	cfg.SLOTarget = 5 * time.Second
+	cfg.AccessLog = &accessBuf
+	s, err := NewService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler(false))
+	defer srv.Close()
+
+	req, _ := http.NewRequest("POST", srv.URL+"/v1/place",
+		strings.NewReader(`{"key":"e2e-1","class":"cpu","vms":2}`))
+	req.Header.Set("X-Request-Id", "req-e2e-test-1")
+	req.Header.Set("X-Client-Id", "e2e-client")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var placed PlaceResponse
+	if err := json.NewDecoder(resp.Body).Decode(&placed); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("place: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != "req-e2e-test-1" {
+		t.Fatalf("X-Request-Id echo = %q, want req-e2e-test-1", got)
+	}
+	if len(placed.VMIDs) != 2 {
+		t.Fatalf("placement shape: %+v", placed)
+	}
+
+	// A release under a generated ID exercises the second traced route.
+	resp, err = http.Post(srv.URL+"/v1/release", "application/json",
+		strings.NewReader(`{"key":"e2e-1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	genID := resp.Header.Get("X-Request-Id")
+	if resp.StatusCode != 200 || !strings.HasPrefix(genID, "req-") {
+		t.Fatalf("release: status %d id %q", resp.StatusCode, genID)
+	}
+
+	// /debug/slow: both requests fit the ring; the place must carry a
+	// positive span for every one of the seven pipeline stages.
+	resp, err = http.Get(srv.URL + "/debug/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slow []obs.SlowRequest
+	if err := json.NewDecoder(resp.Body).Decode(&slow); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	var placeSlow *obs.SlowRequest
+	for i := range slow {
+		if slow[i].RequestID == "req-e2e-test-1" {
+			placeSlow = &slow[i]
+		}
+	}
+	if placeSlow == nil {
+		t.Fatalf("place request missing from /debug/slow: %+v", slow)
+	}
+	if placeSlow.Outcome != "placed" {
+		t.Fatalf("slow-ring outcome = %q, want placed", placeSlow.Outcome)
+	}
+	wantStages := []string{"decode", "ratelimit", "idempotency", "queue", "search", "journal", "ack"}
+	if len(placeSlow.Stages) != len(wantStages) {
+		t.Fatalf("slow-ring stages = %+v, want %d entries", placeSlow.Stages, len(wantStages))
+	}
+	for i, st := range placeSlow.Stages {
+		if st.Stage != wantStages[i] {
+			t.Fatalf("stage[%d] = %q, want %q", i, st.Stage, wantStages[i])
+		}
+		if st.MS <= 0 {
+			t.Errorf("stage %q duration %.3fms not positive under stepping clock", st.Stage, st.MS)
+		}
+	}
+	if placeSlow.Attrs["key"] != "e2e-1" {
+		t.Fatalf("slow-ring attrs = %+v, want key=e2e-1", placeSlow.Attrs)
+	}
+
+	// Access log: one JSONL line per request, cross-linkable by request
+	// ID and VM uid.
+	lines := strings.Split(strings.TrimSpace(accessBuf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("access log has %d lines, want 2:\n%s", len(lines), accessBuf.String())
+	}
+	var rec accessRecord
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("access line %q: %v", lines[0], err)
+	}
+	if rec.RequestID != "req-e2e-test-1" || rec.Route != "/v1/place" ||
+		rec.Outcome != "placed" || rec.Client != "e2e-client" || rec.Status != 200 {
+		t.Fatalf("access record: %+v", rec)
+	}
+	if rec.Key != "e2e-1" || len(rec.VMIDs) != 2 {
+		t.Fatalf("access record not cross-linkable: %+v", rec)
+	}
+	if rec.TotalMS <= 0 || len(rec.StagesMS) != numStages {
+		t.Fatalf("access record timings: %+v", rec)
+	}
+	for _, name := range wantStages {
+		if rec.StagesMS[name] <= 0 {
+			t.Errorf("access stage %q = %v, want > 0", name, rec.StagesMS[name])
+		}
+	}
+	var relRec accessRecord
+	if err := json.Unmarshal([]byte(lines[1]), &relRec); err != nil {
+		t.Fatal(err)
+	}
+	if relRec.RequestID != genID || relRec.Route != "/v1/release" || relRec.Outcome != "released" {
+		t.Fatalf("release access record: %+v", relRec)
+	}
+
+	// /metrics: the exposition must validate and carry the new latency
+	// families plus the SLO gauges.
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := obs.ValidateExposition(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/metrics invalid: %v", err)
+	}
+	for fam, typ := range map[string]string{
+		"serve_stage_seconds":        "histogram",
+		"serve_request_seconds":      "histogram",
+		"serve_slo_attainment_ratio": "gauge",
+		"serve_slo_burn_rate":        "gauge",
+	} {
+		if fams[fam] != typ {
+			t.Errorf("family %s = %q, want %s", fam, fams[fam], typ)
+		}
+	}
+
+	// Stats: uptime ticks forward under the fake clock and the SLO
+	// snapshot reports both observed requests as good.
+	st := s.Stats()
+	if st.UptimeSeconds <= 0 {
+		t.Fatalf("uptime %v under stepping clock", st.UptimeSeconds)
+	}
+	if st.SLO == nil || st.SLO.Total != 2 || st.SLO.Good != 2 {
+		t.Fatalf("stats SLO: %+v", st.SLO)
+	}
+	if st.SLO.Attainment != 1 || st.SLO.BurnRate != 0 {
+		t.Fatalf("stats SLO attainment: %+v", st.SLO)
+	}
+	drainClean(t, s)
+}
+
+// TestObservedDirectPlace covers the Service.Place entry point (no
+// HTTP layer): traces still record every stage and the access log line
+// still lands, with an ack span of effectively zero.
+func TestObservedDirectPlace(t *testing.T) {
+	clk := newTickClock(time.Millisecond)
+	var accessBuf bytes.Buffer
+	cfg := testConfig(t, 8, 2)
+	cfg.Clock = clk.Now
+	cfg.SlowRing = 4
+	cfg.AccessLog = &accessBuf
+	s, err := NewService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPlace(t, s, "direct-1", 1)
+	slow := s.WallTracer().Slowest()
+	if len(slow) != 1 || slow[0].Outcome != "placed" || len(slow[0].Stages) != numStages {
+		t.Fatalf("direct place slow ring: %+v", slow)
+	}
+	if !strings.Contains(accessBuf.String(), `"request_id":"`+slow[0].RequestID+`"`) {
+		t.Fatalf("access log missing direct request %s:\n%s", slow[0].RequestID, accessBuf.String())
+	}
+	// A shed outcome classifies and logs too: drain, then place.
+	go s.Drain(5 * time.Second)
+	waitFor(t, "draining", func() bool { return s.draining.Load() })
+	out := s.Place("test", PlaceRequest{Key: "direct-2", Class: "cpu", VMs: 1})
+	if out.Status == 200 {
+		t.Fatalf("place during drain succeeded: %+v", out)
+	}
+	if !strings.Contains(accessBuf.String(), `"outcome":"shed"`) {
+		t.Fatalf("drain-shed request not in access log:\n%s", accessBuf.String())
+	}
+}

@@ -23,6 +23,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"sync"
@@ -105,6 +106,18 @@ type Config struct {
 	// log (pacevm-explain replays it). Obs defaults to a fresh registry.
 	Recorder *cloudsim.DecisionRecorder
 	Obs      *obs.Registry
+	// SlowRing keeps the K slowest requests with full stage breakdowns
+	// for /debug/slow (0 disables the ring). SLOTarget enables rolling
+	// SLO tracking: fraction SLOObjective (default 0.99) of requests
+	// must finish under SLOTarget over a sliding SLOWindow (default
+	// 60s). AccessLog, when non-nil, receives one structured JSON line
+	// per request. Any of these being set turns on wall-clock request
+	// tracing; all unset, the request path pays one nil check.
+	SlowRing     int
+	SLOTarget    time.Duration
+	SLOObjective float64
+	SLOWindow    time.Duration
+	AccessLog    io.Writer
 	// Clock overrides time.Now for tests.
 	Clock func() time.Time
 }
@@ -195,6 +208,26 @@ func (cfg Config) withDefaults() (Config, error) {
 	if cfg.Obs == nil {
 		cfg.Obs = obs.NewRegistry()
 	}
+	if cfg.SlowRing < 0 {
+		return cfg, fmt.Errorf("serve: slow ring %d must not be negative (0 disables the slow-request ring)", cfg.SlowRing)
+	}
+	if cfg.SLOTarget < 0 {
+		return cfg, fmt.Errorf("serve: SLO target %v must not be negative (0 disables SLO tracking)", cfg.SLOTarget)
+	}
+	if cfg.SLOTarget > 0 {
+		if cfg.SLOObjective == 0 {
+			cfg.SLOObjective = 0.99
+		}
+		if cfg.SLOObjective <= 0 || cfg.SLOObjective >= 1 {
+			return cfg, fmt.Errorf("serve: SLO objective %v out of (0,1) (0 means the 0.99 default)", cfg.SLOObjective)
+		}
+		if cfg.SLOWindow == 0 {
+			cfg.SLOWindow = time.Minute
+		}
+		if cfg.SLOWindow < 0 {
+			return cfg, fmt.Errorf("serve: SLO window %v must not be negative (0 means the 60s default)", cfg.SLOWindow)
+		}
+	}
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
@@ -271,6 +304,10 @@ type pending struct {
 	slot     int
 	vmID     int
 	done     chan Outcome
+	// rt is the request's wall-clock trace (nil when tracing is off).
+	// It hands off with the pending: the enqueue and reply channels
+	// provide the happens-before between handler and worker.
+	rt *obs.ReqTrace
 }
 
 // Control-plane operations, processed by the shard worker ahead of the
@@ -337,6 +374,7 @@ type Service struct {
 	lad *ladder
 	lim *limiter
 	j   *journal
+	ro  *serveObs // nil unless request observability is configured
 
 	shards []*shard
 
@@ -396,6 +434,11 @@ func newService(cfg Config) (*Service, error) {
 	}
 	s.lad = newLadder(&cfg, s.clock, s.reg, s.rec)
 	s.lim = newLimiter(cfg.RatePerSec, cfg.RateBurst, s.clock)
+	if cfg.obsEnabled() {
+		if s.ro, err = newServeObs(cfg, s.reg, s.clock); err != nil {
+			return nil, err
+		}
+	}
 	s.mRequests = s.reg.Counter("serve_requests_total")
 	s.mPlaced = s.reg.Counter("serve_placements_total")
 	s.mReplayed = s.reg.Counter("serve_replays_total")
@@ -547,40 +590,63 @@ func (s *Service) route(vms int) *shard {
 // ---- admission (HTTP-goroutine side) ----
 
 // Place admits, routes and waits out one placement request. client
-// identifies the caller for rate limiting.
+// identifies the caller for rate limiting. Direct API callers get the
+// full observability treatment too; the HTTP layer uses placeTraced so
+// its trace also covers JSON decode and the response write.
 func (s *Service) Place(client string, req PlaceRequest) Outcome {
+	rt := s.traceStart("")
+	out := s.placeTraced(client, req, rt)
+	s.observeRequest(rt, client, "/v1/place", out)
+	return out
+}
+
+// placeTraced is Place's body, with the request's stage spans recorded
+// on rt (nil when tracing is off — every span call is then a no-op).
+func (s *Service) placeTraced(client string, req PlaceRequest, rt *obs.ReqTrace) Outcome {
 	s.mRequests.Inc()
 	if s.draining.Load() {
 		return s.shedOutcome(req, 503, cloudsim.RejectDraining, time.Second)
 	}
+	rt.StageStart(stageDecode) // validation rides the decode span
 	if req.Key == "" {
+		rt.StageEnd(stageDecode)
 		return Outcome{Status: 400, Reason: "missing key"}
 	}
 	if req.VMs < 1 || req.VMs > maxJobVMs {
+		rt.StageEnd(stageDecode)
 		return Outcome{Status: 400, Reason: fmt.Sprintf("vms %d out of [1,%d]", req.VMs, maxJobVMs)}
 	}
 	class, err := parseClass(req.Class)
+	rt.StageEnd(stageDecode)
 	if err != nil {
 		return Outcome{Status: 400, Reason: err.Error()}
 	}
+	rt.Annotate("key", req.Key)
+	rt.StageStart(stageIdempotency)
 	s.mu.Lock()
 	if pl := s.byKey[req.Key]; pl != nil {
 		resp := pl.response(true)
 		s.mu.Unlock()
+		rt.StageEnd(stageIdempotency)
 		s.mReplayed.Inc()
 		return Outcome{Status: 200, Resp: resp}
 	}
 	if _, inFlight := s.pendingKeys[req.Key]; inFlight {
 		s.mu.Unlock()
+		rt.StageEnd(stageIdempotency)
 		return Outcome{Status: 429, Reason: "pending", RetryAfter: s.cfg.RequestTimeout}
 	}
 	s.pendingKeys[req.Key] = struct{}{}
 	s.mu.Unlock()
+	rt.StageEnd(stageIdempotency)
 
 	// Rate-limit only fresh work: a replay above is answered from
 	// memory and consumes no placement capacity, so a throttled client
 	// retrying an acknowledged key still gets its result.
-	if ok, wait := s.lim.allow(client); !ok {
+	rt.StageStart(stageRateLimit)
+	ok, wait := s.lim.allow(client)
+	rt.StageEnd(stageRateLimit)
+	if !ok {
 		s.unpend(req.Key)
 		return s.shedOutcome(req, 429, cloudsim.RejectRateLimit, wait)
 	}
@@ -601,8 +667,10 @@ func (s *Service) Place(client string, req PlaceRequest) Outcome {
 		nominalS: nominalS, maxS: req.MaxResponseS,
 		enqueued: now, deadline: now.Add(s.cfg.RequestTimeout),
 		done: make(chan Outcome, 1),
+		rt:   rt,
 	}
 	sh := s.route(req.VMs)
+	rt.Annotate("shard", fmt.Sprintf("%d", sh.id))
 	if !sh.enqueue(p) {
 		s.unpend(req.Key)
 		s.mShed.Inc()
@@ -762,7 +830,9 @@ func (sh *shard) handlePlace(p *pending) {
 	now := s.clock()
 	wait := now.Sub(p.enqueued)
 	s.qWait.Observe(wait.Seconds())
+	p.rt.StageDur(stageQueue, wait)
 	level := s.lad.observe(wait)
+	p.rt.Annotate("level", levelName(level))
 
 	if now.After(p.deadline) {
 		s.finishDrop(p, 503, cloudsim.RejectDeadline, 0)
@@ -784,8 +854,10 @@ func (sh *shard) handlePlace(p *pending) {
 		}
 	}
 
+	p.rt.StageStart(stageSearch)
 	sh.smu.Lock()
 	assign, info, ok := sh.placeLocked(level, vms, p.deadline)
+	p.rt.StageEnd(stageSearch)
 	if !ok {
 		sh.smu.Unlock()
 		s.mRejected.Inc()
@@ -819,11 +891,13 @@ func (sh *shard) handlePlace(p *pending) {
 		pl.Degraded = info.Stats.Degraded
 		pl.Relaxed = info.Relaxed
 	}
+	p.rt.StageStart(stageJournal)
 	seq, err := s.j.append(&jrec{
 		Kind: jPlace, Key: pl.Key, Job: pl.Job, Class: pl.Class.String(),
 		NominalS: pl.NominalS, MaxS: pl.MaxS,
 		Servers: globals, VMIDs: ids, Degraded: pl.Degraded, Relaxed: pl.Relaxed,
 	})
+	p.rt.StageEnd(stageJournal)
 	if err != nil {
 		sh.smu.Unlock()
 		s.finish(p, Outcome{Status: 500, Reason: "journal: " + err.Error()})
@@ -1155,12 +1229,15 @@ func (s *Service) applyRecover(g, seq int) {
 
 // ---- response plumbing ----
 
-// finish answers a queued request and clears its in-flight marker.
+// finish answers a queued request and clears its in-flight marker. The
+// ack span opens here and closes in observeRequest after the response
+// is written, so it covers the reply-channel handoff plus the write.
 func (s *Service) finish(p *pending, out Outcome) {
 	s.mu.Lock()
 	delete(s.pendingKeys, p.key)
 	s.mu.Unlock()
 	if p.done != nil {
+		p.rt.StageStart(stageAck)
 		p.done <- out
 	}
 }
@@ -1745,13 +1822,16 @@ func (s *Service) queuedWork() int {
 
 // ServiceStats is the /v1/stats payload.
 type ServiceStats struct {
-	Level      int             `json:"level"`
-	LevelName  string          `json:"level_name"`
-	WaitEWMAS  float64         `json:"wait_ewma_s"`
-	Draining   bool            `json:"draining"`
-	Placements int             `json:"placements"`
-	Queued     int             `json:"queued"`
-	Violations []obs.Violation `json:"violations,omitempty"`
+	Level         int              `json:"level"`
+	LevelName     string           `json:"level_name"`
+	WaitEWMAS     float64          `json:"wait_ewma_s"`
+	Draining      bool             `json:"draining"`
+	Placements    int              `json:"placements"`
+	Queued        int              `json:"queued"`
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Build         obs.Provenance   `json:"build"`
+	SLO           *obs.SLOSnapshot `json:"slo,omitempty"`
+	Violations    []obs.Violation  `json:"violations,omitempty"`
 }
 
 // Stats reports the service's current posture.
@@ -1764,13 +1844,20 @@ func (s *Service) Stats() ServiceStats {
 		}
 	}
 	s.mu.Unlock()
-	return ServiceStats{
-		Level:      s.lad.current(),
-		LevelName:  levelName(s.lad.current()),
-		WaitEWMAS:  s.lad.waitEWMA(),
-		Draining:   s.draining.Load(),
-		Placements: live,
-		Queued:     s.queuedWork(),
-		Violations: s.wd.Violations(),
+	st := ServiceStats{
+		Level:         s.lad.current(),
+		LevelName:     levelName(s.lad.current()),
+		WaitEWMAS:     s.lad.waitEWMA(),
+		Draining:      s.draining.Load(),
+		Placements:    live,
+		Queued:        s.queuedWork(),
+		UptimeSeconds: s.clock().Sub(s.start).Seconds(),
+		Build:         obs.CollectProvenance(),
+		Violations:    s.wd.Violations(),
 	}
+	if slo := s.SLO(); slo != nil {
+		snap := slo.Snapshot()
+		st.SLO = &snap
+	}
+	return st
 }

@@ -24,6 +24,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"os"
@@ -38,6 +39,7 @@ import (
 	"time"
 
 	"pacevm/internal/cloudsim"
+	"pacevm/internal/obs"
 )
 
 // repoRoot locates the module root from this file's path so the test
@@ -325,6 +327,7 @@ func TestServeChaosSoak(t *testing.T) {
 	}
 	snap := filepath.Join(artifacts, "state.snap")
 	dlog := filepath.Join(artifacts, "decisions.jsonl")
+	alog := filepath.Join(artifacts, "access.jsonl")
 
 	bin := buildServe(t, t.TempDir())
 	mdir := writeModelDir(t)
@@ -341,6 +344,8 @@ func TestServeChaosSoak(t *testing.T) {
 			"-watchdog", "150ms",
 			"-drain-timeout", "30s",
 			"-decision-log", dlog,
+			"-access-log", alog,
+			"-slo-target", "250ms", "-slow-ring", "16",
 			"-chaos-mtbf", "0.5", "-chaos-mttr", "0.25", "-chaos-seed", "7",
 		}
 		if restore {
@@ -416,6 +421,30 @@ func TestServeChaosSoak(t *testing.T) {
 		burst(strconv.Itoa(i))
 		time.Sleep(phase2 / 10)
 	}
+
+	// Mid-chaos observability check: the live /metrics exposition must
+	// machine-validate and carry the request-latency families even with
+	// faults firing and bursts being shed.
+	func() {
+		resp, err := cli.hc.Get(cli.url("/metrics"))
+		if err != nil {
+			t.Errorf("mid-chaos /metrics scrape: %v", err)
+			return
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		_ = os.WriteFile(filepath.Join(artifacts, "soak-metrics.prom"), body, 0o644)
+		fams, err := obs.ValidateExposition(bytes.NewReader(body))
+		if err != nil {
+			t.Errorf("mid-chaos exposition invalid: %v", err)
+			return
+		}
+		for _, fam := range []string{"serve_stage_seconds", "serve_request_seconds", "serve_slo_burn_rate"} {
+			if _, ok := fams[fam]; !ok {
+				t.Errorf("mid-chaos /metrics missing family %s", fam)
+			}
+		}
+	}()
 	close(loadDone)
 	stopLoad.Wait()
 
@@ -513,5 +542,33 @@ func TestServeChaosSoak(t *testing.T) {
 	if !placed || !shed {
 		t.Errorf("decision log: placed=%v shed=%v, want both", placed, shed)
 	}
-	t.Logf("soak: %d acked placements, %d decisions logged, restore clean", nAcked, len(decisions))
+
+	// The access log survives the kill -9 (O_APPEND across both runs)
+	// and every line is valid JSON carrying a request ID; the soak's
+	// shed bursts must show up as shed outcomes.
+	raw, err := os.ReadFile(alog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aLines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(aLines) < nAcked {
+		t.Errorf("access log has %d lines for %d acked placements", len(aLines), nAcked)
+	}
+	sawShed := false
+	for i, line := range aLines {
+		var rec accessRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("access line %d: %v\n%s", i+1, err, line)
+		}
+		if rec.RequestID == "" || rec.Outcome == "" {
+			t.Fatalf("access line %d missing fields: %+v", i+1, rec)
+		}
+		if rec.Outcome == "shed" {
+			sawShed = true
+		}
+	}
+	if !sawShed {
+		t.Error("access log recorded no shed outcomes despite overload bursts")
+	}
+	t.Logf("soak: %d acked placements, %d decisions logged, %d access lines, restore clean", nAcked, len(decisions), len(aLines))
 }
